@@ -1,0 +1,19 @@
+"""Fig. 10(a,b) — proximity-graph ablation: 7 builders, build + search."""
+
+from repro.bench import cache
+from repro.bench.ablations import fig10ab_graph_zoo
+from repro.core.space import JointSpace
+from repro.index import FusedIndexBuilder
+
+from benchmarks.conftest import emit
+
+
+def test_fig10ab_graph_zoo(benchmark, capsys):
+    table = fig10ab_graph_zoo()
+    emit(table, "fig10ab_graph_zoo", capsys)
+    enc, must = cache.largescale_must("image", 8_000)
+    space = JointSpace(enc.objects, must.weights)
+    benchmark.pedantic(
+        lambda: FusedIndexBuilder(gamma=24, seed=0).build(space),
+        rounds=2, iterations=1,
+    )

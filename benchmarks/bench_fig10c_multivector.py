@@ -1,0 +1,14 @@
+"""Fig. 10(c) — the Lemma-4 multi-vector computation optimisation."""
+
+from repro.bench import cache
+from repro.bench.efficiency import fig10c_multivector
+
+from benchmarks.conftest import emit
+
+
+def test_fig10c_multivector(benchmark, capsys):
+    table = fig10c_multivector()
+    emit(table, "fig10c_multivector", capsys)
+    enc, must = cache.largescale_must("image")
+    query = enc.queries[0]
+    benchmark(lambda: must.search(query, k=10, l=80, early_termination=True))

@@ -1,0 +1,14 @@
+"""Fig. 14/15 — effect of the maximum neighbour count γ on the fused index."""
+
+from repro.bench import cache
+from repro.bench.ablations import fig14_gamma
+
+from benchmarks.conftest import emit
+
+
+def test_fig14_gamma(benchmark, capsys):
+    table = fig14_gamma()
+    emit(table, "fig14_gamma", capsys)
+    enc, must = cache.largescale_must("image", 8_000)
+    query = enc.queries[0]
+    benchmark(lambda: must.search(query, k=10, l=80))

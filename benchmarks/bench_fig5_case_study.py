@@ -1,0 +1,22 @@
+"""Fig. 5 / Fig. 11 — qualitative case studies (labelled text renditions)."""
+
+from repro.bench import cache
+from repro.bench.case_study import fig5_case_study, fig11_neighbors
+
+from benchmarks.conftest import emit
+
+
+def test_fig5_case_study(benchmark, capsys):
+    table = fig5_case_study()
+    emit(table, "fig5_case_study", capsys)
+    enc, must, test = cache.trained_must("mitstates", "resnet50", ("lstm",))
+    query = enc.queries[test[0]]
+    benchmark(lambda: must.search(query, k=5, l=128))
+
+
+def test_fig11_neighbors(benchmark, capsys):
+    table = fig11_neighbors()
+    emit(table, "fig11_neighbors", capsys)
+    enc, must, _ = cache.trained_must("celeba", "clip", ("encoding",))
+    v = must.index.seed_vertex
+    benchmark(lambda: must.space.rows_vs_one(must.index.neighbors[v], v))

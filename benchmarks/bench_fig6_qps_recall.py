@@ -1,0 +1,17 @@
+"""Fig. 6 — QPS vs Recall@10(10) on ImageText / AudioText / VideoText."""
+
+import pytest
+
+from repro.bench import cache
+from repro.bench.efficiency import fig6_qps_recall
+
+from benchmarks.conftest import emit
+
+
+@pytest.mark.parametrize("kind", ["image", "audio", "video"])
+def test_fig6_qps_recall(benchmark, capsys, kind):
+    table = fig6_qps_recall(kind)
+    emit(table, f"fig6_{kind}text", capsys)
+    enc, must = cache.largescale_must(kind)
+    query = enc.queries[0]
+    benchmark(lambda: must.search(query, k=10, l=80))

@@ -1,0 +1,20 @@
+"""Fig. 7 — index build time and size vs data volume (MUST vs MR)."""
+
+from repro.bench import cache
+from repro.bench.efficiency import fig7_build_cost
+from repro.core.space import JointSpace
+from repro.index.nndescent import nndescent
+
+from benchmarks.conftest import emit
+
+
+def test_fig7_build_cost(benchmark, capsys):
+    table = fig7_build_cost()
+    emit(table, "fig7_build_cost", capsys)
+    # Representative op: one NNDescent iteration at the smallest volume.
+    enc, must = cache.largescale_must("image", 2_500)
+    space = JointSpace(enc.objects, must.weights)
+    benchmark.pedantic(
+        lambda: nndescent(space, k=20, iterations=1, seed=0),
+        rounds=3, iterations=1,
+    )

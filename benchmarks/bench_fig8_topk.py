@@ -1,0 +1,14 @@
+"""Fig. 8 — effect of the number of results k (MUST vs MR)."""
+
+from repro.bench import cache
+from repro.bench.efficiency import fig8_topk
+
+from benchmarks.conftest import emit
+
+
+def test_fig8_topk(benchmark, capsys):
+    table = fig8_topk()
+    emit(table, "fig8_topk", capsys)
+    enc, must = cache.largescale_must("image")
+    query = enc.queries[0]
+    benchmark(lambda: must.search(query, k=100, l=400))

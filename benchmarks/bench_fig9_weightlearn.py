@@ -1,0 +1,29 @@
+"""Fig. 9 / Fig. 13 — weight-learning ablations (negatives strategy/count)."""
+
+import numpy as np
+
+from repro.bench import cache
+from repro.bench.ablations import fig9_negative_strategies, fig13_negative_counts
+from repro.weightlearn import VectorWeightLearner
+
+from benchmarks.conftest import emit
+
+
+def _one_epoch_fit():
+    enc, _ = cache.largescale_must("image")
+    anchors = enc.queries[:20]
+    positives = np.asarray([enc.ground_truth[i][0] for i in range(20)])
+    learner = VectorWeightLearner(epochs=1, seed=0)
+    return lambda: learner.fit(anchors, positives, enc.objects)
+
+
+def test_fig9_negative_strategies(benchmark, capsys):
+    table = fig9_negative_strategies()
+    emit(table, "fig9_negatives", capsys)
+    benchmark.pedantic(_one_epoch_fit(), rounds=3, iterations=1)
+
+
+def test_fig13_negative_counts(benchmark, capsys):
+    table = fig13_negative_counts()
+    emit(table, "fig13_negative_counts", capsys)
+    benchmark.pedantic(_one_epoch_fit(), rounds=3, iterations=1)

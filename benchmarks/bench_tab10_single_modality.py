@@ -1,0 +1,14 @@
+"""Tab. X / XIX / XX — accuracy with a single query modality (t = 1)."""
+
+from repro.bench import cache
+from repro.bench.accuracy import tab10_single_modality
+
+from benchmarks.conftest import emit
+
+
+def test_tab10_single_modality(benchmark, capsys):
+    table = tab10_single_modality()
+    emit(table, "tab10_single_modality", capsys)
+    enc, must, test = cache.trained_must("mitstates", "resnet50", ("lstm",))
+    query = enc.queries_single_modality(1)[test[0]]
+    benchmark(lambda: must.search(query, k=10, l=128))

@@ -1,0 +1,19 @@
+"""Tab. XI — graph quality under different NNDescent iteration counts ε."""
+
+from repro.bench import cache
+from repro.bench.ablations import tab11_iterations
+from repro.core.space import JointSpace
+from repro.index.nndescent import graph_quality, nndescent
+
+from benchmarks.conftest import emit
+
+
+def test_tab11_iterations(benchmark, capsys):
+    table = tab11_iterations()
+    emit(table, "tab11_iterations", capsys)
+    enc, must = cache.largescale_must("image", 8_000)
+    space = JointSpace(enc.objects, must.weights)
+    knn = nndescent(space, k=20, iterations=3, seed=0)
+    benchmark.pedantic(
+        lambda: graph_quality(space, knn, sample=100), rounds=3, iterations=1
+    )

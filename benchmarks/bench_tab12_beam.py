@@ -1,0 +1,14 @@
+"""Tab. XII — search performance under different result-set sizes l."""
+
+from repro.bench import cache
+from repro.bench.efficiency import tab12_beam_width
+
+from benchmarks.conftest import emit
+
+
+def test_tab12_beam_width(benchmark, capsys):
+    table = tab12_beam_width()
+    emit(table, "tab12_beam_width", capsys)
+    enc, must = cache.largescale_must("image")
+    query = enc.queries[0]
+    benchmark(lambda: must.search(query, k=10, l=320))

@@ -1,0 +1,15 @@
+"""Tab. III — search accuracy on MIT-States (8 encoder combos × 3 frameworks)."""
+
+from repro.bench import cache
+from repro.bench.accuracy import tab3_mitstates
+
+from benchmarks.conftest import emit
+
+
+def test_tab3_mitstates(benchmark, capsys):
+    table = tab3_mitstates()
+    emit(table, "tab3_mitstates", capsys)
+    # Representative op: one MUST joint search on the best combo.
+    enc, must, test = cache.trained_must("mitstates", "resnet50", ("lstm",))
+    query = enc.queries[test[0]]
+    benchmark(lambda: must.search(query, k=10, l=128))

@@ -1,0 +1,14 @@
+"""Tab. IV — search accuracy on CelebA."""
+
+from repro.bench import cache
+from repro.bench.accuracy import tab4_celeba
+
+from benchmarks.conftest import emit
+
+
+def test_tab4_celeba(benchmark, capsys):
+    table = tab4_celeba()
+    emit(table, "tab4_celeba", capsys)
+    enc, must, test = cache.trained_must("celeba", "clip", ("encoding",))
+    query = enc.queries[test[0]]
+    benchmark(lambda: must.search(query, k=10, l=128))

@@ -1,0 +1,26 @@
+"""Tab. V / Tab. XXI — search accuracy on Shopping (T-shirt and Bottoms)."""
+
+from repro.bench import cache
+from repro.bench.accuracy import tab5_shopping_tshirt, tab21_shopping_bottoms
+
+from benchmarks.conftest import emit
+
+
+def test_tab5_shopping_tshirt(benchmark, capsys):
+    table = tab5_shopping_tshirt()
+    emit(table, "tab5_shopping_tshirt", capsys)
+    enc, must, test = cache.trained_must(
+        "shopping_tshirt", "tirg", ("encoding",)
+    )
+    query = enc.queries[test[0]]
+    benchmark(lambda: must.search(query, k=10, l=128))
+
+
+def test_tab21_shopping_bottoms(benchmark, capsys):
+    table = tab21_shopping_bottoms()
+    emit(table, "tab21_shopping_bottoms", capsys)
+    enc, must, test = cache.trained_must(
+        "shopping_bottoms", "tirg", ("encoding",)
+    )
+    query = enc.queries[test[0]]
+    benchmark(lambda: must.search(query, k=10, l=128))

@@ -1,0 +1,14 @@
+"""Tab. VI — search accuracy on MS-COCO (three modalities)."""
+
+from repro.bench import cache
+from repro.bench.accuracy import tab6_mscoco
+
+from benchmarks.conftest import emit
+
+
+def test_tab6_mscoco(benchmark, capsys):
+    table = tab6_mscoco()
+    emit(table, "tab6_mscoco", capsys)
+    enc, must, test = cache.trained_must("mscoco", "resnet50", ("resnet50", "gru"))
+    query = enc.queries[test[0]]
+    benchmark(lambda: must.search(query, k=100, l=256))

@@ -1,0 +1,14 @@
+"""Tab. VII — response time vs data volume (MUST vs brute-force MUST--)."""
+
+from repro.bench import cache
+from repro.bench.efficiency import tab7_data_volume
+
+from benchmarks.conftest import emit
+
+
+def test_tab7_data_volume(benchmark, capsys):
+    table = tab7_data_volume()
+    emit(table, "tab7_data_volume", capsys)
+    enc, must = cache.largescale_must("image", 40_000)
+    query = enc.queries[0]
+    benchmark(lambda: must.search(query, k=10, l=200))

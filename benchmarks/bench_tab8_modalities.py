@@ -1,0 +1,16 @@
+"""Tab. VIII — recall vs number of modalities on CelebA+."""
+
+from repro.bench import cache
+from repro.bench.accuracy import tab8_modalities
+
+from benchmarks.conftest import emit
+
+
+def test_tab8_modalities(benchmark, capsys):
+    table = tab8_modalities()
+    emit(table, "tab8_modalities", capsys)
+    enc, must, test = cache.trained_must(
+        "celeba_plus_m4", "clip", ("encoding", "resnet17", "resnet50")
+    )
+    query = enc.queries[test[0]]
+    benchmark(lambda: must.search(query, k=10, l=128))

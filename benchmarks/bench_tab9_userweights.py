@@ -1,0 +1,16 @@
+"""Tab. IX — user-defined weight preferences (Fig. 4(g) Option 2)."""
+
+from repro.bench import cache
+from repro.bench.accuracy import tab9_user_weights
+from repro.core.weights import Weights
+
+from benchmarks.conftest import emit
+
+
+def test_tab9_user_weights(benchmark, capsys):
+    table = tab9_user_weights()
+    emit(table, "tab9_user_weights", capsys)
+    enc, must, test = cache.trained_must("mitstates", "resnet50", ("lstm",))
+    query = enc.queries[test[0]]
+    override = Weights([0.8, 0.2])
+    benchmark(lambda: must.search(query, k=10, l=128, weights=override))

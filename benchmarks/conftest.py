@@ -1,0 +1,18 @@
+"""Shared helpers for the benchmark suite.
+
+Each ``bench_*.py`` file regenerates one paper table/figure (printed and
+archived under ``benchmarks/results/``) and micro-benchmarks one
+representative operation via pytest-benchmark.
+"""
+
+from __future__ import annotations
+
+from repro.bench.harness import Table, format_table, save_table
+
+
+def emit(table: Table, stem: str, capsys) -> None:
+    """Archive and print an experiment table from inside a bench test."""
+    save_table(table, stem)
+    with capsys.disabled():
+        print()
+        print(format_table(table))

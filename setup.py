@@ -1,0 +1,10 @@
+"""Legacy setup shim.
+
+``pip install -e .`` needs the ``wheel`` package under old setuptools;
+on minimal environments without it, ``python setup.py develop`` provides
+the same editable install through this shim.
+"""
+
+from setuptools import setup
+
+setup()

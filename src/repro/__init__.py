@@ -1,0 +1,40 @@
+"""repro — a full reproduction of MUST (ICDE 2024).
+
+MUST: An Effective and Scalable Framework for Multimodal Search of Target
+Modality (Wang et al.).  The package provides:
+
+* :class:`repro.core.MUST` — the framework: multi-vector embedding,
+  vector weight learning, fused proximity-graph indexing, joint search;
+* :mod:`repro.baselines` — the MR / JE / MUST-- / MR-- comparison points;
+* :mod:`repro.index` — seven proximity-graph algorithms built from a
+  component pipeline;
+* :mod:`repro.datasets` — generators for the paper's nine corpora;
+* :mod:`repro.embedding` — the pluggable (simulated) encoder zoo;
+* :mod:`repro.metrics` — Recall@k(k'), SME, and QPS measurement.
+
+See DESIGN.md for the architecture and EXPERIMENTS.md for the
+paper-vs-measured record of every table and figure.
+"""
+
+from repro.core import (
+    MUST,
+    JointSpace,
+    MultiVector,
+    MultiVectorSet,
+    SearchResult,
+    SearchStats,
+    Weights,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "MUST",
+    "JointSpace",
+    "MultiVector",
+    "MultiVectorSet",
+    "SearchResult",
+    "SearchStats",
+    "Weights",
+    "__version__",
+]

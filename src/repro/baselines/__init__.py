@@ -1,0 +1,13 @@
+"""The paper's baselines: MR, JE, and the brute-force variants."""
+
+from repro.baselines.brute_force import BruteForceMUST
+from repro.baselines.joint_embedding import JointEmbeddingSearch
+from repro.baselines.merging import merge_candidates
+from repro.baselines.multi_streamed import MultiStreamedRetrieval
+
+__all__ = [
+    "BruteForceMUST",
+    "JointEmbeddingSearch",
+    "merge_candidates",
+    "MultiStreamedRetrieval",
+]

@@ -1,0 +1,9 @@
+"""Benchmark harness: one experiment function per paper table/figure.
+
+See DESIGN.md §4 for the experiment index.  ``python -m repro.bench.report``
+regenerates every artifact and the EXPERIMENTS.md record.
+"""
+
+from repro.bench.harness import Table, format_table, save_table
+
+__all__ = ["Table", "format_table", "save_table"]

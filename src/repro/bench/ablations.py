@@ -1,0 +1,160 @@
+"""Ablations: Fig. 9/13 (weight learning), Fig. 10(a,b) (graph zoo),
+Tab. XI (NNDescent iterations), Fig. 14/15 (γ sweep)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.bench import cache
+from repro.bench.harness import Table
+from repro.core.space import JointSpace
+from repro.core.weights import Weights
+from repro.datasets.largescale import exact_ground_truth
+from repro.index import BUILDERS, FusedIndexBuilder, graph_quality, nndescent
+from repro.index.search import joint_search
+from repro.metrics import mean_recall, measure_qps
+from repro.weightlearn import VectorWeightLearner
+
+__all__ = [
+    "fig9_negative_strategies",
+    "fig13_negative_counts",
+    "fig10ab_graph_zoo",
+    "tab11_iterations",
+    "fig14_gamma",
+]
+
+_GRAPH_N = 8_000
+
+
+def _training_data():
+    """Weight-learning workload for Fig. 9/13.
+
+    Uses MIT-States rather than the semi-synthetic ImageText corpus: the
+    latter's planted queries are solvable at recall 1.0 under almost any
+    weights, which would mask the hard-vs-random contrast the figures
+    exist to show.
+    """
+    enc = cache.encoded("mitstates", "resnet50", ("lstm",))
+    train, _ = cache.train_test_split("mitstates")
+    anchors = [enc.queries[i] for i in train]
+    positives = np.asarray([enc.ground_truth[i][0] for i in train])
+    return enc, anchors, positives
+
+
+def fig9_negative_strategies() -> Table:
+    """Fig. 9: hard vs random negatives — loss/recall trajectories."""
+    enc, anchors, positives = _training_data()
+    headers = ["Strategy", "Epoch", "Loss", "TrainRecall", "w0^2", "w1^2"]
+    rows = []
+    for strategy in ("hard", "random"):
+        learner = VectorWeightLearner(
+            epochs=200, learning_rate=0.2, strategy=strategy, seed=0
+        )
+        result = learner.fit(anchors, positives, enc.objects)
+        h = result.history
+        for epoch in (0, 49, 99, 199):
+            w2 = h.squared_weights[epoch]
+            rows.append([
+                strategy, epoch + 1, h.loss[epoch], h.recall[epoch],
+                float(w2[0]), float(w2[1]),
+            ])
+    return Table(
+        "Fig. 9", "Hard vs random negatives (weight learning)", headers, rows,
+        notes="Hard negatives converge in far fewer epochs and land nearer "
+              "the retrieval-optimal weight ratio; on this substrate random "
+              "negatives eventually reach comparable training recall (a "
+              "weaker contrast than the paper's Fig. 9).",
+    )
+
+
+def fig13_negative_counts() -> Table:
+    """Fig. 13: effect of |N⁻| on weight-learning quality."""
+    enc, anchors, positives = _training_data()
+    headers = ["|N-|", "FinalLoss", "FinalTrainRecall", "Seconds"]
+    rows = []
+    for num_neg in (1, 2, 4, 6, 8, 10):
+        learner = VectorWeightLearner(
+            epochs=150, learning_rate=0.2, num_negatives=num_neg, seed=0
+        )
+        result = learner.fit(anchors, positives, enc.objects)
+        rows.append([
+            num_neg, result.history.loss[-1], result.history.recall[-1],
+            result.seconds,
+        ])
+    return Table(
+        "Fig. 13", "Effect of the number of negative examples", headers, rows,
+        notes="More negatives sharpen training at modest extra cost.",
+    )
+
+
+def fig10ab_graph_zoo() -> Table:
+    """Fig. 10(a,b): build time and search performance across graphs."""
+    enc, must = cache.largescale_must("image", _GRAPH_N)
+    space = JointSpace(enc.objects, must.weights)
+    gt = exact_ground_truth(enc, must.weights, k=10)
+    queries = enc.queries
+    headers = ["Graph", "Build (s)", "Edges", "Recall@10(10)", "QPS",
+               "JointEvals/query"]
+    rows = []
+    for name in ("ours", "nssg", "nsg", "kgraph", "hnsw", "vamana", "hcnng"):
+        index = BUILDERS[name](seed=0).build(space)
+        run = measure_qps(
+            lambda q, idx=index: joint_search(idx, q, k=10, l=80), queries
+        )
+        rec = mean_recall(
+            [r.ids for r in run.results], [g for g in gt], 10
+        )
+        evals = np.mean([r.stats.joint_evals for r in run.results])
+        rows.append([
+            name, index.build_seconds, index.num_edges, rec, run.qps, evals,
+        ])
+    return Table(
+        "Fig. 10(a,b)", "Proximity-graph ablation (ImageText)", headers, rows,
+        notes="The re-assembled pipeline ('ours') balances build cost and "
+              "search efficiency.",
+    )
+
+
+def tab11_iterations() -> Table:
+    """Tab. XI: graph quality vs NNDescent iterations ε."""
+    headers = ["Iterations", "ImageText", "AudioText", "VideoText"]
+    spaces = {}
+    for kind in ("image", "audio", "video"):
+        enc, must = cache.largescale_must(kind, _GRAPH_N)
+        spaces[kind] = JointSpace(enc.objects, must.weights)
+    rows = []
+    for eps in (1, 2, 3):
+        row: list = [eps]
+        for kind in ("image", "audio", "video"):
+            knn = nndescent(spaces[kind], k=20, iterations=eps, seed=0)
+            row.append(graph_quality(spaces[kind], knn, sample=150))
+        rows.append(row)
+    return Table(
+        "Tab. XI", "Graph quality under different iteration counts",
+        headers, rows,
+        notes="Quality approaches 1.0 by ε=3 on every corpus (paper: 0.99).",
+    )
+
+
+def fig14_gamma() -> Table:
+    """Fig. 14/15: γ sweep — index size, build time, recall, latency."""
+    enc, must = cache.largescale_must("image", _GRAPH_N)
+    space = JointSpace(enc.objects, must.weights)
+    gt = exact_ground_truth(enc, must.weights, k=10)
+    headers = ["gamma", "Build (s)", "Size (MB)", "Recall@10(10)", "ms/query"]
+    rows = []
+    for gamma in (10, 20, 30, 40, 50):
+        index = FusedIndexBuilder(gamma=gamma, seed=0).build(space)
+        run = measure_qps(
+            lambda q, idx=index: joint_search(idx, q, k=10, l=80), enc.queries
+        )
+        rec = mean_recall([r.ids for r in run.results], list(gt), 10)
+        rows.append([
+            gamma, index.build_seconds, index.size_in_bytes() / 2**20,
+            rec, run.mean_latency * 1e3,
+        ])
+    return Table(
+        "Fig. 14/15", "Effect of the maximum neighbour count γ", headers, rows,
+        notes="Size/build grow with γ; recall saturates while per-query "
+              "cost keeps climbing — γ=30 is the paper's default.",
+    )

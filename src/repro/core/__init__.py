@@ -1,0 +1,18 @@
+"""Core abstractions: multi-vector objects, weights, joint space, MUST."""
+
+from repro.core.framework import MUST
+from repro.core.multivector import MultiVector, MultiVectorSet, normalize_rows
+from repro.core.results import SearchResult, SearchStats
+from repro.core.space import JointSpace
+from repro.core.weights import Weights
+
+__all__ = [
+    "MUST",
+    "MultiVector",
+    "MultiVectorSet",
+    "normalize_rows",
+    "SearchResult",
+    "SearchStats",
+    "JointSpace",
+    "Weights",
+]

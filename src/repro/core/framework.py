@@ -1,0 +1,225 @@
+"""The MUST framework facade (paper §IV, Fig. 4).
+
+Ties the pieces together behind one object:
+
+* **Embedding** is upstream (a :class:`~repro.datasets.base.EncodedDataset`
+  or any :class:`~repro.core.multivector.MultiVectorSet`) — pluggable.
+* **Vector weight learning** — :meth:`MUST.fit_weights` trains the §VI
+  model on (anchor, positive) pairs and installs the learned weights.
+* **Indexing** — :meth:`MUST.build` constructs the fused proximity graph
+  (Algorithm 1) under the current weights.
+* **Searching** — :meth:`MUST.search` runs the joint search
+  (Algorithm 2), optionally with user-defined weight overrides
+  (Fig. 4(g) Option 2) or exact brute force.
+
+Typical usage::
+
+    must = MUST.from_dataset(encoded)
+    must.fit_weights(train_queries, train_positive_ids)
+    must.build()
+    result = must.search(query, k=10, l=100)
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import numpy as np
+
+from repro.core.multivector import MultiVector, MultiVectorSet
+from repro.core.results import SearchResult
+from repro.core.space import JointSpace
+from repro.core.weights import Weights
+from repro.index.base import GraphIndex
+from repro.index.flat import FlatIndex
+from repro.index.pipeline import FusedIndexBuilder
+from repro.index.search import joint_search
+from repro.utils.validation import require
+from repro.weightlearn.trainer import VectorWeightLearner, WeightLearningResult
+
+__all__ = ["MUST"]
+
+
+class MUST:
+    """Multimodal Search of Target Modality — the full framework."""
+
+    name = "MUST"
+
+    def __init__(
+        self,
+        objects: MultiVectorSet,
+        weights: Weights | None = None,
+        builder=None,
+    ):
+        self.objects = objects
+        self.weights = weights or Weights.uniform(objects.num_modalities)
+        self.builder = builder or FusedIndexBuilder()
+        self._index: GraphIndex | None = None
+        self._space: JointSpace | None = None
+        self.weight_result: WeightLearningResult | None = None
+
+    # ------------------------------------------------------------------
+    # Constructors
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_dataset(cls, dataset, **kwargs) -> "MUST":
+        """Build from an :class:`~repro.datasets.base.EncodedDataset`."""
+        return cls(dataset.objects, **kwargs)
+
+    # ------------------------------------------------------------------
+    # Stage 2: vector weight learning (§VI)
+    # ------------------------------------------------------------------
+    def fit_weights(
+        self,
+        anchors: list[MultiVector],
+        positive_object_ids: np.ndarray,
+        pool_object_ids: np.ndarray | None = None,
+        **learner_kwargs,
+    ) -> WeightLearningResult:
+        """Learn modality weights from training queries.
+
+        ``positive_object_ids[b]`` is the corpus id of anchor ``b``'s true
+        object.  The mining pool ``T`` defaults to the **whole corpus**:
+        the paper mines negatives from its true-object set, which at its
+        query volumes (up to 72k queries) covers the corpus densely — at
+        reproduction scale the corpus itself is the faithful equivalent
+        (pass ``pool_object_ids=np.unique(positive_object_ids)`` for the
+        literal positives-only construction).  The learned weights are
+        installed on this instance; call :meth:`build` afterwards, since
+        the fused index depends on the weights.
+        """
+        positive_object_ids = np.asarray(positive_object_ids, dtype=np.int64)
+        if pool_object_ids is None:
+            pool_object_ids = np.arange(self.objects.n, dtype=np.int64)
+        else:
+            pool_object_ids = np.asarray(pool_object_ids, dtype=np.int64)
+            missing = np.setdiff1d(positive_object_ids, pool_object_ids)
+            require(missing.size == 0,
+                    "every positive must be contained in the pool")
+        pool = self.objects.subset(pool_object_ids)
+        lookup = {int(obj): row for row, obj in enumerate(pool_object_ids)}
+        positions = np.asarray(
+            [lookup[int(obj)] for obj in positive_object_ids], dtype=np.int64
+        )
+        learner = VectorWeightLearner(**learner_kwargs)
+        result = learner.fit(anchors, positions, pool)
+        self.weights = result.weights
+        self.weight_result = result
+        self._space = None  # weights changed → spaces/indexes are stale
+        self._index = None
+        return result
+
+    def set_weights(self, weights: Weights) -> None:
+        """Install user-defined weights (Fig. 4(g) Option 2)."""
+        self.weights = weights
+        self._space = None
+        self._index = None
+
+    # ------------------------------------------------------------------
+    # Stage 3: indexing (§VII-A)
+    # ------------------------------------------------------------------
+    @property
+    def space(self) -> JointSpace:
+        if self._space is None:
+            self._space = JointSpace(self.objects, self.weights)
+        return self._space
+
+    @property
+    def index(self) -> GraphIndex:
+        require(self._index is not None, "call build() first")
+        return self._index
+
+    @property
+    def is_built(self) -> bool:
+        return self._index is not None
+
+    def build(self) -> "MUST":
+        """Construct the fused proximity-graph index (Algorithm 1)."""
+        self._index = self.builder.build(self.space)
+        return self
+
+    # ------------------------------------------------------------------
+    # Stage 4: searching (§VII-B)
+    # ------------------------------------------------------------------
+    def search(
+        self,
+        query: MultiVector,
+        k: int = 10,
+        l: int = 100,
+        weights: Weights | None = None,
+        early_termination: bool = False,
+        exact: bool = False,
+        **search_kwargs,
+    ) -> SearchResult:
+        """Joint top-*k* search for one multimodal query.
+
+        ``weights`` overrides the index weights at query time; ``exact``
+        bypasses the graph (brute force, the MUST-- behaviour).
+        """
+        if exact:
+            return FlatIndex(self.space).search(query, k, weights=weights)
+        return joint_search(
+            self.index,
+            query,
+            k=k,
+            l=min(l, self.objects.n),
+            weights=weights,
+            early_termination=early_termination,
+            **search_kwargs,
+        )
+
+    def batch_search(
+        self, queries: list[MultiVector], k: int = 10, l: int = 100, **kwargs
+    ) -> list[SearchResult]:
+        """Convenience loop over :meth:`search`."""
+        return [self.search(q, k=k, l=l, **kwargs) for q in queries]
+
+    # ------------------------------------------------------------------
+    # Dynamic updates (paper §IX)
+    # ------------------------------------------------------------------
+    def mark_deleted(self, object_ids: np.ndarray) -> None:
+        """Soft-delete objects (data-status bitset, §IX).
+
+        Deleted objects stop appearing in results immediately but keep
+        routing searches — proximity graphs need periodic reconstruction
+        to physically remove them; see :meth:`compact`.
+        """
+        self.index.mark_deleted(object_ids)
+
+    def compact(self) -> tuple["MUST", np.ndarray]:
+        """Reconstruct over the active subset (§IX periodic rebuild).
+
+        Returns ``(new_must, active_ids)``: a freshly built framework over
+        the surviving objects, plus the id mapping — row ``j`` of the new
+        corpus is object ``active_ids[j]`` of the old one.
+        """
+        active = self.index.active_ids()
+        fresh = MUST(
+            self.objects.subset(active),
+            weights=self.weights,
+            builder=self.builder,
+        )
+        fresh.build()
+        return fresh, active
+
+    # ------------------------------------------------------------------
+    # Persistence
+    # ------------------------------------------------------------------
+    def save_index(self, path: str | Path) -> None:
+        """Persist the graph structure; weights go in the metadata."""
+        require(self._index is not None, "call build() first")
+        self._index.meta["squared_weights"] = [
+            float(x) for x in self.weights.squared
+        ]
+        self._index.save(path)
+
+    def load_index(self, path: str | Path) -> "MUST":
+        """Restore a graph saved by :meth:`save_index` for these objects."""
+        probe = GraphIndex.load(path, self.space)
+        stored = probe.meta.get("squared_weights")
+        if stored is not None:
+            self.weights = Weights(stored)
+            self._space = None
+            probe = GraphIndex.load(path, self.space)
+        self._index = probe
+        return self

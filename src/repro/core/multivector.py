@@ -1,0 +1,150 @@
+"""Multi-vector representation of multimodal objects (paper §V).
+
+A multimodal object with ``m`` modalities is represented by ``m``
+L2-normalised vectors, one per modality, produced by pluggable encoders.
+The library stores an object set column-wise — one ``(n, d_i)`` matrix per
+modality — which keeps every similarity kernel a dense matrix product.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+import numpy as np
+
+from repro.utils.validation import as_float_matrix, as_float_vector, require
+
+__all__ = ["MultiVector", "MultiVectorSet", "normalize_rows"]
+
+
+def normalize_rows(matrix: np.ndarray) -> np.ndarray:
+    """Return *matrix* with each row scaled to unit L2 norm.
+
+    Zero rows are left untouched (they encode "missing modality" and must
+    keep an inner product of 0 with everything).
+    """
+    matrix = np.asarray(matrix, dtype=np.float32)
+    norms = np.linalg.norm(matrix, axis=-1, keepdims=True)
+    safe = np.where(norms == 0.0, 1.0, norms)
+    return (matrix / safe).astype(np.float32)
+
+
+@dataclass(frozen=True)
+class MultiVector:
+    """Per-modality vectors for a single object or query.
+
+    ``vectors[i] is None`` marks a missing modality (the paper's ``t < m``
+    case, §VII-B): its weight is forced to zero during similarity
+    computation.
+    """
+
+    vectors: tuple[np.ndarray | None, ...]
+
+    @classmethod
+    def from_arrays(cls, arrays: Iterable[np.ndarray | None]) -> "MultiVector":
+        prepared: list[np.ndarray | None] = []
+        for i, arr in enumerate(arrays):
+            if arr is None:
+                prepared.append(None)
+            else:
+                prepared.append(as_float_vector(arr, f"modality {i}"))
+        return cls(tuple(prepared))
+
+    @property
+    def num_modalities(self) -> int:
+        return len(self.vectors)
+
+    @property
+    def present(self) -> tuple[bool, ...]:
+        """Flags marking which modalities carry a vector."""
+        return tuple(v is not None for v in self.vectors)
+
+    def replace(self, modality: int, vector: np.ndarray | None) -> "MultiVector":
+        """Return a copy with one modality slot swapped out.
+
+        Used to switch the target slot between Option 1 (unimodal
+        embedding) and Option 2 (composition vector), Fig. 4(f).
+        """
+        vectors = list(self.vectors)
+        vectors[modality] = None if vector is None else as_float_vector(vector)
+        return MultiVector(tuple(vectors))
+
+
+class MultiVectorSet:
+    """Column store of multi-vector objects: one matrix per modality.
+
+    All matrices share the row count ``n``; row ``j`` across matrices forms
+    the multi-vector of object ``j``.
+    """
+
+    def __init__(self, matrices: Sequence[np.ndarray], normalize: bool = False):
+        require(len(matrices) >= 1, "at least one modality matrix required")
+        mats = [as_float_matrix(m, f"modality {i}") for i, m in enumerate(matrices)]
+        n = mats[0].shape[0]
+        for i, mat in enumerate(mats):
+            require(
+                mat.shape[0] == n,
+                f"modality {i} has {mat.shape[0]} rows, expected {n}",
+            )
+        if normalize:
+            mats = [normalize_rows(m) for m in mats]
+        self._matrices = tuple(mats)
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def matrices(self) -> tuple[np.ndarray, ...]:
+        return self._matrices
+
+    @property
+    def n(self) -> int:
+        """Number of objects."""
+        return self._matrices[0].shape[0]
+
+    def __len__(self) -> int:
+        return self.n
+
+    @property
+    def num_modalities(self) -> int:
+        return len(self._matrices)
+
+    @property
+    def dims(self) -> tuple[int, ...]:
+        """Per-modality vector dimensionality."""
+        return tuple(m.shape[1] for m in self._matrices)
+
+    # ------------------------------------------------------------------
+    # Access
+    # ------------------------------------------------------------------
+    def row(self, index: int) -> MultiVector:
+        """Multi-vector of object *index*."""
+        return MultiVector(tuple(m[index] for m in self._matrices))
+
+    def modality(self, i: int) -> np.ndarray:
+        """The full ``(n, d_i)`` matrix of modality *i*."""
+        return self._matrices[i]
+
+    def subset(self, ids: np.ndarray) -> "MultiVectorSet":
+        """New set containing only the objects in *ids* (row order kept)."""
+        ids = np.asarray(ids)
+        return MultiVectorSet([m[ids] for m in self._matrices])
+
+    def concatenated(self, scales: Sequence[float] | None = None) -> np.ndarray:
+        """Horizontal concatenation, optionally scaling each block.
+
+        With ``scales = ω`` this materialises the paper's concatenated
+        vectors ``x̂ = [ω_0·ϕ_0(x_0), …]`` so that a single dot product
+        equals the joint similarity (Lemma 1).
+        """
+        if scales is None:
+            return np.concatenate(self._matrices, axis=1)
+        require(
+            len(scales) == self.num_modalities,
+            "one scale per modality required",
+        )
+        blocks = [
+            np.float32(s) * m for s, m in zip(scales, self._matrices)
+        ]
+        return np.concatenate(blocks, axis=1)

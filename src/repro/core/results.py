@@ -1,0 +1,54 @@
+"""Search result containers and instrumentation counters."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+__all__ = ["SearchStats", "SearchResult"]
+
+
+@dataclass
+class SearchStats:
+    """Work counters for one search (or an aggregate over a batch).
+
+    ``modality_evals`` counts per-modality vector similarity evaluations —
+    the unit the multi-vector computation optimisation (Lemma 4) saves.
+    A full joint similarity over ``m`` modalities costs ``m`` modality
+    evaluations; an early-terminated one costs fewer.
+    """
+
+    visited_vertices: int = 0
+    hops: int = 0
+    joint_evals: int = 0
+    modality_evals: int = 0
+    pruned_early: int = 0
+
+    def merge(self, other: "SearchStats") -> None:
+        """Accumulate *other* into self (for batch aggregation)."""
+        self.visited_vertices += other.visited_vertices
+        self.hops += other.hops
+        self.joint_evals += other.joint_evals
+        self.modality_evals += other.modality_evals
+        self.pruned_early += other.pruned_early
+
+
+@dataclass
+class SearchResult:
+    """Ranked answer to one query: best-first ids with joint similarities."""
+
+    ids: np.ndarray
+    similarities: np.ndarray
+    stats: SearchStats = field(default_factory=SearchStats)
+
+    def __post_init__(self) -> None:
+        self.ids = np.asarray(self.ids, dtype=np.int64)
+        self.similarities = np.asarray(self.similarities, dtype=np.float64)
+
+    def __len__(self) -> int:
+        return int(self.ids.size)
+
+    def top(self, k: int) -> "SearchResult":
+        """First *k* entries (results are already best-first)."""
+        return SearchResult(self.ids[:k], self.similarities[:k], self.stats)

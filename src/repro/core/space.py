@@ -1,0 +1,225 @@
+"""Joint similarity space over multi-vector objects (Lemmas 1 and 4).
+
+:class:`JointSpace` binds a :class:`~repro.core.multivector.MultiVectorSet`
+to a :class:`~repro.core.weights.Weights` instance and exposes every
+similarity kernel the indexes and searchers need:
+
+* object↔object joint similarity (used during graph construction),
+* query→corpus joint similarity, dense or restricted to an id subset,
+* the **incremental multi-vector computation** of §VII-B: per-modality
+  distances are accumulated and an object is discarded as soon as its
+  partial-IP upper bound drops to the pruning threshold (Lemma 4 guarantees
+  this is lossless).
+
+All vectors are assumed L2-normalised, which gives the identity the paper
+uses in Eq. 8 (generalised to arbitrary weight totals ``S = Σ ω²``)::
+
+    IP(q̂, û) = S − ½ · Σ_i ω_i² · ‖q_i − u_i‖²
+
+Scanning modalities in descending-weight order maximises early pruning and
+— by Lemma 4 — never changes any returned result.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.multivector import MultiVector, MultiVectorSet
+from repro.core.results import SearchStats
+from repro.core.weights import Weights
+from repro.utils.validation import require
+
+__all__ = ["JointSpace"]
+
+
+class JointSpace:
+    """Similarity oracle for one object set under one weight configuration."""
+
+    def __init__(self, vectors: MultiVectorSet, weights: Weights):
+        require(
+            weights.num_modalities == vectors.num_modalities,
+            f"weights cover {weights.num_modalities} modalities but the "
+            f"object set has {vectors.num_modalities}",
+        )
+        self._vectors = vectors
+        self._weights = weights
+        self._concat: np.ndarray | None = None  # lazy ω-scaled concatenation
+
+    # ------------------------------------------------------------------
+    # Introspection / derivation
+    # ------------------------------------------------------------------
+    @property
+    def vectors(self) -> MultiVectorSet:
+        return self._vectors
+
+    @property
+    def weights(self) -> Weights:
+        return self._weights
+
+    @property
+    def n(self) -> int:
+        return self._vectors.n
+
+    @property
+    def num_modalities(self) -> int:
+        return self._vectors.num_modalities
+
+    def with_weights(self, weights: Weights) -> "JointSpace":
+        """Same object set under different weights (user override path)."""
+        return JointSpace(self._vectors, weights)
+
+    # ------------------------------------------------------------------
+    # Object ↔ object kernels (index construction)
+    # ------------------------------------------------------------------
+    @property
+    def concatenated(self) -> np.ndarray:
+        """The ω-scaled concatenated matrix; one dot product = Lemma 1."""
+        if self._concat is None:
+            self._concat = self._vectors.concatenated(self._weights.omegas)
+        return self._concat
+
+    def pair(self, i: int, j: int) -> float:
+        """Joint similarity of objects *i* and *j*."""
+        c = self.concatenated
+        return float(c[i] @ c[j])
+
+    def block(self, ids_a: np.ndarray, ids_b: np.ndarray) -> np.ndarray:
+        """Joint-similarity matrix between two id lists, shape (|a|, |b|)."""
+        c = self.concatenated
+        return c[np.asarray(ids_a)] @ c[np.asarray(ids_b)].T
+
+    def rows_vs_one(self, ids: np.ndarray, j: int) -> np.ndarray:
+        """Joint similarity of each object in *ids* against object *j*."""
+        c = self.concatenated
+        return c[np.asarray(ids)] @ c[j]
+
+    def centroid_id(self) -> int:
+        """Vertex nearest the dataset centroid (seed preprocessing, ④)."""
+        c = self.concatenated
+        centroid = c.mean(axis=0)
+        return int(np.argmax(c @ centroid))
+
+    # ------------------------------------------------------------------
+    # Query → corpus kernels
+    # ------------------------------------------------------------------
+    def _effective_weights(
+        self, query: MultiVector, weights: Weights | None
+    ) -> np.ndarray:
+        w = weights if weights is not None else self._weights
+        return w.masked(query).squared
+
+    def concat_query(
+        self, query: MultiVector, weights: Weights | None = None
+    ) -> np.ndarray | None:
+        """Query vector against :attr:`concatenated`, or None if impossible.
+
+        Rescales each present block by ``w2_i / ω_i`` so that a single dot
+        product with the ω-scaled concatenated matrix equals the joint
+        similarity under the *effective* weights — the searcher's fast
+        path (one gather + one GEMV per hop).  Returns ``None`` when the
+        query needs a modality the index weights zeroed out (``ω_i = 0``),
+        in which case callers fall back to per-modality evaluation.
+        """
+        w2 = self._effective_weights(query, weights)
+        omegas = self._weights.omegas
+        blocks: list[np.ndarray] = []
+        for i, q in enumerate(query.vectors):
+            dim = self._vectors.dims[i]
+            if q is None or w2[i] == 0.0:
+                blocks.append(np.zeros(dim, dtype=np.float32))
+            elif omegas[i] == 0.0:
+                return None
+            else:
+                blocks.append((w2[i] / omegas[i]) * q.astype(np.float32))
+        return np.concatenate(blocks).astype(np.float32)
+
+    def query_all(
+        self, query: MultiVector, weights: Weights | None = None
+    ) -> np.ndarray:
+        """Joint similarity of *query* against every object (brute force)."""
+        w2 = self._effective_weights(query, weights)
+        out = np.zeros(self.n, dtype=np.float64)
+        for i, (mat, q) in enumerate(zip(self._vectors.matrices, query.vectors)):
+            if q is None or w2[i] == 0.0:
+                continue
+            out += w2[i] * (mat @ q.astype(np.float32)).astype(np.float64)
+        return out
+
+    def query_ids(
+        self,
+        query: MultiVector,
+        ids: np.ndarray,
+        weights: Weights | None = None,
+        stats: SearchStats | None = None,
+    ) -> np.ndarray:
+        """Joint similarity against the objects in *ids* (no pruning)."""
+        ids = np.asarray(ids)
+        w2 = self._effective_weights(query, weights)
+        out = np.zeros(ids.shape[0], dtype=np.float64)
+        active = 0
+        for i, (mat, q) in enumerate(zip(self._vectors.matrices, query.vectors)):
+            if q is None or w2[i] == 0.0:
+                continue
+            out += w2[i] * (mat[ids] @ q.astype(np.float32)).astype(np.float64)
+            active += 1
+        if stats is not None:
+            stats.joint_evals += int(ids.shape[0])
+            stats.modality_evals += int(ids.shape[0]) * active
+        return out
+
+    def query_ids_early_stop(
+        self,
+        query: MultiVector,
+        ids: np.ndarray,
+        threshold: float,
+        weights: Weights | None = None,
+        stats: SearchStats | None = None,
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Lemma-4 pruned similarity evaluation.
+
+        Returns ``(sims, exact)`` where ``exact[j]`` is True when
+        ``sims[j]`` is the exact joint similarity of ``ids[j]``; when False
+        the object was pruned because its upper bound fell to ``threshold``
+        or below (so its exact similarity is also ≤ the threshold, and
+        ``sims[j]`` holds the bound at pruning time).
+        """
+        ids = np.asarray(ids)
+        w2 = self._effective_weights(query, weights)
+        active = [
+            i
+            for i, q in enumerate(query.vectors)
+            if q is not None and w2[i] > 0.0
+        ]
+        # Descending-weight scan order: heavier modalities shrink the upper
+        # bound fastest, maximising pruning without affecting correctness.
+        active.sort(key=lambda i: -w2[i])
+
+        total = float(sum(w2[i] for i in active))
+        bound = np.full(ids.shape[0], total, dtype=np.float64)
+        alive = np.arange(ids.shape[0])
+        if stats is not None:
+            stats.joint_evals += int(ids.shape[0])
+        for step, i in enumerate(active):
+            q = query.vectors[i].astype(np.float32)
+            rows = self._vectors.matrices[i][ids[alive]]
+            # ‖q−u‖² = 2 − 2·(q·u) for unit vectors.
+            d2 = 2.0 - 2.0 * (rows @ q).astype(np.float64)
+            bound[alive] -= 0.5 * w2[i] * d2
+            if stats is not None:
+                stats.modality_evals += int(alive.shape[0])
+            if step < len(active) - 1:
+                survivors = bound[alive] > threshold
+                if stats is not None:
+                    stats.pruned_early += int(
+                        alive.shape[0] - int(survivors.sum())
+                    )
+                alive = alive[survivors]
+                if alive.size == 0:
+                    break
+        exact = bound > threshold
+        # Objects that survived the full scan hold exact similarities even
+        # if they ended at/below the threshold: mark them exact so callers
+        # can still use the value (Lemma 4, second clause).
+        if alive.size:
+            exact[alive] = True
+        return bound, exact

@@ -1,0 +1,42 @@
+"""Dataset generators mirroring the paper's nine evaluation corpora."""
+
+from repro.datasets.base import (
+    EncodedDataset,
+    EncoderCombo,
+    SemanticDataset,
+    encode_dataset,
+    split_queries,
+)
+from repro.datasets.celeba import make_celeba, make_celeba_plus
+from repro.datasets.largescale import (
+    DEFAULT_COMBOS,
+    encode_largescale,
+    exact_ground_truth,
+    make_audiotext,
+    make_imagetext,
+    make_largescale,
+    make_videotext,
+)
+from repro.datasets.mitstates import make_mitstates
+from repro.datasets.mscoco import make_mscoco
+from repro.datasets.shopping import make_shopping
+
+__all__ = [
+    "EncodedDataset",
+    "EncoderCombo",
+    "SemanticDataset",
+    "encode_dataset",
+    "split_queries",
+    "make_celeba",
+    "make_celeba_plus",
+    "make_mitstates",
+    "make_mscoco",
+    "make_shopping",
+    "make_largescale",
+    "make_imagetext",
+    "make_audiotext",
+    "make_videotext",
+    "encode_largescale",
+    "exact_ground_truth",
+    "DEFAULT_COMBOS",
+]

@@ -1,0 +1,277 @@
+"""Dataset containers and the semantics → vectors encoding step.
+
+Dataset generation is split in two stages so that one generated corpus can
+be encoded under many encoder combinations (exactly how the paper
+evaluates eight combos on one MIT-States corpus):
+
+1. A **SemanticDataset** holds the *content* of every object and query as
+   latent vectors in the shared concept space, plus planted ground truth.
+2. :func:`encode_dataset` applies an :class:`EncoderCombo` to produce an
+   **EncodedDataset** — the multi-vector corpus plus query vectors that
+   the frameworks (MUST / MR / JE) consume.
+
+Both target-slot options of Fig. 4(f) are materialised for every query:
+Option 1 embeds the reference input with the unimodal target encoder
+(when the reference is an object from the corpus, its exact corpus vector
+is reused — a frozen encoder maps the same input to the same vector);
+Option 2 asks a composition encoder to fuse the reference with the
+auxiliary inputs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.multivector import MultiVector, MultiVectorSet
+from repro.embedding import default_registry
+from repro.embedding.concepts import LatentConceptSpace
+from repro.utils.validation import require
+
+__all__ = [
+    "SemanticDataset",
+    "EncoderCombo",
+    "EncodedDataset",
+    "encode_dataset",
+    "split_queries",
+]
+
+
+@dataclass
+class SemanticDataset:
+    """Latent-space content of a multimodal corpus and its query workload."""
+
+    name: str
+    concept_space: LatentConceptSpace
+    #: one ``(n, L)`` latent matrix per modality; index 0 is the target.
+    object_latents: list[np.ndarray]
+    #: per modality a human-readable kind: image / text / audio / video.
+    modality_kinds: tuple[str, ...]
+    #: latents of auxiliary query inputs, one ``(nq, L)`` matrix per
+    #: auxiliary modality (modalities 1..m-1).
+    query_aux_latents: list[np.ndarray]
+    #: latent of the content each query *asks for* — reference modified by
+    #: the auxiliary inputs.  Feeds composition encoders.
+    query_composed_latents: np.ndarray
+    #: planted ground-truth object ids, one array per query.
+    ground_truth: list[np.ndarray]
+    #: corpus ids of each query's reference object (target modality), or
+    #: None when references are fresh inputs (semi-synthetic corpora).
+    query_reference_ids: np.ndarray | None = None
+    #: fresh reference latents, used only when ``query_reference_ids`` is
+    #: None.
+    query_reference_latents: np.ndarray | None = None
+    #: human-readable labels for case studies (Fig. 5 / Fig. 11).
+    object_labels: list[str] = field(default_factory=list)
+    query_labels: list[str] = field(default_factory=list)
+    extra: dict = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        require(len(self.object_latents) >= 1, "need at least one modality")
+        require(
+            len(self.modality_kinds) == len(self.object_latents),
+            "one modality kind per modality",
+        )
+        require(
+            len(self.query_aux_latents) == len(self.object_latents) - 1,
+            "one auxiliary query latent matrix per auxiliary modality",
+        )
+        require(
+            self.query_reference_ids is not None
+            or self.query_reference_latents is not None,
+            "queries need either reference ids or reference latents",
+        )
+        require(
+            len(self.ground_truth) == self.num_queries,
+            "one ground-truth array per query",
+        )
+
+    @property
+    def n(self) -> int:
+        return int(self.object_latents[0].shape[0])
+
+    @property
+    def num_modalities(self) -> int:
+        return len(self.object_latents)
+
+    @property
+    def num_queries(self) -> int:
+        return int(self.query_composed_latents.shape[0])
+
+    def reference_latents(self) -> np.ndarray:
+        """Latents of the target-modality reference of every query."""
+        if self.query_reference_ids is not None:
+            return self.object_latents[0][self.query_reference_ids]
+        return self.query_reference_latents
+
+
+@dataclass(frozen=True)
+class EncoderCombo:
+    """Choice of encoders: one for the target slot, one per auxiliary.
+
+    ``target`` may name a unimodal encoder (Option 1 search) or a
+    composition encoder such as ``clip`` (Option 2 search — the corpus
+    target matrix then comes from the composition encoder's tower).
+    """
+
+    target: str
+    auxiliaries: tuple[str, ...]
+
+    @property
+    def label(self) -> str:
+        parts = [_pretty(self.target)] + [_pretty(a) for a in self.auxiliaries]
+        return "+".join(parts)
+
+
+_PRETTY = {
+    "resnet17": "ResNet17",
+    "resnet50": "ResNet50",
+    "lstm": "LSTM",
+    "transformer": "Transformer",
+    "gru": "GRU",
+    "encoding": "Encoding",
+    "tirg": "TIRG",
+    "clip": "CLIP",
+    "mpc": "MPC",
+}
+
+
+def _pretty(name: str) -> str:
+    return _PRETTY.get(name, name)
+
+
+@dataclass
+class EncodedDataset:
+    """A semantic dataset materialised under one encoder combination."""
+
+    name: str
+    combo: EncoderCombo
+    objects: MultiVectorSet
+    #: Option 1 queries: target slot = unimodal embedding of the reference.
+    queries_option1: list[MultiVector]
+    #: Option 2 queries: target slot = composition vector (None when the
+    #: combo's target encoder is unimodal).
+    queries_option2: list[MultiVector] | None
+    ground_truth: list[np.ndarray]
+    target_modality: int = 0
+    object_labels: list[str] = field(default_factory=list)
+    query_labels: list[str] = field(default_factory=list)
+
+    @property
+    def queries(self) -> list[MultiVector]:
+        """Default query views: Option 2 when available, else Option 1."""
+        if self.queries_option2 is not None:
+            return self.queries_option2
+        return self.queries_option1
+
+    @property
+    def num_queries(self) -> int:
+        return len(self.queries_option1)
+
+    @property
+    def num_modalities(self) -> int:
+        return self.objects.num_modalities
+
+    def queries_single_modality(self, modality: int) -> list[MultiVector]:
+        """Queries restricted to one modality (paper Tab. X/XIX/XX).
+
+        All other slots become ``None``; the searcher zero-weights them.
+        """
+        out = []
+        for q in self.queries:
+            vectors: list[np.ndarray | None] = [None] * self.num_modalities
+            vectors[modality] = q.vectors[modality]
+            out.append(MultiVector(tuple(vectors)))
+        return out
+
+
+def encode_dataset(
+    sem: SemanticDataset, combo: EncoderCombo, seed: int = 0
+) -> EncodedDataset:
+    """Materialise *sem* as vectors under *combo* (deterministic in *seed*)."""
+    require(
+        len(combo.auxiliaries) == sem.num_modalities - 1,
+        f"combo has {len(combo.auxiliaries)} auxiliary encoders but the "
+        f"dataset has {sem.num_modalities - 1} auxiliary modalities",
+    )
+    space = sem.concept_space
+    target_encoder = default_registry.create(combo.target, space, seed)
+    aux_encoders = [
+        default_registry.create(name, space, seed) for name in combo.auxiliaries
+    ]
+    is_composition = hasattr(target_encoder, "encode_composition")
+
+    # ---- corpus --------------------------------------------------------
+    matrices = [
+        target_encoder.encode_latents(sem.object_latents[0], key=("corpus", 0))
+    ]
+    for i, encoder in enumerate(aux_encoders, start=1):
+        matrices.append(
+            encoder.encode_latents(sem.object_latents[i], key=("corpus", i))
+        )
+    objects = MultiVectorSet(matrices)
+
+    # ---- query auxiliary slots ----------------------------------------
+    aux_vectors = [
+        encoder.encode_latents(sem.query_aux_latents[i - 1], key=("query", i))
+        for i, encoder in enumerate(aux_encoders, start=1)
+    ]
+
+    # ---- query target slot, Option 1 -----------------------------------
+    if sem.query_reference_ids is not None:
+        # The reference *is* a corpus object: a frozen encoder reproduces
+        # its corpus vector exactly.
+        option1_target = matrices[0][sem.query_reference_ids]
+    else:
+        option1_target = target_encoder.encode_latents(
+            sem.query_reference_latents, key=("query", 0)
+        )
+
+    def build_queries(target_block: np.ndarray) -> list[MultiVector]:
+        return [
+            MultiVector(
+                (target_block[j],) + tuple(aux[j] for aux in aux_vectors)
+            )
+            for j in range(sem.num_queries)
+        ]
+
+    queries_option1 = build_queries(option1_target)
+
+    # ---- query target slot, Option 2 (composition) ---------------------
+    queries_option2 = None
+    if is_composition:
+        composed = target_encoder.encode_composition(
+            sem.query_composed_latents,
+            sem.reference_latents(),
+            key="query-composition",
+        )
+        queries_option2 = build_queries(composed)
+
+    return EncodedDataset(
+        name=sem.name,
+        combo=combo,
+        objects=objects,
+        queries_option1=queries_option1,
+        queries_option2=queries_option2,
+        ground_truth=[np.asarray(g, dtype=np.int64) for g in sem.ground_truth],
+        object_labels=list(sem.object_labels),
+        query_labels=list(sem.query_labels),
+    )
+
+
+def split_queries(
+    num_queries: int, train_fraction: float = 0.5, seed: int = 0
+) -> tuple[np.ndarray, np.ndarray]:
+    """Deterministic train/test split of query indices.
+
+    The weight-learning model trains on the first split and every accuracy
+    table evaluates on the second, so learned weights are never tuned on
+    the queries they are scored against.
+    """
+    require(0.0 < train_fraction < 1.0, "train_fraction must be in (0, 1)")
+    rng = np.random.default_rng(seed)
+    order = rng.permutation(num_queries)
+    cut = max(1, int(round(num_queries * train_fraction)))
+    cut = min(cut, num_queries - 1)
+    return np.sort(order[:cut]), np.sort(order[cut:])

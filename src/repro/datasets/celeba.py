@@ -1,0 +1,227 @@
+"""CelebA-like corpus: identities × binary face attributes.
+
+Mirrors the paper's CelebA workload (Fig. 3): every object is a face
+image of an *identity* under a particular binary *attribute* configuration
+("no glasses and hat", "smiling", …) plus a structured attribute string.
+A query supplies a reference face of the identity plus text describing the
+target attribute configuration; the ground truth is the face of the same
+identity with exactly those attributes.
+
+:func:`make_celeba_plus` extends each object with additional image views —
+the paper's CelebA+ construction "simulated two additional modalities
+using different encoders" — for the modality-count ablation (Tab. VIII).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.datasets.base import SemanticDataset
+from repro.embedding.concepts import LatentConceptSpace
+from repro.utils.rng import derive_seed, spawn
+from repro.utils.validation import require
+
+__all__ = ["make_celeba", "make_celeba_plus", "ATTRIBUTE_WORDS"]
+
+ATTRIBUTE_WORDS = [
+    "glasses", "hat", "beard", "smiling", "bangs", "earrings",
+    "mouth_open", "high_cheekbones", "arched_eyebrows", "pointy_nose",
+    "bags_under_eyes", "wavy_hair",
+]
+
+_IDENTITY_WEIGHT = 1.0
+_ATTR_IMAGE_WEIGHT = 0.30
+_IMAGE_JITTER = 0.55
+_TEXT_JITTER = 0.22
+#: Shared query-intent drift (see mitstates.py): correlates the text and
+#: composition errors of a query so multi-stage fusion cannot cancel it.
+_QUERY_DRIFT_TEXT = 0.45
+_QUERY_DRIFT_COMPOSED = 0.85
+
+
+def _attribute_latent_table(
+    space: LatentConceptSpace, attributes: list[str]
+) -> np.ndarray:
+    """Latents for every (attribute, value) pair, shape ``(A, 2, L)``."""
+    table = np.empty((len(attributes), 2, space.latent_dim))
+    for k, attr in enumerate(attributes):
+        table[k, 0] = space.concept(f"attr:{attr}=off")
+        table[k, 1] = space.concept(f"attr:{attr}=on")
+    return table
+
+
+def _attr_mixture(table: np.ndarray, bits: np.ndarray) -> np.ndarray:
+    """Sum of value latents selected by *bits*, shape ``(n, L)``.
+
+    ``bits`` is ``(n, A)`` with entries in {0, 1}.
+    """
+    n, num_attrs = bits.shape
+    rows = np.arange(num_attrs)
+    picked = table[rows[None, :], bits]  # (n, A, L)
+    return picked.sum(axis=1) / np.sqrt(num_attrs)
+
+
+def _build_variants(
+    rng: np.random.Generator, num_identities: int, variants: int, num_attrs: int
+) -> np.ndarray:
+    """Per-identity distinct attribute configurations, ``(I, V, A)`` bits."""
+    out = np.zeros((num_identities, variants, num_attrs), dtype=np.int64)
+    for i in range(num_identities):
+        seen: set[bytes] = set()
+        base = rng.integers(0, 2, size=num_attrs)
+        out[i, 0] = base
+        seen.add(base.tobytes())
+        for v in range(1, variants):
+            candidate = base.copy()
+            while candidate.tobytes() in seen:
+                flips = rng.choice(num_attrs, size=int(rng.integers(1, 4)), replace=False)
+                candidate = base.copy()
+                candidate[flips] ^= 1
+            out[i, v] = candidate
+            seen.add(candidate.tobytes())
+    return out
+
+
+def make_celeba(
+    num_identities: int = 200,
+    variants_per_identity: int = 4,
+    num_attributes: int = 6,
+    num_queries: int = 240,
+    latent_dim: int = 64,
+    seed: int = 11,
+    num_image_views: int = 1,
+    name: str = "CelebA",
+) -> SemanticDataset:
+    """Generate a CelebA-like :class:`SemanticDataset`.
+
+    ``num_image_views`` > 1 produces the CelebA+ layout: extra image
+    modalities that are independent views (re-jitters) of the same face.
+    """
+    require(variants_per_identity >= 2, "need ≥2 variants per identity")
+    require(num_attributes >= 2, "need ≥2 attributes")
+    require(
+        num_attributes <= len(ATTRIBUTE_WORDS),
+        f"at most {len(ATTRIBUTE_WORDS)} named attributes available",
+    )
+    space = LatentConceptSpace(latent_dim, derive_seed(seed, "celeba-space"))
+    attributes = ATTRIBUTE_WORDS[:num_attributes]
+    attr_table = _attribute_latent_table(space, attributes)
+    # Identities share facial archetypes — lookalike faces are what keeps
+    # identity matching from being trivial (paper CelebA tops out ≈0.64).
+    identity_lat = space.correlated_concepts(
+        [f"identity:{i}" for i in range(num_identities)],
+        groups=max(4, num_identities // 16),
+        unique_weight=0.40,
+        key="identities",
+    )
+
+    rng = spawn(seed, "celeba-structure")
+    variants = _build_variants(
+        rng, num_identities, variants_per_identity, num_attributes
+    )
+
+    identity_idx = np.repeat(np.arange(num_identities), variants_per_identity)
+    bits = variants.reshape(-1, num_attributes)
+    n = identity_idx.size
+
+    face_raw = (
+        _IDENTITY_WEIGHT * identity_lat[identity_idx]
+        + _ATTR_IMAGE_WEIGHT * _attr_mixture(attr_table, bits) * np.sqrt(num_attributes)
+    )
+    image_views = [
+        space.jitter_batch(face_raw, _IMAGE_JITTER, f"obj-image-view{v}")
+        for v in range(num_image_views)
+    ]
+    text_latents = space.jitter_batch(
+        _attr_mixture(attr_table, bits), _TEXT_JITTER, "obj-text"
+    )
+
+    object_labels = [
+        f"id{ident} [" + ",".join(
+            attributes[k] for k in range(num_attributes) if bits[row, k]
+        ) + "]"
+        for row, ident in enumerate(identity_idx)
+    ]
+
+    # ---- queries -------------------------------------------------------
+    qrng = spawn(seed, "celeba-queries")
+    reference_ids = np.empty(num_queries, dtype=np.int64)
+    gt_rows = np.empty(num_queries, dtype=np.int64)
+    for qi in range(num_queries):
+        ident = int(qrng.integers(num_identities))
+        v_ref, v_gt = qrng.choice(variants_per_identity, size=2, replace=False)
+        reference_ids[qi] = ident * variants_per_identity + int(v_ref)
+        gt_rows[qi] = ident * variants_per_identity + int(v_gt)
+
+    composed_raw = (
+        _IDENTITY_WEIGHT * identity_lat[identity_idx[gt_rows]]
+        + _ATTR_IMAGE_WEIGHT
+        * _attr_mixture(attr_table, bits[gt_rows])
+        * np.sqrt(num_attributes)
+    )
+    drift = spawn(seed, "celeba-query-drift").standard_normal(
+        (num_queries, latent_dim)
+    ) / np.sqrt(latent_dim)
+    composed = space.jitter_batch(
+        composed_raw + _QUERY_DRIFT_COMPOSED * drift, 0.0, None
+    )
+    aux_text = space.jitter_batch(
+        _attr_mixture(attr_table, bits[gt_rows]) + _QUERY_DRIFT_TEXT * drift,
+        _TEXT_JITTER,
+        "query-text",
+    )
+
+    # Auxiliary image views of the query carry the *reference* face (the
+    # user supplies the same photo to every image channel).
+    aux_latents = [aux_text]
+    for v in range(1, num_image_views):
+        aux_latents.append(
+            space.jitter_batch(
+                face_raw[reference_ids], _IMAGE_JITTER, f"query-view{v}"
+            )
+        )
+
+    ground_truth = [np.asarray([row], dtype=np.int64) for row in gt_rows]
+    query_labels = [
+        f"{object_labels[reference_ids[qi]]} -> "
+        f"'change state to {object_labels[gt_rows[qi]].split('[', 1)[1][:-1]}'"
+        for qi in range(num_queries)
+    ]
+
+    modality_kinds = ("image", "text") + ("image",) * (num_image_views - 1)
+    return SemanticDataset(
+        name=name,
+        concept_space=space,
+        object_latents=[image_views[0], text_latents] + image_views[1:],
+        modality_kinds=modality_kinds,
+        query_aux_latents=aux_latents,
+        query_composed_latents=composed,
+        ground_truth=ground_truth,
+        query_reference_ids=reference_ids,
+        object_labels=object_labels,
+        query_labels=query_labels,
+        extra={"attributes": attributes, "identity_of": identity_idx},
+    )
+
+
+def make_celeba_plus(
+    num_modalities: int = 4,
+    num_identities: int = 200,
+    variants_per_identity: int = 4,
+    num_attributes: int = 6,
+    num_queries: int = 240,
+    latent_dim: int = 64,
+    seed: int = 11,
+) -> SemanticDataset:
+    """CelebA+ (paper Tab. VIII): 2–4 modalities via extra image views."""
+    require(2 <= num_modalities <= 4, "CelebA+ supports 2–4 modalities")
+    return make_celeba(
+        num_identities=num_identities,
+        variants_per_identity=variants_per_identity,
+        num_attributes=num_attributes,
+        num_queries=num_queries,
+        latent_dim=latent_dim,
+        seed=seed,
+        num_image_views=num_modalities - 1,
+        name=f"CelebA+ (m={num_modalities})",
+    )

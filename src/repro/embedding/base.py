@@ -1,0 +1,94 @@
+"""Encoder protocols and the pluggable registry (paper §V).
+
+MUST's embedding component is pluggable: "allowing seamless integration of
+any newly-devised encoder into the system".  The framework only requires
+two capabilities, captured here as protocols:
+
+* a **unimodal encoder** maps latent content matrices to L2-normalised
+  output vectors;
+* a **composition (multimodal) encoder** additionally fuses a target datum
+  with auxiliary data into a single vector *in the target encoder's
+  space* (Option 2 of Fig. 4(f)).
+
+Any object implementing these methods can be registered, including
+wrappers around real embedding APIs (the paper's §X mentions OpenAI and
+Hugging Face embeddings as future plug-ins).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Protocol, runtime_checkable
+
+import numpy as np
+
+from repro.utils.validation import require
+
+__all__ = ["UnimodalEncoder", "CompositionEncoder", "EncoderRegistry"]
+
+
+@runtime_checkable
+class UnimodalEncoder(Protocol):
+    """Maps semantic latents to normalised vectors of dimension ``dim``."""
+
+    name: str
+    dim: int
+
+    def encode_latents(
+        self, latents: np.ndarray, key: object = None
+    ) -> np.ndarray:
+        """Encode a ``(n, L)`` latent matrix into ``(n, dim)`` unit rows."""
+        ...
+
+
+@runtime_checkable
+class CompositionEncoder(Protocol):
+    """Fuses target + auxiliary semantics into the target vector space."""
+
+    name: str
+    dim: int
+
+    def encode_latents(
+        self, latents: np.ndarray, key: object = None
+    ) -> np.ndarray:
+        """Corpus-side tower: encode target-modality latents."""
+        ...
+
+    def encode_composition(
+        self,
+        composed_latents: np.ndarray,
+        reference_latents: np.ndarray,
+        key: object = None,
+    ) -> np.ndarray:
+        """Query-side fusion of intended semantics with the reference."""
+        ...
+
+
+class EncoderRegistry:
+    """Name → factory mapping for pluggable encoders.
+
+    Factories receive ``(concept_space, seed)`` and return an encoder, so
+    the same registry entry can serve many datasets deterministically.
+    """
+
+    def __init__(self) -> None:
+        self._factories: dict[str, Callable] = {}
+
+    def register(self, name: str, factory: Callable, overwrite: bool = False) -> None:
+        require(
+            overwrite or name not in self._factories,
+            f"encoder {name!r} already registered",
+        )
+        self._factories[name] = factory
+
+    def create(self, name: str, concept_space, seed: int = 0):
+        if name not in self._factories:
+            raise KeyError(
+                f"unknown encoder {name!r}; registered: {sorted(self._factories)}"
+            )
+        return self._factories[name](concept_space, seed)
+
+    def names(self) -> list[str]:
+        return sorted(self._factories)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._factories

@@ -1,0 +1,130 @@
+"""Latent concept space — the semantic ground truth behind all encoders.
+
+The paper's encoders (ResNet, LSTM, CLIP, …) map raw images/text into
+vectors whose geometry reflects semantics.  Offline we cannot run those
+networks, so we *simulate the semantics directly*: every named concept
+(an identity, a noun, a state, an attribute value…) owns a fixed random
+unit vector in a shared latent space.  The "true content" of a modality
+datum is a weighted mixture of its concepts' latents, optionally jittered
+per instance (two photos of the same moldy cheese differ slightly).
+
+Synthetic encoders (:mod:`repro.embedding.synthetic`) then project these
+latents into encoder-specific output spaces and add encoder-specific
+noise.  Search quality differences between encoders — the quantity every
+accuracy table in the paper measures — arise exactly as in the real
+system: from how faithfully each encoder's output geometry preserves the
+latent semantics.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Sequence
+
+import numpy as np
+
+from repro.utils.rng import spawn
+from repro.utils.validation import require
+
+__all__ = ["LatentConceptSpace"]
+
+
+class LatentConceptSpace:
+    """Registry of deterministic unit latents for named concepts."""
+
+    def __init__(self, latent_dim: int = 64, seed: int = 0):
+        require(latent_dim >= 2, "latent_dim must be at least 2")
+        self.latent_dim = int(latent_dim)
+        self.seed = int(seed)
+        self._cache: dict[str, np.ndarray] = {}
+
+    def concept(self, name: str) -> np.ndarray:
+        """The unit latent vector of *name* (stable across calls)."""
+        vec = self._cache.get(name)
+        if vec is None:
+            rng = spawn(self.seed, "concept", name)
+            raw = rng.standard_normal(self.latent_dim)
+            vec = (raw / np.linalg.norm(raw)).astype(np.float64)
+            vec.flags.writeable = False
+            self._cache[name] = vec
+        return vec
+
+    def concepts(self, names: Sequence[str]) -> np.ndarray:
+        """Stacked latents for a list of names, shape ``(len(names), L)``."""
+        return np.stack([self.concept(n) for n in names])
+
+    def mix(
+        self,
+        parts: Mapping[str, float] | Sequence[tuple[str, float]],
+        jitter: float = 0.0,
+        jitter_key: object = None,
+    ) -> np.ndarray:
+        """Unit-normalised weighted mixture of concept latents.
+
+        ``jitter`` adds a deterministic instance-specific perturbation
+        (keyed by *jitter_key*) before normalisation, modelling intra-class
+        visual variation.  ``jitter`` is the expected *norm* of the
+        perturbation (per-coordinate noise is scaled by ``1/√L``), so it is
+        directly comparable to the unit-norm concept components.
+        """
+        items = parts.items() if isinstance(parts, Mapping) else parts
+        out = np.zeros(self.latent_dim, dtype=np.float64)
+        for name, weight in items:
+            out += float(weight) * self.concept(name)
+        if jitter > 0.0:
+            rng = spawn(self.seed, "jitter", jitter_key)
+            out += (
+                jitter
+                * rng.standard_normal(self.latent_dim)
+                / np.sqrt(self.latent_dim)
+            )
+        norm = np.linalg.norm(out)
+        require(norm > 0.0, "mixture collapsed to the zero vector")
+        return out / norm
+
+    def correlated_concepts(
+        self,
+        names: Sequence[str],
+        groups: int,
+        unique_weight: float = 0.6,
+        key: object = None,
+    ) -> np.ndarray:
+        """Latents for *names* with archetype (group) correlation.
+
+        Real-world classes are not orthogonal: faces share facial
+        archetypes, garment categories share a garment silhouette, scene
+        categories share visual context.  Each name is assigned one of
+        *groups* archetypes and its latent is
+        ``normalize(archetype + unique_weight · unique)``; smaller
+        ``unique_weight`` means more confusable classes.  Assignment and
+        latents are deterministic in the space seed and *key*.
+        """
+        require(groups >= 1, "need at least one group")
+        require(unique_weight > 0.0, "unique_weight must be positive")
+        rng = spawn(self.seed, "concept-groups", key)
+        assignment = rng.integers(groups, size=len(names))
+        out = np.empty((len(names), self.latent_dim))
+        for i, name in enumerate(names):
+            archetype = self.concept(f"archetype:{key}:{assignment[i]}")
+            unique = self.concept(name)
+            mixed = archetype + unique_weight * unique
+            out[i] = mixed / np.linalg.norm(mixed)
+        return out
+
+    def jitter_batch(
+        self, latents: np.ndarray, jitter: float, key: object
+    ) -> np.ndarray:
+        """Vectorised instance jitter for a whole latent matrix.
+
+        Rows are perturbed independently (one deterministic draw per row)
+        and re-normalised.  This is the bulk path used by the dataset
+        generators.  As in :meth:`mix`, ``jitter`` is the expected *norm*
+        of each row's perturbation.
+        """
+        latents = np.asarray(latents, dtype=np.float64)
+        if jitter <= 0.0:
+            return latents / np.linalg.norm(latents, axis=1, keepdims=True)
+        rng = spawn(self.seed, "jitter-batch", key)
+        noisy = latents + (
+            jitter * rng.standard_normal(latents.shape) / np.sqrt(self.latent_dim)
+        )
+        return noisy / np.linalg.norm(noisy, axis=1, keepdims=True)

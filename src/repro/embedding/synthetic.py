@@ -1,0 +1,126 @@
+"""Synthetic unimodal encoders standing in for the paper's encoder zoo.
+
+A :class:`SyntheticEncoder` is a fixed random projection of the latent
+concept space into an encoder-specific output space, plus deterministic
+Gaussian *encoder noise* and L2 normalisation.  The noise magnitude is the
+encoder's quality knob: it directly produces the encoder loss that the
+paper's SME metric (Eq. 4) measures, so better simulated encoders yield
+lower SME and higher recall exactly as in Tables III–VI.
+
+Calibrated noise levels (kept in :data:`ENCODER_SPECS`) preserve the
+paper's quality orderings, e.g. ``resnet50`` < ``resnet17`` (less noise is
+better), ``lstm`` < ``transformer`` on compositional text, and the ordinal
+``encoding`` of structured attribute strings being near-lossless.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.embedding.concepts import LatentConceptSpace
+from repro.utils.rng import spawn
+from repro.utils.validation import require
+
+__all__ = ["SyntheticEncoder", "ENCODER_SPECS", "make_unimodal_encoder"]
+
+
+class SyntheticEncoder:
+    """Random-projection encoder with calibrated output noise."""
+
+    def __init__(
+        self,
+        name: str,
+        concept_space: LatentConceptSpace,
+        dim: int,
+        noise: float,
+        seed: int = 0,
+    ):
+        require(dim >= 2, "encoder output dim must be at least 2")
+        require(noise >= 0.0, "encoder noise must be non-negative")
+        self.name = name
+        self.dim = int(dim)
+        self.noise = float(noise)
+        self.concept_space = concept_space
+        self.seed = int(seed)
+        rng = spawn(seed, "encoder-projection", name)
+        # Scaled Gaussian projection approximately preserves latent angles
+        # (Johnson–Lindenstrauss), so semantic neighbourhoods survive.
+        self._projection = rng.standard_normal(
+            (concept_space.latent_dim, self.dim)
+        ) / np.sqrt(self.dim)
+
+    def encode_latents(
+        self,
+        latents: np.ndarray,
+        key: object = None,
+        extra_noise: float = 0.0,
+    ) -> np.ndarray:
+        """Encode a ``(n, L)`` latent matrix to normalised ``(n, dim)``.
+
+        *key* seeds the per-call noise stream, making encodings
+        deterministic: re-encoding the same content with the same key
+        yields bit-identical vectors (as a frozen network would).
+        ``extra_noise`` is used by composition encoders to model the
+        additional fusion error on top of the tower's own loss.
+        """
+        latents = np.atleast_2d(np.asarray(latents, dtype=np.float64))
+        out = latents @ self._projection
+        sigma = float(np.hypot(self.noise, extra_noise))
+        if sigma > 0.0:
+            rng = spawn(self.seed, "encoder-noise", self.name, key)
+            out = out + sigma * rng.standard_normal(out.shape) / np.sqrt(self.dim)
+        norms = np.linalg.norm(out, axis=1, keepdims=True)
+        norms = np.where(norms == 0.0, 1.0, norms)
+        return (out / norms).astype(np.float32)
+
+    def encode_one(self, latent: np.ndarray, key: object = None) -> np.ndarray:
+        """Single-vector convenience wrapper around :meth:`encode_latents`."""
+        return self.encode_latents(latent[None, :], key=key)[0]
+
+
+@dataclass(frozen=True)
+class EncoderSpec:
+    """Calibration record for one named encoder."""
+
+    dim: int
+    noise: float
+    modality_kind: str  # documentation only: image / text / audio / video
+
+
+#: Paper encoder zoo with calibrated quality (lower noise = better encoder).
+#: The orderings mirror the paper's accuracy tables: resnet50 beats
+#: resnet17, lstm beats transformer on state-edit text, ordinal encoding of
+#: structured attributes is near-exact, gru sits between lstm and
+#: transformer.
+ENCODER_SPECS: dict[str, EncoderSpec] = {
+    "resnet17": EncoderSpec(dim=64, noise=0.95, modality_kind="image"),
+    "resnet50": EncoderSpec(dim=128, noise=0.60, modality_kind="image"),
+    "lstm": EncoderSpec(dim=48, noise=0.48, modality_kind="text"),
+    "transformer": EncoderSpec(dim=48, noise=1.20, modality_kind="text"),
+    "gru": EncoderSpec(dim=48, noise=0.85, modality_kind="text"),
+    "encoding": EncoderSpec(dim=32, noise=0.12, modality_kind="text"),
+    "audio-mfcc": EncoderSpec(dim=96, noise=0.45, modality_kind="audio"),
+    "video-keyframe": EncoderSpec(dim=96, noise=0.55, modality_kind="video"),
+    "deep-cnn": EncoderSpec(dim=96, noise=0.45, modality_kind="image"),
+}
+
+
+def make_unimodal_encoder(
+    name: str, concept_space: LatentConceptSpace, seed: int = 0
+) -> SyntheticEncoder:
+    """Instantiate a zoo encoder by its paper name."""
+    if name not in ENCODER_SPECS:
+        raise KeyError(
+            f"unknown unimodal encoder {name!r}; available: "
+            f"{sorted(ENCODER_SPECS)}"
+        )
+    spec = ENCODER_SPECS[name]
+    return SyntheticEncoder(
+        name=name,
+        concept_space=concept_space,
+        dim=spec.dim,
+        noise=spec.noise,
+        seed=seed,
+    )

@@ -1,0 +1,52 @@
+"""Proximity-graph indexing and joint search (paper §VII).
+
+* :class:`FusedIndexBuilder` — the paper's component-based pipeline
+  (Algorithm 1), producing the re-assembled "Ours" index.
+* :func:`joint_search` — the merging-free joint search (Algorithm 2) with
+  the Lemma-4 multi-vector computation optimisation.
+* :mod:`repro.index.graphs` — KGraph / NSG / NSSG / HNSW / Vamana / HCNNG
+  for the Fig. 10 ablation.
+* :class:`FlatIndex` — exact brute force (the MUST-- reference).
+"""
+
+from repro.index.base import GraphIndex
+from repro.index.flat import FlatIndex
+from repro.index.graphs import (
+    HCNNGBuilder,
+    HNSWBuilder,
+    KGraphBuilder,
+    NSGBuilder,
+    NSSGBuilder,
+    VamanaBuilder,
+)
+from repro.index.nndescent import graph_quality, nndescent, random_knn
+from repro.index.pipeline import FusedIndexBuilder
+from repro.index.search import greedy_search_graph, joint_search
+
+BUILDERS = {
+    "ours": FusedIndexBuilder,
+    "kgraph": KGraphBuilder,
+    "nsg": NSGBuilder,
+    "nssg": NSSGBuilder,
+    "hnsw": HNSWBuilder,
+    "vamana": VamanaBuilder,
+    "hcnng": HCNNGBuilder,
+}
+
+__all__ = [
+    "GraphIndex",
+    "FlatIndex",
+    "FusedIndexBuilder",
+    "KGraphBuilder",
+    "NSGBuilder",
+    "NSSGBuilder",
+    "HNSWBuilder",
+    "VamanaBuilder",
+    "HCNNGBuilder",
+    "BUILDERS",
+    "graph_quality",
+    "nndescent",
+    "random_knn",
+    "joint_search",
+    "greedy_search_graph",
+]

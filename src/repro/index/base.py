@@ -1,0 +1,164 @@
+"""Graph index container shared by every proximity-graph algorithm."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from pathlib import Path
+
+import numpy as np
+
+from repro.core.space import JointSpace
+from repro.utils.io import load_arrays, pack_adjacency, save_arrays, unpack_adjacency
+from repro.utils.validation import require
+
+__all__ = ["GraphIndex"]
+
+
+@dataclass
+class GraphIndex:
+    """A directed proximity graph over a joint similarity space.
+
+    ``neighbors[v]`` lists the out-neighbours of vertex ``v``; the searcher
+    (Algorithm 2) greedily routes from ``seed_vertex``.  The same container
+    serves the fused MUST index and every single-modality index the MR
+    baseline builds.
+    """
+
+    space: JointSpace
+    neighbors: list[np.ndarray]
+    seed_vertex: int
+    name: str = "graph"
+    build_seconds: float = 0.0
+    meta: dict = field(default_factory=dict)
+    #: data-status bitset (paper §IX): True marks a soft-deleted vertex.
+    #: Deleted vertices keep routing traffic (they may be essential for
+    #: connectivity) but are excluded from results until reconstruction.
+    deleted: np.ndarray | None = None
+
+    def __post_init__(self) -> None:
+        require(
+            len(self.neighbors) == self.space.n,
+            f"adjacency covers {len(self.neighbors)} vertices, space has "
+            f"{self.space.n}",
+        )
+        require(
+            0 <= self.seed_vertex < self.space.n,
+            "seed vertex out of range",
+        )
+        self.neighbors = [
+            np.asarray(adj, dtype=np.int32) for adj in self.neighbors
+        ]
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def n(self) -> int:
+        return self.space.n
+
+    @property
+    def num_edges(self) -> int:
+        return int(sum(len(adj) for adj in self.neighbors))
+
+    def degree_stats(self) -> dict[str, float]:
+        """Min / mean / max out-degree — the paper's γ bounds the max."""
+        degrees = np.asarray([len(adj) for adj in self.neighbors])
+        return {
+            "min": float(degrees.min()),
+            "mean": float(degrees.mean()),
+            "max": float(degrees.max()),
+        }
+
+    def size_in_bytes(self) -> int:
+        """Index size (adjacency only, as in the paper's Fig. 7(b)).
+
+        The vector payload is shared by every method, so index-size
+        comparisons count the graph structure: 4 bytes per edge plus the
+        offsets array.
+        """
+        return self.num_edges * 4 + (self.n + 1) * 8
+
+    def validate(self) -> None:
+        """Structural sanity: ids in range, no self-loops."""
+        for v, adj in enumerate(self.neighbors):
+            if adj.size == 0:
+                continue
+            require(bool((adj >= 0).all() and (adj < self.n).all()),
+                    f"vertex {v} has out-of-range neighbour ids")
+            require(bool((adj != v).all()), f"vertex {v} has a self-loop")
+
+    # ------------------------------------------------------------------
+    # Dynamic updates (paper §IX)
+    # ------------------------------------------------------------------
+    @property
+    def num_active(self) -> int:
+        if self.deleted is None:
+            return self.n
+        return int(self.n - self.deleted.sum())
+
+    def mark_deleted(self, ids: np.ndarray) -> None:
+        """Soft-delete objects via the data-status bitset.
+
+        The vertices stay in the graph — removing them could disconnect
+        regions — and are filtered out of search results; call a builder
+        on the active subset (:meth:`active_ids`) to reconstruct.
+        """
+        ids = np.asarray(ids, dtype=np.int64)
+        require(
+            bool((ids >= 0).all() and (ids < self.n).all()),
+            "deleted ids out of range",
+        )
+        if self.deleted is None:
+            self.deleted = np.zeros(self.n, dtype=bool)
+        self.deleted[ids] = True
+        require(self.num_active > 0, "cannot delete every object")
+
+    def active_ids(self) -> np.ndarray:
+        """Ids of all non-deleted objects (for reconstruction)."""
+        if self.deleted is None:
+            return np.arange(self.n, dtype=np.int64)
+        return np.flatnonzero(~self.deleted).astype(np.int64)
+
+    # ------------------------------------------------------------------
+    # Persistence
+    # ------------------------------------------------------------------
+    def save(self, path: str | Path) -> None:
+        """Serialise the graph structure (not the vectors) to ``.npz``."""
+        flat, offsets = pack_adjacency(self.neighbors)
+        arrays = {"flat": flat, "offsets": offsets}
+        if self.deleted is not None:
+            arrays["deleted"] = self.deleted
+        save_arrays(
+            path,
+            metadata={
+                "name": self.name,
+                "seed_vertex": int(self.seed_vertex),
+                "build_seconds": float(self.build_seconds),
+                "meta": {
+                    k: v
+                    for k, v in self.meta.items()
+                    if isinstance(v, (str, int, float, bool))
+                    or (
+                        isinstance(v, (list, tuple))
+                        and all(isinstance(x, (str, int, float, bool)) for x in v)
+                    )
+                },
+            },
+            **arrays,
+        )
+
+    @classmethod
+    def load(cls, path: str | Path, space: JointSpace) -> "GraphIndex":
+        """Load a graph saved by :meth:`save`, rebinding it to *space*."""
+        metadata, arrays = load_arrays(path)
+        neighbors = unpack_adjacency(arrays["flat"], arrays["offsets"])
+        deleted = arrays.get("deleted")
+        return cls(
+            space=space,
+            neighbors=neighbors,
+            seed_vertex=int(metadata["seed_vertex"]),
+            name=str(metadata["name"]),
+            build_seconds=float(metadata["build_seconds"]),
+            meta=dict(metadata.get("meta", {})),
+            deleted=None if deleted is None else deleted.astype(bool),
+        )

@@ -1,0 +1,51 @@
+"""Brute-force (exact) search — the paper's MUST-- reference point.
+
+Scans every object's joint similarity; exact but linear in ``n``
+(Tab. VII shows its response time growing linearly while the fused index
+stays near-flat).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.multivector import MultiVector
+from repro.core.results import SearchResult, SearchStats
+from repro.core.space import JointSpace
+from repro.core.weights import Weights
+from repro.utils.topk import top_k_sorted
+
+__all__ = ["FlatIndex"]
+
+
+class FlatIndex:
+    """Exact joint-similarity scan over a :class:`JointSpace`."""
+
+    name = "flat"
+
+    def __init__(self, space: JointSpace):
+        self.space = space
+
+    @property
+    def n(self) -> int:
+        return self.space.n
+
+    def search(
+        self,
+        query: MultiVector,
+        k: int,
+        weights: Weights | None = None,
+    ) -> SearchResult:
+        """Exact top-*k* by full scan."""
+        sims = self.space.query_all(query, weights=weights)
+        ids = top_k_sorted(sims, k)
+        active = sum(
+            1 for i, q in enumerate(query.vectors)
+            if q is not None
+        )
+        stats = SearchStats(
+            joint_evals=self.n,
+            modality_evals=self.n * active,
+            visited_vertices=self.n,
+        )
+        return SearchResult(ids=ids, similarities=sims[ids], stats=stats)

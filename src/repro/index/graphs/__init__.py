@@ -1,0 +1,17 @@
+"""Alternative proximity-graph builders for the Fig. 10 ablation."""
+
+from repro.index.graphs.hcnng import HCNNGBuilder
+from repro.index.graphs.hnsw import HNSWBuilder
+from repro.index.graphs.kgraph import KGraphBuilder
+from repro.index.graphs.nsg import NSGBuilder
+from repro.index.graphs.nssg import NSSGBuilder
+from repro.index.graphs.vamana import VamanaBuilder
+
+__all__ = [
+    "HCNNGBuilder",
+    "HNSWBuilder",
+    "KGraphBuilder",
+    "NSGBuilder",
+    "NSSGBuilder",
+    "VamanaBuilder",
+]

@@ -1,0 +1,104 @@
+"""HCNNG [Muñoz et al., Pattern Recognition'19].
+
+Hierarchical-clustering-based graph: repeated random binary partitions of
+the corpus down to small leaves, an exact minimum-spanning tree inside
+every leaf, and the union of all tree edges as the graph.  Randomised
+partitions give each tree a different view; their union is navigable.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.space import JointSpace
+from repro.index.base import GraphIndex
+from repro.index.components import centroid_seed, ensure_connectivity
+from repro.utils.rng import make_rng
+
+__all__ = ["HCNNGBuilder"]
+
+
+def _leaf_mst_edges(
+    concat: np.ndarray, ids: np.ndarray
+) -> list[tuple[int, int]]:
+    """Prim's MST over a leaf (maximising similarity = minimising distance)."""
+    m = ids.size
+    if m < 2:
+        return []
+    sims = concat[ids] @ concat[ids].T
+    in_tree = np.zeros(m, dtype=bool)
+    in_tree[0] = True
+    best_sim = sims[0].copy()
+    best_from = np.zeros(m, dtype=np.int64)
+    edges: list[tuple[int, int]] = []
+    for _ in range(m - 1):
+        best_sim[in_tree] = -np.inf
+        j = int(np.argmax(best_sim))
+        edges.append((int(ids[best_from[j]]), int(ids[j])))
+        in_tree[j] = True
+        better = sims[j] > best_sim
+        best_from[better] = j
+        best_sim[better] = sims[j][better]
+    return edges
+
+
+@dataclass
+class HCNNGBuilder:
+    """Multiple random-partition MST unions."""
+
+    num_trees: int = 12
+    leaf_size: int = 48
+    max_degree: int = 40
+    seed: int = 0
+    name: str = "hcnng"
+
+    def build(self, space: JointSpace) -> GraphIndex:
+        start = time.perf_counter()
+        n = space.n
+        concat = space.concatenated
+        rng = make_rng(self.seed)
+        adjacency: list[set[int]] = [set() for _ in range(n)]
+
+        for _ in range(self.num_trees):
+            stack = [np.arange(n)]
+            while stack:
+                ids = stack.pop()
+                if ids.size <= self.leaf_size:
+                    for a, b in _leaf_mst_edges(concat, ids):
+                        adjacency[a].add(b)
+                        adjacency[b].add(a)
+                    continue
+                # Random two-pivot split (random hyperplane equivalent).
+                pivots = rng.choice(ids, size=2, replace=False)
+                sims = concat[ids] @ concat[pivots].T
+                left = sims[:, 0] >= sims[:, 1]
+                if left.all() or not left.any():
+                    half = ids.size // 2
+                    perm = rng.permutation(ids)
+                    stack.append(perm[:half])
+                    stack.append(perm[half:])
+                else:
+                    stack.append(ids[left])
+                    stack.append(ids[~left])
+
+        neighbors: list[np.ndarray] = []
+        for v in range(n):
+            adj = np.fromiter(adjacency[v], dtype=np.int64, count=len(adjacency[v]))
+            if adj.size > self.max_degree:
+                sims = concat[adj] @ concat[v]
+                adj = adj[np.argsort(-sims, kind="stable")[: self.max_degree]]
+            neighbors.append(adj.astype(np.int32))
+
+        seed_vertex = centroid_seed(space)
+        neighbors = ensure_connectivity(space, neighbors, seed_vertex)
+        return GraphIndex(
+            space=space,
+            neighbors=neighbors,
+            seed_vertex=seed_vertex,
+            name=self.name,
+            build_seconds=time.perf_counter() - start,
+            meta={"num_trees": self.num_trees, "leaf_size": self.leaf_size},
+        )

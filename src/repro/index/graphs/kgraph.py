@@ -1,0 +1,47 @@
+"""KGraph [Dong et al., WWW'11]: pure NNDescent KNN graph.
+
+No diversification, no connectivity repair — the rawest proximity graph
+in the paper's ablation (Fig. 10).  Its dense symmetric-ish neighbour
+lists make construction cheap but search less efficient per hop.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+
+from repro.core.space import JointSpace
+from repro.index.base import GraphIndex
+from repro.index.components import centroid_seed
+from repro.index.nndescent import nndescent
+
+__all__ = ["KGraphBuilder"]
+
+
+@dataclass
+class KGraphBuilder:
+    """NNDescent-only builder (component ① as the whole index)."""
+
+    k: int = 30
+    iterations: int = 3
+    seed: int = 0
+    name: str = "kgraph"
+
+    def build(self, space: JointSpace) -> GraphIndex:
+        start = time.perf_counter()
+        knn = nndescent(
+            space,
+            k=min(self.k, space.n - 1),
+            iterations=self.iterations,
+            seed=self.seed,
+        )
+        neighbors = [knn[v] for v in range(space.n)]
+        seed_vertex = centroid_seed(space)
+        return GraphIndex(
+            space=space,
+            neighbors=neighbors,
+            seed_vertex=seed_vertex,
+            name=self.name,
+            build_seconds=time.perf_counter() - start,
+            meta={"k": self.k, "iterations": self.iterations},
+        )

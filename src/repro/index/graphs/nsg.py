@@ -1,0 +1,65 @@
+"""NSG [Fu et al., PVLDB'19]: navigating spreading-out graph.
+
+NNDescent initialisation, *search-based* candidate acquisition (the
+vertices visited while greedily routing towards each point from the
+navigating node), MRNG edge selection, and spanning-tree connectivity —
+the composition the original paper describes, expressed through our
+pipeline components.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+
+from repro.core.space import JointSpace
+from repro.index.base import GraphIndex
+from repro.index.components import (
+    centroid_seed,
+    ensure_connectivity,
+    mrng_select,
+    search_based_candidates,
+)
+from repro.index.nndescent import nndescent
+
+__all__ = ["NSGBuilder"]
+
+
+@dataclass
+class NSGBuilder:
+    """Search-based-candidate + MRNG builder."""
+
+    gamma: int = 30
+    init_k: int = 20
+    iterations: int = 3
+    max_candidates: int = 64
+    beam: int = 48
+    seed: int = 0
+    name: str = "nsg"
+
+    def build(self, space: JointSpace) -> GraphIndex:
+        start = time.perf_counter()
+        knn = nndescent(
+            space,
+            k=min(self.init_k, space.n - 1),
+            iterations=self.iterations,
+            seed=self.seed,
+        )
+        navigating = centroid_seed(space)
+        cand, sims = search_based_candidates(
+            space,
+            knn,
+            entry=navigating,
+            max_candidates=self.max_candidates,
+            beam=self.beam,
+        )
+        neighbors = mrng_select(space, cand, sims, self.gamma)
+        neighbors = ensure_connectivity(space, neighbors, navigating)
+        return GraphIndex(
+            space=space,
+            neighbors=neighbors,
+            seed_vertex=navigating,
+            name=self.name,
+            build_seconds=time.perf_counter() - start,
+            meta={"gamma": self.gamma, "beam": self.beam},
+        )

@@ -1,0 +1,93 @@
+"""Vamana [Subramanya et al., NeurIPS'19] — the DiskANN graph.
+
+Random regular initialisation, then passes over all points: greedy search
+from the medoid collects candidates, α-relaxed RNG pruning selects
+neighbours, and reverse edges are inserted with the same pruning.  Like
+HNSW it admits incremental insertion (§IX).
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.space import JointSpace
+from repro.index.base import GraphIndex
+from repro.index.components import centroid_seed, ensure_connectivity, prune_one
+from repro.index.nndescent import random_knn
+from repro.index.search import greedy_search_graph
+from repro.utils.rng import make_rng
+
+__all__ = ["VamanaBuilder"]
+
+
+@dataclass
+class VamanaBuilder:
+    """Two-pass α-pruned graph construction."""
+
+    r: int = 30
+    alpha: float = 1.2
+    beam: int = 48
+    passes: int = 2
+    seed: int = 0
+    name: str = "vamana"
+
+    def build(self, space: JointSpace) -> GraphIndex:
+        start = time.perf_counter()
+        n = space.n
+        concat = space.concatenated
+        total = space.weights.total
+        rng = make_rng(self.seed)
+        r = min(self.r, n - 1)
+        knn = random_knn(n, r, rng)
+        neighbors: list[np.ndarray] = [knn[v] for v in range(n)]
+        medoid = centroid_seed(space)
+
+        for pass_idx in range(self.passes):
+            # First pass uses α=1 (plain RNG), final pass the relaxed α —
+            # the schedule the DiskANN paper prescribes.
+            alpha = 1.0 if pass_idx < self.passes - 1 else self.alpha
+            for v in rng.permutation(n):
+                v = int(v)
+                visited, visited_sims = greedy_search_graph(
+                    concat, neighbors, medoid, concat[v], beam=self.beam
+                )
+                own = neighbors[v]
+                cand = np.concatenate([visited, own.astype(np.int64)])
+                sims = np.concatenate(
+                    [visited_sims, concat[own] @ concat[v]]
+                )
+                keep = cand != v
+                cand, sims = cand[keep], sims[keep]
+                cand, uniq_idx = np.unique(cand, return_index=True)
+                sims = sims[uniq_idx]
+                order = np.argsort(-sims, kind="stable")
+                chosen = prune_one(
+                    concat, total, cand[order], sims[order], r, alpha
+                )
+                neighbors[v] = chosen
+                for u in chosen:
+                    u = int(u)
+                    if v in neighbors[u]:
+                        continue
+                    adj = np.append(neighbors[u], np.int32(v))
+                    if adj.size > r:
+                        adj_sims = concat[adj] @ concat[u]
+                        order = np.argsort(-adj_sims, kind="stable")
+                        adj = prune_one(
+                            concat, total, adj[order].astype(np.int64),
+                            adj_sims[order], r, alpha,
+                        )
+                    neighbors[u] = adj.astype(np.int32)
+
+        neighbors = ensure_connectivity(space, neighbors, medoid)
+        return GraphIndex(
+            space=space,
+            neighbors=neighbors,
+            seed_vertex=medoid,
+            name=self.name,
+            build_seconds=time.perf_counter() - start,
+            meta={"r": self.r, "alpha": self.alpha, "passes": self.passes},
+        )

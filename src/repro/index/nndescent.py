@@ -1,0 +1,171 @@
+"""NNDescent — component ① of the fused-index pipeline (Algorithm 1, l.2-8).
+
+Builds an approximate K-nearest-neighbour graph under the *joint*
+similarity by iteratively replacing each vertex's worst neighbour with
+better candidates found among neighbours-of-neighbours (the classic
+"neighbours of neighbours are likely neighbours" principle of KGraph
+[Dong et al., WWW'11]).
+
+The implementation is fully vectorised: each iteration processes vertex
+blocks with one fused gather + einsum, so building a 10k-vertex graph
+takes seconds in pure numpy.  The paper's Tab. XI shows three iterations
+reach ≥0.99 graph quality; :func:`graph_quality` reproduces that metric.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.space import JointSpace
+from repro.utils.rng import make_rng
+from repro.utils.validation import require
+
+__all__ = [
+    "random_knn",
+    "nndescent",
+    "graph_quality",
+    "reverse_neighbors",
+    "block_candidate_sims",
+]
+
+
+def random_knn(
+    n: int, k: int, rng: np.random.Generator | int | None = 0
+) -> np.ndarray:
+    """Random initial neighbour lists, self-loop free, shape ``(n, k)``."""
+    require(k < n, f"k={k} must be smaller than n={n}")
+    rng = make_rng(rng)
+    # Draw in [1, n) and shift by the row id so a vertex never picks itself.
+    offsets = rng.integers(1, n, size=(n, k))
+    return ((np.arange(n)[:, None] + offsets) % n).astype(np.int32)
+
+
+def reverse_neighbors(neighbors: np.ndarray, cap: int) -> np.ndarray:
+    """Up to *cap* in-neighbours per vertex, padded with the vertex id.
+
+    NNDescent's local join considers both directions of every edge; the
+    padding entries are self-references, which the candidate kernel masks
+    out anyway.
+    """
+    n, k = neighbors.shape
+    flat = neighbors.ravel()
+    order = np.argsort(flat, kind="stable")
+    sources = np.repeat(np.arange(n), k)[order]
+    targets = flat[order]
+    rev = np.tile(np.arange(n, dtype=np.int32)[:, None], (1, cap))
+    starts = np.searchsorted(targets, np.arange(n))
+    seg_pos = np.arange(targets.size) - starts[targets]
+    keep = seg_pos < cap
+    rev[targets[keep], seg_pos[keep]] = sources[keep]
+    return rev
+
+
+def block_candidate_sims(
+    concat: np.ndarray,
+    neighbors: np.ndarray,
+    block: np.ndarray,
+    reverse: np.ndarray | None = None,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Similarities of each block vertex to its 2-hop candidate set.
+
+    Returns ``(cand, sims)``; self-references and duplicate candidates
+    within a row carry ``-inf``.  When *reverse* is given, in-neighbours
+    and their out-neighbours join the candidate set (the full NNDescent
+    local join — noticeably better convergence on unclustered data).
+    The kernel avoids materialising a 3-D gather (the naive
+    ``concat[cand]`` copy dominates runtime): candidates are deduplicated
+    across the whole block and one BLAS matmul against the deduplicated
+    rows computes every similarity.
+    """
+    nb = neighbors[block]  # (b, k)
+    parts = [nb, neighbors[nb].reshape(len(block), -1)]
+    if reverse is not None:
+        rnb = reverse[block]
+        parts.extend([rnb, neighbors[rnb].reshape(len(block), -1)])
+    cand = np.concatenate(parts, axis=1)
+    uniq, inverse = np.unique(cand, return_inverse=True)
+    sub = concat[block] @ concat[uniq].T  # (b, |uniq|) — single BLAS call
+    sims = sub[np.arange(len(block))[:, None], inverse.reshape(cand.shape)]
+    # Knock out self-references and duplicates (keep the first occurrence).
+    sims[cand == block[:, None]] = -np.inf
+    order = np.argsort(cand, axis=1, kind="stable")
+    cand_sorted = np.take_along_axis(cand, order, axis=1)
+    sims_sorted = np.take_along_axis(sims, order, axis=1)
+    dup = cand_sorted[:, 1:] == cand_sorted[:, :-1]
+    sims_sorted[:, 1:][dup] = -np.inf
+    return cand_sorted, sims_sorted
+
+
+def _refine_block(
+    concat: np.ndarray,
+    neighbors: np.ndarray,
+    block: np.ndarray,
+    k: int,
+    reverse: np.ndarray | None,
+) -> np.ndarray:
+    """One NNDescent update for the vertices in *block*."""
+    cand_sorted, sims_sorted = block_candidate_sims(
+        concat, neighbors, block, reverse=reverse
+    )
+    top = np.argpartition(-sims_sorted, k - 1, axis=1)[:, :k]
+    return np.take_along_axis(cand_sorted, top, axis=1)
+
+
+def nndescent(
+    space: JointSpace,
+    k: int,
+    iterations: int = 3,
+    seed: int = 0,
+    block_size: int = 128,
+    init: np.ndarray | None = None,
+    use_reverse: bool = True,
+) -> np.ndarray:
+    """Approximate joint-similarity KNN graph, shape ``(n, k)`` int32.
+
+    ``init`` lets callers resume refinement from an existing graph
+    (used by the γ/ε ablations to share work across parameter points).
+    ``use_reverse`` enables the full bidirectional local join.
+    """
+    n = space.n
+    require(k < n, f"k={k} must be smaller than n={n}")
+    concat = space.concatenated
+    neighbors = (
+        init.astype(np.int32).copy()
+        if init is not None
+        else random_knn(n, k, make_rng(seed))
+    )
+    require(neighbors.shape == (n, k), "init graph has wrong shape")
+    for _ in range(max(0, iterations)):
+        reverse = reverse_neighbors(neighbors, k) if use_reverse else None
+        for start in range(0, n, block_size):
+            block = np.arange(start, min(start + block_size, n))
+            neighbors[block] = _refine_block(
+                concat, neighbors, block, k, reverse
+            )
+    return neighbors.astype(np.int32)
+
+
+def graph_quality(
+    space: JointSpace,
+    neighbors: np.ndarray,
+    sample: int = 200,
+    seed: int = 0,
+) -> float:
+    """Mean overlap between graph neighbours and exact top-k (Tab. XI).
+
+    Defined in the paper as "the mean ratio of γ neighbours of a vertex
+    over the top-γ nearest neighbours based on joint similarity";
+    estimated on a random vertex sample for tractability.
+    """
+    n, k = neighbors.shape
+    rng = make_rng(seed)
+    picks = rng.choice(n, size=min(sample, n), replace=False)
+    concat = space.concatenated
+    sims = concat[picks] @ concat.T  # (s, n)
+    sims[np.arange(len(picks)), picks] = -np.inf
+    exact = np.argpartition(-sims, k - 1, axis=1)[:, :k]
+    overlaps = [
+        np.intersect1d(exact[i], neighbors[picks[i]]).size / k
+        for i in range(len(picks))
+    ]
+    return float(np.mean(overlaps))

@@ -1,0 +1,323 @@
+"""Joint search over a fused proximity graph (paper §VII-B, Algorithm 2).
+
+Greedy best-first routing with a result set ``R`` of size ``l``: starting
+from the seed vertex plus ``l−1`` random vertices, repeatedly expand the
+unvisited vertex of ``R`` closest to the query, score its neighbours, and
+keep the best ``l``.  Lemma 3 guarantees the total similarity of ``R`` is
+non-decreasing; the optional ``check_monotone`` flag asserts it.
+
+Two engines implement the same routing:
+
+* ``engine="paper"`` — a literal transcription of Algorithm 2 (expands
+  every member of ``R``; useful as a reference and in tests).
+* ``engine="heap"`` (default) — the standard two-heap formulation used by
+  production graph indexes (HNSW/NSG): identical greedy order, but stops
+  once the best unexpanded candidate cannot enter the result set.  Same
+  accuracy knob ``l``, lower constant overhead.
+
+With ``early_termination=True`` neighbour scoring goes through the
+incremental multi-vector computation (Lemma 4): per-modality distances
+accumulate and a neighbour is dropped the moment its partial-IP upper
+bound cannot beat the current worst of ``R`` — identical results, fewer
+modality evaluations (Fig. 10(c)).
+"""
+
+from __future__ import annotations
+
+import heapq
+
+import numpy as np
+
+from repro.core.multivector import MultiVector
+from repro.core.results import SearchResult, SearchStats
+from repro.core.weights import Weights
+from repro.index.base import GraphIndex
+from repro.utils.rng import make_rng
+from repro.utils.validation import require
+
+__all__ = ["joint_search", "greedy_search_graph"]
+
+
+def joint_search(
+    index: GraphIndex,
+    query: MultiVector,
+    k: int,
+    l: int,
+    weights: Weights | None = None,
+    early_termination: bool = False,
+    engine: str = "heap",
+    rng: np.random.Generator | int | None = 0,
+    check_monotone: bool = False,
+) -> SearchResult:
+    """Approximate top-*k* joint search (Algorithm 2).
+
+    ``weights`` overrides the index weights at query time (user-defined
+    weights, Fig. 4(g) Option 2); ``l`` trades accuracy for latency.
+    ``early_termination`` enables the Lemma-4 multi-vector optimisation;
+    it never changes the returned ids.  Note: in this pure-Python port
+    the *wall-clock* win of the optimisation is muted by interpreter
+    overhead, so it is off by default and its effect is reported in
+    saved modality evaluations (see benchmarks/bench_fig10c).
+    """
+    require(k >= 1, "k must be positive")
+    require(l >= k, f"result set size l={l} must be at least k={k}")
+    require(engine in ("heap", "paper"), "engine must be 'heap' or 'paper'")
+    if engine == "heap":
+        return _heap_search(
+            index, query, k, l, weights, early_termination, rng, check_monotone
+        )
+    return _paper_search(
+        index, query, k, l, weights, early_termination, rng, check_monotone
+    )
+
+
+def _init_result_set(
+    index: GraphIndex, l: int, rng: np.random.Generator | int | None
+) -> np.ndarray:
+    """Seed vertex plus ``l−1`` distinct random vertices (Alg. 2, l.1-3)."""
+    n = index.space.n
+    init_size = min(l, n)
+    if init_size == n:
+        return np.arange(n, dtype=np.int64)
+    rng = make_rng(rng)
+    extra = rng.choice(n - 1, size=init_size - 1, replace=False)
+    # Shift around the seed so it is never drawn twice.
+    extra = (extra + index.seed_vertex + 1) % n
+    return np.concatenate([[index.seed_vertex], extra]).astype(np.int64)
+
+
+def _score_setup(space, query, weights, early_termination):
+    """Shared scoring context: fast concatenated path when possible."""
+    qcat = None if early_termination else space.concat_query(query, weights)
+    concat = space.concatenated if qcat is not None else None
+    active = sum(1 for q in query.vectors if q is not None)
+    return qcat, concat, active
+
+
+def _heap_search(
+    index: GraphIndex,
+    query: MultiVector,
+    k: int,
+    l: int,
+    weights: Weights | None,
+    early_termination: bool,
+    rng,
+    check_monotone: bool,
+) -> SearchResult:
+    space = index.space
+    n = space.n
+    stats = SearchStats()
+    qcat, concat, active = _score_setup(space, query, weights, early_termination)
+
+    r_ids = _init_result_set(index, l, rng)
+    seen = np.zeros(n, dtype=bool)
+    seen[r_ids] = True
+    if qcat is not None:
+        init_sims = (concat[r_ids] @ qcat).astype(np.float64)
+        stats.joint_evals += int(r_ids.size)
+        stats.modality_evals += int(r_ids.size) * active
+    else:
+        init_sims = space.query_ids(query, r_ids, weights=weights, stats=stats)
+
+    # Soft-deleted vertices (§IX bitset) route but never enter results.
+    deleted = index.deleted
+    cap = min(l, index.num_active)
+
+    # results: min-heap of (sim, id) capped at |R|; candidates: max-heap.
+    results = [
+        (float(s), int(v))
+        for s, v in zip(init_sims, r_ids)
+        if deleted is None or not deleted[v]
+    ]
+    heapq.heapify(results)
+    candidates = [(-float(s), int(v)) for s, v in zip(init_sims, r_ids)]
+    heapq.heapify(candidates)
+    neighbors = index.neighbors
+    total = float(sum(s for s, _ in results))
+
+    def threshold_now() -> float:
+        return results[0][0] if len(results) >= cap else -np.inf
+
+    while candidates:
+        neg_sim, v = heapq.heappop(candidates)
+        if -neg_sim < threshold_now():
+            break  # best unexpanded candidate cannot improve R
+        stats.hops += 1
+        stats.visited_vertices += 1
+        adj = neighbors[v]
+        fresh = adj[~seen[adj]]
+        if fresh.size == 0:
+            continue
+        seen[fresh] = True
+        threshold = threshold_now()
+        if early_termination:
+            sims, exact = space.query_ids_early_stop(
+                query, fresh, threshold, weights=weights, stats=stats
+            )
+            win = np.flatnonzero(exact & (sims > threshold))
+        else:
+            if qcat is not None:
+                sims = (concat[fresh] @ qcat).astype(np.float64)
+                stats.joint_evals += int(fresh.size)
+                stats.modality_evals += int(fresh.size) * active
+            else:
+                sims = space.query_ids(query, fresh, weights=weights, stats=stats)
+            win = np.flatnonzero(sims > threshold)
+        for j in win:
+            sim = float(sims[j])
+            u = int(fresh[j])
+            if sim <= threshold_now():
+                continue
+            heapq.heappush(candidates, (-sim, u))
+            if deleted is not None and deleted[u]:
+                continue  # routes, but cannot be an answer
+            if len(results) < cap:
+                heapq.heappush(results, (sim, u))
+                total += sim
+                continue
+            dropped = heapq.heappushpop(results, (sim, u))
+            if check_monotone:
+                new_total = total + sim - dropped[0]
+                # Lemma 3: f(η) is monotonically non-decreasing.
+                assert new_total >= total - 1e-9, (
+                    f"Lemma 3 violated: {new_total} < {total}"
+                )
+                total = new_total
+
+    ranked = sorted(results, key=lambda t: (-t[0], t[1]))[:k]
+    return SearchResult(
+        ids=np.asarray([v for _, v in ranked], dtype=np.int64),
+        similarities=np.asarray([s for s, _ in ranked]),
+        stats=stats,
+    )
+
+
+def _paper_search(
+    index: GraphIndex,
+    query: MultiVector,
+    k: int,
+    l: int,
+    weights: Weights | None,
+    early_termination: bool,
+    rng,
+    check_monotone: bool,
+) -> SearchResult:
+    space = index.space
+    n = space.n
+    stats = SearchStats()
+    qcat, concat, active = _score_setup(space, query, weights, early_termination)
+
+    r_ids = _init_result_set(index, l, rng)
+    init_size = r_ids.size
+    seen = np.zeros(n, dtype=bool)
+    expanded = np.zeros(n, dtype=bool)
+    seen[r_ids] = True
+    if qcat is not None:
+        r_sims = (concat[r_ids] @ qcat).astype(np.float64)
+        stats.joint_evals += int(r_ids.size)
+        stats.modality_evals += int(r_ids.size) * active
+    else:
+        r_sims = space.query_ids(query, r_ids, weights=weights, stats=stats)
+
+    last_total = -np.inf
+    while True:
+        pending = ~expanded[r_ids]
+        if not pending.any():
+            break
+        # Unvisited vertex of R nearest to the query (l.5).
+        local = np.flatnonzero(pending)
+        v = int(r_ids[local[np.argmax(r_sims[local])]])
+        expanded[v] = True
+        stats.hops += 1
+        stats.visited_vertices += 1
+
+        adj = index.neighbors[v]
+        fresh = adj[~seen[adj]]
+        if fresh.size:
+            seen[fresh] = True
+            threshold = float(r_sims.min()) if r_ids.size >= init_size else -np.inf
+            if early_termination:
+                sims, exact = space.query_ids_early_stop(
+                    query, fresh, threshold, weights=weights, stats=stats
+                )
+                keep = exact & (sims > threshold)
+            elif qcat is not None:
+                sims = (concat[fresh] @ qcat).astype(np.float64)
+                stats.joint_evals += int(fresh.size)
+                stats.modality_evals += int(fresh.size) * active
+                keep = sims > threshold
+            else:
+                sims = space.query_ids(query, fresh, weights=weights, stats=stats)
+                keep = sims > threshold
+            if keep.any():
+                r_ids = np.concatenate([r_ids, fresh[keep]])
+                r_sims = np.concatenate([r_sims, sims[keep]])
+                if r_ids.size > init_size:
+                    top = np.argpartition(-r_sims, init_size - 1)[:init_size]
+                    r_ids, r_sims = r_ids[top], r_sims[top]
+
+        if check_monotone:
+            total = float(r_sims.sum())
+            # Lemma 3: f(η) is monotonically non-decreasing.
+            assert total >= last_total - 1e-9, (
+                f"Lemma 3 violated: {total} < {last_total}"
+            )
+            last_total = total
+
+    if index.deleted is not None:
+        # §IX bitset: soft-deleted vertices participated in routing via R
+        # but are stripped from the answer (the heap engine additionally
+        # keeps them from occupying result slots).
+        keep = ~index.deleted[r_ids]
+        r_ids, r_sims = r_ids[keep], r_sims[keep]
+    order = np.lexsort((r_ids, -r_sims))[:k]
+    return SearchResult(ids=r_ids[order], similarities=r_sims[order], stats=stats)
+
+
+def greedy_search_graph(
+    concat: np.ndarray,
+    neighbors: list[np.ndarray] | np.ndarray,
+    entry: int,
+    query_vec: np.ndarray,
+    beam: int,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Construction-time beam search on raw concatenated vectors.
+
+    Used internally while *building* indexes (NSG candidate acquisition,
+    HNSW insertion, Vamana passes): returns every expanded vertex and its
+    similarity, best first.  Query-time search should use
+    :func:`joint_search` instead, which adds weights/pruning/stats.
+    """
+    n = concat.shape[0]
+    seen = np.zeros(n, dtype=bool)
+    seen[entry] = True
+    entry_sim = float(concat[entry] @ query_vec)
+    results = [(entry_sim, entry)]
+    candidates = [(-entry_sim, entry)]
+    expanded_ids: list[int] = [entry]
+    expanded_sims: list[float] = [entry_sim]
+    while candidates:
+        neg_sim, v = heapq.heappop(candidates)
+        if len(results) >= beam and -neg_sim < results[0][0]:
+            break
+        adj = np.asarray(neighbors[v])
+        fresh = adj[~seen[adj]]
+        if fresh.size == 0:
+            continue
+        seen[fresh] = True
+        sims = concat[fresh] @ query_vec
+        threshold = results[0][0] if len(results) >= beam else -np.inf
+        for j in np.flatnonzero(sims > threshold):
+            sim = float(sims[j])
+            u = int(fresh[j])
+            heapq.heappush(candidates, (-sim, u))
+            expanded_ids.append(u)
+            expanded_sims.append(sim)
+            if len(results) < beam:
+                heapq.heappush(results, (sim, u))
+            else:
+                heapq.heappushpop(results, (sim, u))
+    order = np.argsort(-np.asarray(expanded_sims), kind="stable")
+    ids = np.asarray(expanded_ids, dtype=np.int64)[order]
+    sims = np.asarray(expanded_sims)[order]
+    return ids, sims

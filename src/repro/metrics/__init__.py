@@ -1,0 +1,25 @@
+"""Evaluation metrics: recall (Eq. 1), SME (Eq. 4), QPS, exact ground truth."""
+
+from repro.metrics.groundtruth import exact_top_k, exact_top_k_batch
+from repro.metrics.recall import (
+    hit_rate_at_k,
+    mean_hit_rate,
+    mean_recall,
+    mean_sme,
+    recall_at_k,
+    sme,
+)
+from repro.metrics.timing import TimedRun, measure_qps
+
+__all__ = [
+    "exact_top_k",
+    "exact_top_k_batch",
+    "hit_rate_at_k",
+    "mean_hit_rate",
+    "mean_recall",
+    "mean_sme",
+    "recall_at_k",
+    "sme",
+    "TimedRun",
+    "measure_qps",
+]

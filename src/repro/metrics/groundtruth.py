@@ -1,0 +1,41 @@
+"""Exact (brute-force) answers under a joint space.
+
+Used for three things:
+
+* planting evaluation ground truth for the semi-synthetic corpora,
+* the MUST-- / MR-- brute-force baselines' reference behaviour,
+* hard-negative mining inside the weight-learning loop.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.multivector import MultiVector
+from repro.core.space import JointSpace
+from repro.core.weights import Weights
+from repro.utils.topk import top_k_sorted
+
+__all__ = ["exact_top_k", "exact_top_k_batch"]
+
+
+def exact_top_k(
+    space: JointSpace,
+    query: MultiVector,
+    k: int,
+    weights: Weights | None = None,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Exact top-*k* ids and joint similarities for one query."""
+    sims = space.query_all(query, weights=weights)
+    ids = top_k_sorted(sims, k)
+    return ids, sims[ids]
+
+
+def exact_top_k_batch(
+    space: JointSpace,
+    queries: list[MultiVector],
+    k: int,
+    weights: Weights | None = None,
+) -> list[np.ndarray]:
+    """Exact top-*k* ids for each query in a batch."""
+    return [exact_top_k(space, q, k, weights=weights)[0] for q in queries]

@@ -1,0 +1,99 @@
+"""Accuracy metrics: recall rate (Eq. 1) and similarity measure error (Eq. 4)."""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.utils.validation import require
+
+__all__ = ["recall_at_k", "hit_rate_at_k", "mean_recall", "mean_hit_rate", "sme", "mean_sme"]
+
+
+def recall_at_k(
+    result_ids: np.ndarray, ground_truth_ids: np.ndarray, k: int
+) -> float:
+    """``Recall@k(k') = |R ∩ G| / k'`` (paper Eq. 1).
+
+    ``R`` is the first *k* entries of *result_ids*; ``k' = |G|`` is the
+    number of ground-truth objects for the query.
+    """
+    require(k >= 1, "k must be positive")
+    gt = np.asarray(ground_truth_ids)
+    require(gt.size >= 1, "ground truth must be non-empty")
+    retrieved = np.asarray(result_ids)[:k]
+    hits = np.intersect1d(retrieved, gt, assume_unique=False).size
+    return hits / gt.size
+
+
+def hit_rate_at_k(result_ids: np.ndarray, ground_truth_ids: np.ndarray, k: int) -> float:
+    """``Recall@k(1)``: 1.0 when any ground-truth object appears in the top-k.
+
+    The paper's accuracy tables (III–VI) report ``Recall@k(1)`` — a query
+    counts as answered when its best-matching object is retrieved, even if
+    the corpus contains several equally valid instances.
+    """
+    require(k >= 1, "k must be positive")
+    retrieved = np.asarray(result_ids)[:k]
+    gt = np.asarray(ground_truth_ids)
+    require(gt.size >= 1, "ground truth must be non-empty")
+    return float(np.intersect1d(retrieved, gt).size > 0)
+
+
+def mean_hit_rate(
+    results: Sequence[np.ndarray], ground_truths: Sequence[np.ndarray], k: int
+) -> float:
+    """Mean of :func:`hit_rate_at_k` over a query batch."""
+    require(len(results) == len(ground_truths), "batch size mismatch")
+    require(len(results) >= 1, "empty batch")
+    return float(
+        np.mean([hit_rate_at_k(r, g, k) for r, g in zip(results, ground_truths)])
+    )
+
+
+def mean_recall(
+    results: Sequence[np.ndarray], ground_truths: Sequence[np.ndarray], k: int
+) -> float:
+    """Mean of :func:`recall_at_k` over a query batch."""
+    require(len(results) == len(ground_truths), "batch size mismatch")
+    require(len(results) >= 1, "empty batch")
+    return float(
+        np.mean([recall_at_k(r, g, k) for r, g in zip(results, ground_truths)])
+    )
+
+
+def sme(ground_truth_vector: np.ndarray, result_vector: np.ndarray) -> float:
+    """Similarity measure error ``SME(a, r) = 1 − IP(ϕ0(a0), ϕ0(r0))``.
+
+    Both arguments are the *target-modality* vectors of the ground-truth
+    object ``a`` and the returned object ``r`` (paper Eq. 4).
+    """
+    ip = float(
+        np.dot(
+            np.asarray(ground_truth_vector, dtype=np.float64),
+            np.asarray(result_vector, dtype=np.float64),
+        )
+    )
+    return 1.0 - ip
+
+
+def mean_sme(
+    target_matrix: np.ndarray,
+    result_top1_ids: Sequence[int],
+    ground_truth_ids: Sequence[np.ndarray],
+) -> float:
+    """Mean SME between each query's top-1 result and its best ground truth.
+
+    When a query has several ground-truth objects, the error is measured
+    against the one most similar to the returned object — matching the
+    paper's convention that SME reflects how far the best answer drifted.
+    """
+    require(len(result_top1_ids) == len(ground_truth_ids), "batch size mismatch")
+    errors = []
+    mat = np.asarray(target_matrix, dtype=np.float64)
+    for rid, gt in zip(result_top1_ids, ground_truth_ids):
+        gt = np.asarray(gt)
+        ips = mat[gt] @ mat[int(rid)]
+        errors.append(1.0 - float(ips.max()))
+    return float(np.mean(errors))

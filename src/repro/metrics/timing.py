@@ -1,0 +1,55 @@
+"""Throughput measurement (queries per second).
+
+``QPS = #queries / total response time`` — the paper's efficiency metric
+(§VIII-A).  Wall-clock is measured with ``perf_counter``; callers decide
+warm-up policy.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Callable, Iterable, Sequence, TypeVar
+
+__all__ = ["TimedRun", "measure_qps"]
+
+Q = TypeVar("Q")
+
+
+@dataclass
+class TimedRun:
+    """Outcome of a timed batch: results, elapsed seconds, and QPS."""
+
+    results: list
+    elapsed: float
+    num_queries: int
+
+    @property
+    def qps(self) -> float:
+        if self.elapsed <= 0.0:
+            return float("inf")
+        return self.num_queries / self.elapsed
+
+    @property
+    def mean_latency(self) -> float:
+        """Average seconds per query."""
+        return self.elapsed / max(self.num_queries, 1)
+
+
+def measure_qps(
+    search_fn: Callable[[Q], object],
+    queries: Sequence[Q] | Iterable[Q],
+    warmup: int = 0,
+) -> TimedRun:
+    """Run *search_fn* over *queries*, timing only the measured portion.
+
+    ``warmup`` queries are executed first without timing to populate CPU
+    caches, mirroring the repeated-trials protocol of §VIII-A.
+    """
+    queries = list(queries)
+    for q in queries[:warmup]:
+        search_fn(q)
+    start = time.perf_counter()
+    results = [search_fn(q) for q in queries]
+    elapsed = time.perf_counter() - start
+    return TimedRun(results=results, elapsed=elapsed, num_queries=len(queries))

@@ -1,0 +1,23 @@
+"""Shared low-level utilities (randomness, top-k selection, validation, IO)."""
+
+from repro.utils.rng import derive_seed, make_rng, spawn
+from repro.utils.topk import merge_top_k, top_k_indices, top_k_sorted
+from repro.utils.validation import (
+    as_float_matrix,
+    as_float_vector,
+    check_normalized,
+    require,
+)
+
+__all__ = [
+    "derive_seed",
+    "make_rng",
+    "spawn",
+    "merge_top_k",
+    "top_k_indices",
+    "top_k_sorted",
+    "as_float_matrix",
+    "as_float_vector",
+    "check_normalized",
+    "require",
+]

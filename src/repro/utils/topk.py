@@ -1,0 +1,63 @@
+"""Top-k selection helpers shared by the search kernels.
+
+Similarities in this library follow the paper's convention: **larger inner
+product = more similar**.  All helpers therefore select maxima.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["top_k_indices", "top_k_sorted", "merge_top_k"]
+
+
+def top_k_indices(scores: np.ndarray, k: int) -> np.ndarray:
+    """Indices of the *k* largest entries of *scores*, unordered.
+
+    Uses ``argpartition`` (O(n)) instead of a full sort; callers that need
+    ranked output should use :func:`top_k_sorted`.
+    """
+    n = scores.shape[0]
+    if k >= n:
+        return np.arange(n)
+    if k <= 0:
+        return np.empty(0, dtype=np.intp)
+    return np.argpartition(scores, n - k)[n - k:]
+
+
+def top_k_sorted(scores: np.ndarray, k: int) -> np.ndarray:
+    """Indices of the *k* largest entries, best first.
+
+    Ordering within the result breaks ties by index; which of several
+    equal-score entries straddling the selection boundary is included is
+    deterministic for a given input but unspecified (argpartition's
+    choice) — the returned *scores* are always the true top-k multiset.
+    """
+    idx = top_k_indices(scores, k)
+    # Secondary key on the index makes the ordering fully deterministic.
+    order = np.lexsort((idx, -scores[idx]))
+    return idx[order]
+
+
+def merge_top_k(
+    ids_a: np.ndarray,
+    scores_a: np.ndarray,
+    ids_b: np.ndarray,
+    scores_b: np.ndarray,
+    k: int,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Merge two scored id lists into the overall top-*k* (deduplicated).
+
+    When an id appears in both inputs its maximum score wins; this is the
+    behaviour the MR baseline needs when pooling per-modality candidates.
+    """
+    ids = np.concatenate([ids_a, ids_b])
+    scores = np.concatenate([scores_a, scores_b])
+    # Keep the best score per id.
+    order = np.lexsort((-scores, ids))
+    ids, scores = ids[order], scores[order]
+    keep = np.ones(len(ids), dtype=bool)
+    keep[1:] = ids[1:] != ids[:-1]
+    ids, scores = ids[keep], scores[keep]
+    sel = top_k_sorted(scores, k)
+    return ids[sel], scores[sel]

@@ -1,0 +1,24 @@
+"""Vector weight learning (paper §VI): contrastive learning of ω."""
+
+from repro.weightlearn.loss import contrastive_loss_and_grad, joint_logits
+from repro.weightlearn.negatives import (
+    build_features,
+    mine_hard_negatives,
+    sample_random_negatives,
+)
+from repro.weightlearn.trainer import (
+    TrainHistory,
+    VectorWeightLearner,
+    WeightLearningResult,
+)
+
+__all__ = [
+    "contrastive_loss_and_grad",
+    "joint_logits",
+    "build_features",
+    "mine_hard_negatives",
+    "sample_random_negatives",
+    "TrainHistory",
+    "VectorWeightLearner",
+    "WeightLearningResult",
+]

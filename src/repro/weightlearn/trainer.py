@@ -1,0 +1,182 @@
+"""Vector weight learning (paper §VI): the training loop.
+
+Given anchors (queries), their positive objects, and a pool of true
+objects ``T``, gradient descent on the contrastive loss learns the
+per-modality weights ``ω``.  The per-modality similarity features between
+anchors and the pool are precomputed once, so each epoch is a handful of
+dense tensor ops — the paper reports <200 s training even at million
+scale and calls the model "lightweight"; this implementation trains in
+milliseconds at bench scale.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.multivector import MultiVector, MultiVectorSet
+from repro.core.weights import Weights
+from repro.utils.rng import make_rng
+from repro.utils.validation import require
+from repro.weightlearn.loss import contrastive_loss_and_grad
+from repro.weightlearn.negatives import (
+    build_features,
+    mine_hard_negatives,
+    sample_random_negatives,
+)
+
+__all__ = ["TrainHistory", "WeightLearningResult", "VectorWeightLearner"]
+
+_MIN_OMEGA = 1e-3
+
+
+@dataclass
+class TrainHistory:
+    """Per-epoch curves (loss, training recall, ω² snapshots) — Fig. 9/13."""
+
+    loss: list[float] = field(default_factory=list)
+    recall: list[float] = field(default_factory=list)
+    squared_weights: list[np.ndarray] = field(default_factory=list)
+
+
+@dataclass
+class WeightLearningResult:
+    """Learned weights plus provenance for the experiment tables."""
+
+    weights: Weights
+    history: TrainHistory
+    seconds: float
+    strategy: str
+    epochs: int
+
+
+class VectorWeightLearner:
+    """Contrastive weight learner with hard or random negatives."""
+
+    def __init__(
+        self,
+        learning_rate: float = 0.1,
+        epochs: int = 200,
+        num_negatives: int = 10,
+        strategy: str = "hard",
+        remine_every: int = 1,
+        normalize: bool = True,
+        temperature: float = 8.0,
+        seed: int = 0,
+    ):
+        """``normalize`` rescales ω after every step so ``Σ ω² = 1``.
+
+        Without it, gradient descent inflates the overall weight *scale*
+        (a sharper softmax lowers the loss without changing any ranking)
+        instead of rotating the modality *ratio*, stalling learning.
+        ``temperature`` multiplies the similarity features inside the
+        softmax, controlling how hard the loss focuses on the closest
+        negatives (rankings depend only on the ratio, never on scale).
+        """
+        require(strategy in ("hard", "random"), "strategy: 'hard' or 'random'")
+        require(epochs >= 1, "need at least one epoch")
+        require(num_negatives >= 1, "need at least one negative")
+        self.learning_rate = float(learning_rate)
+        self.epochs = int(epochs)
+        self.num_negatives = int(num_negatives)
+        self.strategy = strategy
+        self.remine_every = max(1, int(remine_every))
+        self.normalize = bool(normalize)
+        self.temperature = float(temperature)
+        self.seed = int(seed)
+
+    # ------------------------------------------------------------------
+    def _anchor_matrices(
+        self, anchors: list[MultiVector], pool: MultiVectorSet
+    ) -> np.ndarray:
+        """Per-modality anchor↔pool IPs, shape ``(m, B, P)``.
+
+        Anchors with a missing modality contribute zero similarity in that
+        slot (consistent with the ω_i = 0 rule for absent modalities).
+        """
+        m = pool.num_modalities
+        batch = len(anchors)
+        sims = np.zeros((m, batch, pool.n))
+        for i in range(m):
+            rows = [a.vectors[i] for a in anchors]
+            present = [r is not None for r in rows]
+            if not any(present):
+                continue
+            dim = pool.dims[i]
+            stacked = np.stack(
+                [r if r is not None else np.zeros(dim, dtype=np.float32)
+                 for r in rows]
+            )
+            sims[i] = stacked @ pool.modality(i).T
+        return sims
+
+    # ------------------------------------------------------------------
+    def fit(
+        self,
+        anchors: list[MultiVector],
+        positives: np.ndarray,
+        pool: MultiVectorSet,
+    ) -> WeightLearningResult:
+        """Learn weights from (anchor, positive) pairs over *pool*.
+
+        ``positives[b]`` is the row in *pool* of anchor ``b``'s true
+        object (the paper's ``T`` set is exactly the pool).
+        """
+        require(len(anchors) >= 1, "need at least one anchor")
+        positives = np.asarray(positives, dtype=np.int64)
+        require(positives.shape == (len(anchors),),
+                "one positive per anchor required")
+        require(bool((positives >= 0).all() and (positives < pool.n).all()),
+                "positive row out of pool range")
+
+        start = time.perf_counter()
+        rng = make_rng(self.seed)
+        modality_sims = self._anchor_matrices(anchors, pool)
+        m = pool.num_modalities
+
+        # Random positive initialisation, as in §VI-B.
+        omegas = rng.uniform(0.3, 1.0, size=m)
+        history = TrainHistory()
+        negatives = None
+        for epoch in range(self.epochs):
+            if negatives is None or epoch % self.remine_every == 0:
+                if self.strategy == "hard":
+                    negatives = mine_hard_negatives(
+                        modality_sims, positives, omegas, self.num_negatives
+                    )
+                else:
+                    negatives = sample_random_negatives(
+                        pool.n, positives, self.num_negatives, rng
+                    )
+            features = build_features(modality_sims, positives, negatives)
+            loss, grad = contrastive_loss_and_grad(
+                self.temperature * features, omegas
+            )
+            omegas = np.maximum(omegas - self.learning_rate * grad, _MIN_OMEGA)
+            if self.normalize:
+                omegas = omegas / np.linalg.norm(omegas)
+
+            joint = np.tensordot(omegas**2, modality_sims, axes=1)
+            recall = float(
+                (joint.argmax(axis=1) == positives).mean()
+            )
+            history.loss.append(loss)
+            history.recall.append(recall)
+            history.squared_weights.append(omegas**2)
+
+        # Checkpoint selection: return the weights of the best-recall
+        # epoch.  On very noisy encoder combinations the contrastive loss
+        # can drift towards degenerate ratios late in training (it
+        # flattens logits for unwinnable anchors); the retrieval metric
+        # itself is the model-selection criterion.
+        best_epoch = int(np.argmax(history.recall))
+        best_w2 = history.squared_weights[best_epoch]
+        return WeightLearningResult(
+            weights=Weights(best_w2),
+            history=history,
+            seconds=time.perf_counter() - start,
+            strategy=self.strategy,
+            epochs=self.epochs,
+        )

@@ -1,0 +1,104 @@
+"""Unit tests for the multi-vector column store and MultiVector."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.core.multivector import MultiVector, MultiVectorSet, normalize_rows
+
+from tests.conftest import random_multivector_set
+
+
+class TestNormalizeRows:
+    def test_unit_norms(self):
+        mat = normalize_rows(np.random.default_rng(0).standard_normal((5, 4)))
+        assert np.allclose(np.linalg.norm(mat, axis=1), 1.0, atol=1e-5)
+
+    def test_zero_row_preserved(self):
+        mat = normalize_rows(np.array([[0.0, 0.0], [3.0, 4.0]]))
+        assert np.array_equal(mat[0], [0.0, 0.0])
+        assert np.allclose(mat[1], [0.6, 0.8])
+
+    @given(
+        hnp.arrays(
+            np.float64, (4, 6),
+            elements=st.floats(-10, 10, allow_nan=False),
+        )
+    )
+    def test_idempotent(self, mat):
+        once = normalize_rows(mat)
+        twice = normalize_rows(once)
+        assert np.allclose(once, twice, atol=1e-5)
+
+
+class TestMultiVector:
+    def test_from_arrays_and_present(self):
+        mv = MultiVector.from_arrays([np.ones(3, dtype=np.float32), None])
+        assert mv.num_modalities == 2
+        assert mv.present == (True, False)
+
+    def test_replace_swaps_slot(self):
+        mv = MultiVector.from_arrays([np.ones(3), np.ones(2)])
+        out = mv.replace(0, None)
+        assert out.present == (False, True)
+        assert mv.present == (True, True)  # original untouched
+
+    def test_replace_with_vector(self):
+        mv = MultiVector.from_arrays([np.ones(3), None])
+        out = mv.replace(1, np.zeros(2))
+        assert out.present == (True, True)
+
+
+class TestMultiVectorSet:
+    def test_basic_shape_properties(self):
+        mvs = random_multivector_set(10, (4, 6), seed=2)
+        assert mvs.n == len(mvs) == 10
+        assert mvs.num_modalities == 2
+        assert mvs.dims == (4, 6)
+
+    def test_row_returns_object_vectors(self):
+        mvs = random_multivector_set(10, (4, 6), seed=2)
+        row = mvs.row(3)
+        assert np.array_equal(row.vectors[0], mvs.modality(0)[3])
+        assert np.array_equal(row.vectors[1], mvs.modality(1)[3])
+
+    def test_subset_keeps_order(self):
+        mvs = random_multivector_set(10, (4,), seed=2)
+        sub = mvs.subset(np.array([7, 2, 5]))
+        assert sub.n == 3
+        assert np.array_equal(sub.modality(0)[0], mvs.modality(0)[7])
+        assert np.array_equal(sub.modality(0)[2], mvs.modality(0)[5])
+
+    def test_concatenated_plain(self):
+        mvs = random_multivector_set(5, (2, 3), seed=2)
+        cat = mvs.concatenated()
+        assert cat.shape == (5, 5)
+        assert np.array_equal(cat[:, :2], mvs.modality(0))
+
+    def test_concatenated_scaled(self):
+        mvs = random_multivector_set(5, (2, 3), seed=2)
+        cat = mvs.concatenated([2.0, 0.5])
+        assert np.allclose(cat[:, :2], 2.0 * mvs.modality(0), atol=1e-6)
+        assert np.allclose(cat[:, 2:], 0.5 * mvs.modality(1), atol=1e-6)
+
+    def test_row_count_mismatch_rejected(self):
+        with pytest.raises(ValueError, match="rows"):
+            MultiVectorSet([np.zeros((3, 2)), np.zeros((4, 2))])
+
+    def test_empty_modality_list_rejected(self):
+        with pytest.raises(ValueError):
+            MultiVectorSet([])
+
+    def test_normalize_flag(self):
+        raw = [np.full((4, 3), 2.0)]
+        mvs = MultiVectorSet(raw, normalize=True)
+        assert np.allclose(np.linalg.norm(mvs.modality(0), axis=1), 1.0)
+
+    def test_concatenated_wrong_scale_count(self):
+        mvs = random_multivector_set(5, (2, 3), seed=2)
+        with pytest.raises(ValueError):
+            mvs.concatenated([1.0])

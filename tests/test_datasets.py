@@ -1,0 +1,250 @@
+"""Tests for dataset generators and the encoding step."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.datasets import (
+    EncoderCombo,
+    encode_dataset,
+    make_audiotext,
+    make_celeba,
+    make_celeba_plus,
+    make_imagetext,
+    make_largescale,
+    make_mitstates,
+    make_mscoco,
+    make_shopping,
+    split_queries,
+)
+from repro.datasets.largescale import encode_largescale
+
+
+class TestSplitQueries:
+    def test_partition_is_disjoint_and_complete(self):
+        train, test = split_queries(100, 0.5, seed=0)
+        assert np.intersect1d(train, test).size == 0
+        assert np.union1d(train, test).size == 100
+
+    def test_fraction_respected(self):
+        train, test = split_queries(100, 0.3, seed=0)
+        assert len(train) == 30 and len(test) == 70
+
+    def test_deterministic(self):
+        assert np.array_equal(
+            split_queries(50, 0.5, seed=7)[0], split_queries(50, 0.5, seed=7)[0]
+        )
+
+    def test_invalid_fraction(self):
+        with pytest.raises(ValueError):
+            split_queries(10, 1.5)
+
+
+class TestMitStates:
+    @pytest.fixture(scope="class")
+    def sem(self):
+        return make_mitstates(num_nouns=8, num_states=5, instances_per_pair=2,
+                              num_queries=30, seed=3)
+
+    def test_corpus_size(self, sem):
+        assert sem.n == 8 * 5 * 2
+        assert sem.num_modalities == 2
+        assert sem.num_queries == 30
+
+    def test_ground_truth_matches_query_semantics(self, sem):
+        nouns = sem.extra["nouns"]
+        states = sem.extra["states"]
+        for qi in range(sem.num_queries):
+            label = sem.query_labels[qi]
+            # "refstate noun + 'change state to tgtstate'"
+            tgt_state = label.split("change state to ")[1].rstrip("'")
+            noun = label.split()[1]
+            for gt in sem.ground_truth[qi]:
+                assert sem.object_labels[gt] == f"{tgt_state} {noun}"
+
+    def test_reference_shares_noun_not_state(self, sem):
+        for qi in range(sem.num_queries):
+            ref_label = sem.object_labels[sem.query_reference_ids[qi]]
+            gt_label = sem.object_labels[sem.ground_truth[qi][0]]
+            assert ref_label.split()[1] == gt_label.split()[1]  # noun
+            assert ref_label.split()[0] != gt_label.split()[0]  # state
+
+    def test_reference_never_in_ground_truth(self, sem):
+        for qi in range(sem.num_queries):
+            assert sem.query_reference_ids[qi] not in sem.ground_truth[qi]
+
+    def test_latents_normalised(self, sem):
+        for mat in sem.object_latents:
+            assert np.allclose(np.linalg.norm(mat, axis=1), 1.0, atol=1e-8)
+
+    def test_deterministic(self):
+        a = make_mitstates(num_nouns=5, num_states=3, num_queries=5, seed=9)
+        b = make_mitstates(num_nouns=5, num_states=3, num_queries=5, seed=9)
+        assert np.array_equal(a.object_latents[0], b.object_latents[0])
+        assert np.array_equal(a.query_reference_ids, b.query_reference_ids)
+
+    def test_seed_changes_content(self):
+        a = make_mitstates(num_nouns=5, num_states=3, num_queries=5, seed=1)
+        b = make_mitstates(num_nouns=5, num_states=3, num_queries=5, seed=2)
+        assert not np.allclose(a.object_latents[0], b.object_latents[0])
+
+
+class TestCeleba:
+    @pytest.fixture(scope="class")
+    def sem(self):
+        return make_celeba(num_identities=20, variants_per_identity=3,
+                           num_attributes=4, num_queries=25, seed=4)
+
+    def test_corpus_size(self, sem):
+        assert sem.n == 60
+        assert sem.num_modalities == 2
+
+    def test_gt_same_identity_as_reference(self, sem):
+        identity_of = sem.extra["identity_of"]
+        for qi in range(sem.num_queries):
+            ref = sem.query_reference_ids[qi]
+            gt = sem.ground_truth[qi][0]
+            assert identity_of[ref] == identity_of[gt]
+            assert ref != gt
+
+    def test_celeba_plus_modalities(self):
+        for m in (2, 3, 4):
+            sem = make_celeba_plus(num_modalities=m, num_identities=10,
+                                   num_queries=5, seed=1)
+            assert sem.num_modalities == m
+            assert len(sem.query_aux_latents) == m - 1
+
+    def test_celeba_plus_bad_m(self):
+        with pytest.raises(ValueError):
+            make_celeba_plus(num_modalities=5)
+
+
+class TestShopping:
+    @pytest.fixture(scope="class")
+    def sem(self):
+        return make_shopping(query_category="t-shirt", num_colors=4,
+                             num_fabrics=3, num_patterns=3,
+                             instances_per_combo=1, num_queries=20, seed=5)
+
+    def test_corpus_covers_all_categories(self, sem):
+        labels = " ".join(sem.object_labels)
+        for cat in ("t-shirt", "bottoms", "dress", "jacket"):
+            assert cat in labels
+
+    def test_gt_within_query_category(self, sem):
+        for qi in range(sem.num_queries):
+            for gt in sem.ground_truth[qi]:
+                assert sem.object_labels[gt].startswith("t-shirt")
+
+    def test_gt_attributes_differ_from_reference(self, sem):
+        for qi in range(sem.num_queries):
+            ref = sem.object_labels[sem.query_reference_ids[qi]]
+            gt = sem.object_labels[sem.ground_truth[qi][0]]
+            assert ref != gt
+
+    def test_bottoms_category(self):
+        sem = make_shopping(query_category="bottoms", num_colors=3,
+                            num_fabrics=2, num_patterns=2, num_queries=5, seed=1)
+        assert sem.object_labels[sem.ground_truth[0][0]].startswith("bottoms")
+
+    def test_unknown_category(self):
+        with pytest.raises(ValueError):
+            make_shopping(query_category="shoes")
+
+
+class TestMscoco:
+    @pytest.fixture(scope="class")
+    def sem(self):
+        return make_mscoco(num_categories=10, num_scenes=60, num_queries=15,
+                           seed=6)
+
+    def test_three_modalities(self, sem):
+        assert sem.num_modalities == 3
+        assert sem.modality_kinds == ("image", "image", "text")
+        assert len(sem.query_aux_latents) == 2
+
+    def test_references_not_ground_truth(self, sem):
+        for qi in range(sem.num_queries):
+            assert sem.query_reference_ids[qi] not in sem.ground_truth[qi]
+
+    def test_gt_scene_sets_consistent(self, sem):
+        scene_cats = sem.extra["scene_cats"]
+        for qi in range(sem.num_queries):
+            gts = sem.ground_truth[qi]
+            first = tuple(scene_cats[gts[0]])
+            for gt in gts[1:]:
+                assert tuple(scene_cats[gt]) == first
+
+
+class TestLargescale:
+    def test_kinds_and_sizes(self):
+        for make, kind in ((make_imagetext, "image"), (make_audiotext, "audio")):
+            sem = make(n=300, num_queries=10, num_clusters=8, seed=2)
+            assert sem.n == 300
+            assert sem.extra["kind"] == kind
+            assert sem.query_reference_ids is None
+            assert sem.query_reference_latents.shape[0] == 10
+
+    def test_invalid_kind(self):
+        with pytest.raises(ValueError):
+            make_largescale(kind="text")
+
+    def test_encode_largescale_dims(self):
+        sem = make_imagetext(n=200, num_queries=5, num_clusters=8, seed=2)
+        enc = encode_largescale(sem)
+        assert enc.objects.dims == (128, 48)  # resnet50 + lstm
+        assert enc.queries_option2 is None  # unimodal combo → no Option 2
+
+
+class TestEncodeDataset:
+    def test_option1_reference_reuses_corpus_vector(self, mitstates_small,
+                                                    mitstates_encoded):
+        enc = mitstates_encoded
+        ref = mitstates_small.query_reference_ids[0]
+        assert np.array_equal(
+            enc.queries_option1[0].vectors[0], enc.objects.modality(0)[ref]
+        )
+
+    def test_unimodal_combo_has_no_option2(self, mitstates_encoded):
+        assert mitstates_encoded.queries_option2 is None
+        assert mitstates_encoded.queries is mitstates_encoded.queries_option1
+
+    def test_composition_combo_has_option2(self, mitstates_small):
+        enc = encode_dataset(
+            mitstates_small, EncoderCombo("clip", ("lstm",)), seed=0
+        )
+        assert enc.queries_option2 is not None
+        assert enc.queries is enc.queries_option2
+        assert enc.queries_option2[0].vectors[0].shape == (128,)
+
+    def test_combo_label(self):
+        combo = EncoderCombo("resnet50", ("lstm",))
+        assert combo.label == "ResNet50+LSTM"
+        assert EncoderCombo("clip", ("gru", "encoding")).label == "CLIP+GRU+Encoding"
+
+    def test_queries_single_modality(self, mitstates_encoded):
+        target_only = mitstates_encoded.queries_single_modality(0)
+        assert target_only[0].present == (True, False)
+        aux_only = mitstates_encoded.queries_single_modality(1)
+        assert aux_only[0].present == (False, True)
+
+    def test_wrong_aux_count_rejected(self, mitstates_small):
+        with pytest.raises(ValueError):
+            encode_dataset(
+                mitstates_small, EncoderCombo("resnet50", ("lstm", "gru"))
+            )
+
+    def test_all_vectors_normalised(self, mitstates_encoded):
+        for mat in mitstates_encoded.objects.matrices:
+            assert np.allclose(np.linalg.norm(mat, axis=1), 1.0, atol=1e-4)
+
+    def test_encoding_deterministic(self, mitstates_small):
+        a = encode_dataset(mitstates_small, EncoderCombo("resnet50", ("lstm",)), seed=0)
+        b = encode_dataset(mitstates_small, EncoderCombo("resnet50", ("lstm",)), seed=0)
+        assert np.array_equal(a.objects.modality(0), b.objects.modality(0))
+
+    def test_encoder_seed_changes_vectors(self, mitstates_small):
+        a = encode_dataset(mitstates_small, EncoderCombo("resnet50", ("lstm",)), seed=0)
+        b = encode_dataset(mitstates_small, EncoderCombo("resnet50", ("lstm",)), seed=1)
+        assert not np.allclose(a.objects.modality(0), b.objects.modality(0))

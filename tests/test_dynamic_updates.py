@@ -1,0 +1,113 @@
+"""Tests for §IX dynamic updates: soft deletion, compaction, HNSW inserts."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.framework import MUST
+from repro.core.multivector import MultiVectorSet
+from repro.core.space import JointSpace
+from repro.core.weights import Weights
+from repro.index.flat import FlatIndex
+from repro.index.pipeline import FusedIndexBuilder
+from repro.index.search import joint_search
+
+from tests.conftest import random_multivector_set, random_query
+
+
+@pytest.fixture()
+def built():
+    space = JointSpace(random_multivector_set(300, (8, 6), seed=91),
+                       Weights([0.5, 0.5]))
+    index = FusedIndexBuilder(gamma=10, seed=2).build(space)
+    queries = [random_query((8, 6), seed=s) for s in range(12)]
+    return space, index, queries
+
+
+class TestSoftDeletion:
+    def test_deleted_never_returned(self, built):
+        space, index, queries = built
+        doomed = np.arange(0, 300, 3)
+        index.mark_deleted(doomed)
+        doomed_set = set(doomed.tolist())
+        for engine in ("heap", "paper"):
+            for q in queries:
+                res = joint_search(index, q, k=10, l=60, engine=engine)
+                assert not (set(res.ids.tolist()) & doomed_set)
+
+    def test_recall_on_survivors_preserved(self, built):
+        space, index, queries = built
+        # Delete the exact top-5 of the first query; the searcher should
+        # then surface the next-best *active* objects.
+        flat = FlatIndex(space)
+        exact_before = flat.search(queries[0], 5).ids
+        index.mark_deleted(exact_before)
+        res = joint_search(index, queries[0], k=10, l=120)
+        sims = space.query_all(queries[0])
+        sims[exact_before] = -np.inf
+        expected = set(np.argsort(-sims)[:10].tolist())
+        assert len(set(res.ids.tolist()) & expected) >= 8
+
+    def test_num_active_tracks_deletions(self, built):
+        _, index, _ = built
+        assert index.num_active == 300
+        index.mark_deleted(np.array([1, 2, 3]))
+        assert index.num_active == 297
+        # Re-deleting the same ids is idempotent.
+        index.mark_deleted(np.array([2, 3]))
+        assert index.num_active == 297
+
+    def test_cannot_delete_everything(self, built):
+        _, index, _ = built
+        with pytest.raises(ValueError):
+            index.mark_deleted(np.arange(300))
+
+    def test_out_of_range_rejected(self, built):
+        _, index, _ = built
+        with pytest.raises(ValueError):
+            index.mark_deleted(np.array([999]))
+
+    def test_deleted_mask_survives_save_load(self, built, tmp_path):
+        space, index, queries = built
+        index.mark_deleted(np.array([5, 6, 7]))
+        path = tmp_path / "g.npz"
+        index.save(path)
+        from repro.index.base import GraphIndex
+
+        loaded = GraphIndex.load(path, space)
+        assert loaded.num_active == 297
+        res = joint_search(loaded, queries[0], k=10, l=60)
+        assert not ({5, 6, 7} & set(res.ids.tolist()))
+
+    def test_active_ids(self, built):
+        _, index, _ = built
+        index.mark_deleted(np.array([0, 10]))
+        active = index.active_ids()
+        assert active.size == 298
+        assert 0 not in active and 10 not in active
+
+
+class TestCompaction:
+    def test_compact_matches_fresh_build(self, mitstates_encoded):
+        must = MUST.from_dataset(mitstates_encoded).build()
+        doomed = np.arange(0, mitstates_encoded.objects.n, 5)
+        must.mark_deleted(doomed)
+        compacted, active = must.compact()
+        assert compacted.objects.n == must.objects.n - doomed.size
+        assert np.intersect1d(active, doomed).size == 0
+        # Searching the compacted index returns remapped ids that point
+        # at the same objects the soft-deleted index would return.
+        q = mitstates_encoded.queries[0]
+        soft = must.search(q, k=5, l=100)
+        hard = compacted.search(q, k=5, l=100)
+        remapped = active[hard.ids]
+        assert len(set(remapped.tolist()) & set(soft.ids.tolist())) >= 3
+
+    def test_compact_without_deletions_is_identity_sized(
+        self, mitstates_encoded
+    ):
+        must = MUST.from_dataset(mitstates_encoded).build()
+        compacted, active = must.compact()
+        assert compacted.objects.n == must.objects.n
+        assert np.array_equal(active, np.arange(must.objects.n))

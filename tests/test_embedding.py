@@ -1,0 +1,213 @@
+"""Tests for the embedding substrate: concepts, encoders, fusion, registry."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.embedding import (
+    ENCODER_SPECS,
+    FUSION_SPECS,
+    EncoderRegistry,
+    LatentConceptSpace,
+    default_registry,
+    make_composition_encoder,
+    make_unimodal_encoder,
+)
+
+
+@pytest.fixture(scope="module")
+def space():
+    return LatentConceptSpace(latent_dim=32, seed=42)
+
+
+class TestConceptSpace:
+    def test_concept_is_unit_and_stable(self, space):
+        v1 = space.concept("dog")
+        v2 = space.concept("dog")
+        assert np.array_equal(v1, v2)
+        assert np.linalg.norm(v1) == pytest.approx(1.0)
+
+    def test_different_names_differ(self, space):
+        assert not np.allclose(space.concept("dog"), space.concept("cat"))
+
+    def test_concepts_stacks(self, space):
+        mat = space.concepts(["a", "b", "c"])
+        assert mat.shape == (3, 32)
+
+    def test_concept_immutable(self, space):
+        with pytest.raises(ValueError):
+            space.concept("dog")[0] = 5.0
+
+    def test_mix_is_normalised(self, space):
+        v = space.mix({"dog": 0.7, "cat": 0.3})
+        assert np.linalg.norm(v) == pytest.approx(1.0)
+
+    def test_mix_dominated_by_heavy_concept(self, space):
+        v = space.mix({"dog": 1.0, "cat": 0.1})
+        assert float(v @ space.concept("dog")) > float(v @ space.concept("cat"))
+
+    def test_mix_jitter_keyed(self, space):
+        a = space.mix({"dog": 1.0}, jitter=0.3, jitter_key="x")
+        b = space.mix({"dog": 1.0}, jitter=0.3, jitter_key="x")
+        c = space.mix({"dog": 1.0}, jitter=0.3, jitter_key="y")
+        assert np.array_equal(a, b)
+        assert not np.allclose(a, c)
+
+    def test_mix_jitter_norm_convention(self, space):
+        """Jitter magnitude ≈ perturbation norm, not per-coordinate std."""
+        clean = space.mix({"dog": 1.0})
+        noisy = space.mix({"dog": 1.0}, jitter=0.3, jitter_key="z")
+        # cos angle between clean and noisy ≈ 1/√(1+0.09) ≈ 0.958.
+        assert float(clean @ noisy) > 0.85
+
+    def test_jitter_batch_normalises(self, space):
+        raw = np.tile(space.concept("dog") * 3.0, (5, 1))
+        out = space.jitter_batch(raw, 0.5, key="k")
+        assert np.allclose(np.linalg.norm(out, axis=1), 1.0, atol=1e-8)
+
+    def test_jitter_batch_zero_jitter(self, space):
+        raw = np.tile(space.concept("dog") * 2.0, (3, 1))
+        out = space.jitter_batch(raw, 0.0, key=None)
+        assert np.allclose(out, space.concept("dog"), atol=1e-9)
+
+    def test_correlated_concepts_confusable(self, space):
+        lat = space.correlated_concepts(
+            [f"id{i}" for i in range(20)], groups=2, unique_weight=0.4,
+            key="ids",
+        )
+        sims = lat @ lat.T
+        off_diag = sims[~np.eye(20, dtype=bool)]
+        # Same-archetype identities are strongly correlated.
+        assert off_diag.max() > 0.5
+
+    def test_correlated_concepts_distinct(self, space):
+        lat = space.correlated_concepts(
+            ["a", "b"], groups=1, unique_weight=0.6, key="g"
+        )
+        assert not np.allclose(lat[0], lat[1])
+
+    def test_mix_empty_rejected(self, space):
+        with pytest.raises(ValueError):
+            space.mix({})
+
+
+class TestSyntheticEncoder:
+    def test_output_shape_and_norm(self, space):
+        enc = make_unimodal_encoder("resnet50", space, seed=1)
+        latents = np.stack([space.concept("a"), space.concept("b")])
+        out = enc.encode_latents(latents, key="t")
+        assert out.shape == (2, ENCODER_SPECS["resnet50"].dim)
+        assert np.allclose(np.linalg.norm(out, axis=1), 1.0, atol=1e-5)
+
+    def test_deterministic_per_key(self, space):
+        enc = make_unimodal_encoder("lstm", space, seed=1)
+        latents = space.concept("a")[None, :]
+        assert np.array_equal(
+            enc.encode_latents(latents, key="k"),
+            enc.encode_latents(latents, key="k"),
+        )
+        assert not np.allclose(
+            enc.encode_latents(latents, key="k"),
+            enc.encode_latents(latents, key="other"),
+        )
+
+    def test_semantics_preserved(self, space):
+        """Closer latents stay closer after encoding (JL property)."""
+        enc = make_unimodal_encoder("encoding", space, seed=1)
+        a = space.mix({"x": 1.0})
+        near = space.mix({"x": 1.0, "y": 0.2})
+        far = space.mix({"z": 1.0})
+        out = enc.encode_latents(np.stack([a, near, far]), key="t")
+        assert float(out[0] @ out[1]) > float(out[0] @ out[2])
+
+    def test_noise_ordering_resnets(self, space):
+        """resnet50 preserves geometry better than resnet17 (less noise)."""
+        a = space.mix({"x": 1.0})
+        b = space.mix({"x": 1.0})  # identical latent
+        errs = {}
+        for name in ("resnet17", "resnet50"):
+            enc = make_unimodal_encoder(name, space, seed=1)
+            va = enc.encode_latents(a[None], key="k1")[0]
+            vb = enc.encode_latents(b[None], key="k2")[0]
+            errs[name] = 1.0 - float(va @ vb)
+        assert errs["resnet50"] < errs["resnet17"]
+
+    def test_unknown_encoder_rejected(self, space):
+        with pytest.raises(KeyError):
+            make_unimodal_encoder("vgg", space)
+
+    def test_encode_one(self, space):
+        enc = make_unimodal_encoder("gru", space, seed=1)
+        v = enc.encode_one(space.concept("a"), key="k")
+        assert v.shape == (ENCODER_SPECS["gru"].dim,)
+
+
+class TestCompositionEncoder:
+    def test_tower_output_space(self, space):
+        enc = make_composition_encoder("clip", space, seed=1)
+        latents = space.concept("a")[None, :]
+        corpus = enc.encode_latents(latents, key="c")
+        comp = enc.encode_composition(latents, latents, key="q")
+        assert corpus.shape == comp.shape == (1, FUSION_SPECS["clip"].tower_dim)
+
+    def test_semantic_leak_pulls_toward_reference(self, space):
+        enc = make_composition_encoder("tirg", space, seed=1)
+        target = space.mix({"goal": 1.0})[None, :]
+        reference = space.mix({"ref": 1.0})[None, :]
+        comp = enc.encode_composition(target, reference, key="q")
+        ref_enc = enc.encode_latents(reference, key="q2")
+        tgt_enc = enc.encode_latents(target, key="q3")
+        # Composition correlates with the reference, not only the target.
+        assert float(comp[0] @ ref_enc[0]) > 0.05
+        assert float(comp[0] @ tgt_enc[0]) > float(comp[0] @ ref_enc[0])
+
+    def test_fusion_ordering_clip_beats_mpc(self, space):
+        """CLIP fusion error < MPC fusion error (paper Tab. III vs VI)."""
+        target = space.mix({"goal": 1.0})[None, :]
+        reference = space.mix({"ref": 1.0})[None, :]
+        errs = {}
+        for name in ("clip", "mpc"):
+            enc = make_composition_encoder(name, space, seed=1)
+            comp = enc.encode_composition(target, reference, key="q")
+            ideal = enc.encode_latents(target, key="ideal")
+            errs[name] = 1.0 - float(comp[0] @ ideal[0])
+        assert errs["clip"] < errs["mpc"]
+
+    def test_shape_mismatch_rejected(self, space):
+        enc = make_composition_encoder("clip", space, seed=1)
+        with pytest.raises(ValueError):
+            enc.encode_composition(np.zeros((2, 32)), np.zeros((1, 32)))
+
+    def test_unknown_fusion_rejected(self, space):
+        with pytest.raises(KeyError):
+            make_composition_encoder("blip", space)
+
+
+class TestRegistry:
+    def test_default_registry_has_full_zoo(self):
+        for name in list(ENCODER_SPECS) + list(FUSION_SPECS):
+            assert name in default_registry
+
+    def test_create_from_registry(self, space):
+        enc = default_registry.create("resnet17", space, seed=0)
+        assert enc.name == "resnet17"
+
+    def test_unknown_name(self, space):
+        with pytest.raises(KeyError):
+            default_registry.create("nonexistent", space)
+
+    def test_custom_registration_and_overwrite_guard(self, space):
+        reg = EncoderRegistry()
+        reg.register("mine", lambda s, seed: "sentinel")
+        assert reg.create("mine", space) == "sentinel"
+        with pytest.raises(ValueError):
+            reg.register("mine", lambda s, seed: None)
+        reg.register("mine", lambda s, seed: "v2", overwrite=True)
+        assert reg.create("mine", space) == "v2"
+
+    def test_names_sorted(self):
+        reg = EncoderRegistry()
+        reg.register("b", lambda s, seed: None)
+        reg.register("a", lambda s, seed: None)
+        assert reg.names() == ["a", "b"]

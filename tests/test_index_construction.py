@@ -1,0 +1,312 @@
+"""Tests for NNDescent, pipeline components, and the fused index builder."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.space import JointSpace
+from repro.core.weights import Weights
+from repro.index.base import GraphIndex
+from repro.index.components import (
+    angle_select,
+    centroid_seed,
+    ensure_connectivity,
+    mrng_select,
+    prune_one,
+    rng_alpha_select,
+    search_based_candidates,
+    top_gamma_select,
+    two_hop_candidates,
+)
+from repro.index.nndescent import graph_quality, nndescent, random_knn
+from repro.index.pipeline import FusedIndexBuilder
+
+from tests.conftest import random_multivector_set
+
+
+@pytest.fixture(scope="module")
+def space():
+    return JointSpace(random_multivector_set(300, (12, 6), seed=21),
+                      Weights([0.5, 0.5]))
+
+
+class TestRandomKnn:
+    def test_shape_and_no_self_loops(self):
+        knn = random_knn(50, 8, rng=0)
+        assert knn.shape == (50, 8)
+        for v in range(50):
+            assert v not in knn[v]
+
+    def test_ids_in_range(self):
+        knn = random_knn(30, 5, rng=1)
+        assert knn.min() >= 0 and knn.max() < 30
+
+    def test_k_too_large_rejected(self):
+        with pytest.raises(ValueError):
+            random_knn(5, 5)
+
+
+class TestNNDescent:
+    def test_quality_improves_with_iterations(self, space):
+        """Tab. XI shape: quality grows with ε and is ≈1 by 3 iterations."""
+        qualities = [
+            graph_quality(space, nndescent(space, 10, iterations=it, seed=2))
+            for it in (0, 1, 3)
+        ]
+        assert qualities[0] < qualities[1] <= qualities[2] + 0.02
+        assert qualities[2] > 0.9
+
+    def test_no_self_loops_after_refinement(self, space):
+        knn = nndescent(space, 8, iterations=2, seed=2)
+        for v in range(space.n):
+            assert v not in knn[v]
+
+    def test_deterministic(self, space):
+        a = nndescent(space, 8, iterations=2, seed=5)
+        b = nndescent(space, 8, iterations=2, seed=5)
+        assert np.array_equal(a, b)
+
+    def test_resume_from_init(self, space):
+        base = nndescent(space, 8, iterations=1, seed=2)
+        resumed = nndescent(space, 8, iterations=1, seed=2, init=base)
+        assert graph_quality(space, resumed) >= graph_quality(space, base) - 0.02
+
+    def test_zero_iterations_is_init(self, space):
+        knn = nndescent(space, 8, iterations=0, seed=2)
+        assert np.array_equal(knn, random_knn(space.n, 8, 2))
+
+
+class TestCandidates:
+    def test_two_hop_contains_direct_neighbors(self, space):
+        knn = nndescent(space, 6, iterations=2, seed=3)
+        cand, sims = two_hop_candidates(space, knn, max_candidates=40)
+        for v in (0, 17, 100):
+            row = set(cand[v][cand[v] >= 0].tolist())
+            direct = set(knn[v].tolist())
+            # Direct neighbours are candidates unless pushed out by closer
+            # two-hop ones; require substantial overlap.
+            assert len(row & direct) >= len(direct) // 2
+
+    def test_two_hop_sorted_descending(self, space):
+        knn = nndescent(space, 6, iterations=2, seed=3)
+        cand, sims = two_hop_candidates(space, knn, max_candidates=40)
+        for v in (0, 50):
+            valid = sims[v][cand[v] >= 0]
+            assert list(valid) == sorted(valid, reverse=True)
+
+    def test_two_hop_excludes_self(self, space):
+        knn = nndescent(space, 6, iterations=2, seed=3)
+        cand, _ = two_hop_candidates(space, knn, max_candidates=40)
+        for v in range(space.n):
+            assert v not in cand[v]
+
+    def test_search_based_candidates(self, space):
+        knn = nndescent(space, 6, iterations=2, seed=3)
+        entry = centroid_seed(space)
+        cand, sims = search_based_candidates(
+            space, knn, entry, max_candidates=20, beam=16
+        )
+        assert cand.shape == (space.n, 20)
+        for v in (0, 10):
+            assert v not in cand[v]
+            valid = sims[v][cand[v] >= 0]
+            assert list(valid) == sorted(valid, reverse=True)
+
+
+class TestSelection:
+    @pytest.fixture(scope="class")
+    def cand_sims(self, space):
+        knn = nndescent(space, 8, iterations=2, seed=3)
+        return two_hop_candidates(space, knn, max_candidates=32)
+
+    def test_mrng_respects_gamma(self, space, cand_sims):
+        neighbors = mrng_select(space, *cand_sims, gamma=5)
+        assert all(len(adj) <= 5 for adj in neighbors)
+
+    def test_mrng_keeps_closest(self, space, cand_sims):
+        cand, sims = cand_sims
+        neighbors = mrng_select(space, cand, sims, gamma=5)
+        for v in (0, 100, 250):
+            assert cand[v][0] in neighbors[v]
+
+    def test_lemma2_angle_at_least_60_degrees(self, space, cand_sims):
+        """Lemma 2: MRNG-selected neighbour pairs subtend ≥ 60° at the vertex.
+
+        Checked geometrically on the concatenated vectors (the proof's
+        IP-as-side-length argument corresponds to the Euclidean geometry
+        of the shared-norm concatenated space).
+        """
+        neighbors = mrng_select(space, *cand_sims, gamma=8)
+        concat = space.concatenated.astype(np.float64)
+        violations = 0
+        checked = 0
+        for v in range(0, space.n, 7):
+            adj = neighbors[v]
+            for i in range(len(adj)):
+                for j in range(i + 1, len(adj)):
+                    e1 = concat[adj[i]] - concat[v]
+                    e2 = concat[adj[j]] - concat[v]
+                    cos = e1 @ e2 / (np.linalg.norm(e1) * np.linalg.norm(e2))
+                    checked += 1
+                    if cos > 0.5 + 1e-6:  # angle < 60°
+                        violations += 1
+        assert checked > 50
+        assert violations == 0
+
+    def test_alpha_keeps_more_than_mrng(self, space, cand_sims):
+        strict = mrng_select(space, *cand_sims, gamma=16)
+        relaxed = rng_alpha_select(space, *cand_sims, gamma=16, alpha=1.4)
+        assert sum(map(len, relaxed)) >= sum(map(len, strict))
+
+    def test_alpha_one_equals_mrng(self, space, cand_sims):
+        strict = mrng_select(space, *cand_sims, gamma=10)
+        alpha1 = rng_alpha_select(space, *cand_sims, gamma=10, alpha=1.0)
+        for a, b in zip(strict, alpha1):
+            assert np.array_equal(a, b)
+
+    def test_angle_select_respects_threshold(self, space, cand_sims):
+        neighbors = angle_select(space, *cand_sims, gamma=8, min_angle_deg=60)
+        concat = space.concatenated.astype(np.float64)
+        for v in range(0, space.n, 11):
+            adj = neighbors[v]
+            for i in range(len(adj)):
+                for j in range(i + 1, len(adj)):
+                    e1 = concat[adj[i]] - concat[v]
+                    e2 = concat[adj[j]] - concat[v]
+                    cos = e1 @ e2 / (np.linalg.norm(e1) * np.linalg.norm(e2))
+                    assert cos <= 0.5 + 1e-6
+
+    def test_top_gamma_takes_prefix(self, cand_sims):
+        cand, sims = cand_sims
+        neighbors = top_gamma_select(cand, sims, gamma=4)
+        for v in (0, 5):
+            expected = cand[v][cand[v] >= 0][:4]
+            assert np.array_equal(neighbors[v], expected)
+
+    def test_prune_one_empty(self, space):
+        out = prune_one(space.concatenated, space.weights.total,
+                        np.empty(0, dtype=np.int64), np.empty(0), gamma=5)
+        assert out.size == 0
+
+
+class TestSeedAndConnectivity:
+    def test_centroid_seed_is_most_central(self, space):
+        seed = centroid_seed(space)
+        c = space.concatenated
+        centroid = c.mean(axis=0)
+        assert np.argmax(c @ centroid) == seed
+
+    def test_connectivity_reaches_all(self, space):
+        # Pathological graph: no edges at all.
+        neighbors = [np.empty(0, dtype=np.int32) for _ in range(space.n)]
+        seed = centroid_seed(space)
+        fixed = ensure_connectivity(space, neighbors, seed)
+        reached = _bfs(fixed, seed)
+        assert reached.all()
+
+    def test_connectivity_preserves_existing_edges(self, space):
+        knn = nndescent(space, 5, iterations=1, seed=4)
+        neighbors = [knn[v] for v in range(space.n)]
+        fixed = ensure_connectivity(space, neighbors, 0)
+        for v in range(space.n):
+            assert set(knn[v].tolist()) <= set(fixed[v].tolist())
+
+    def test_connectivity_noop_when_connected(self, space):
+        idx = FusedIndexBuilder(gamma=8, seed=1).build(space)
+        before = sum(len(a) for a in idx.neighbors)
+        fixed = ensure_connectivity(space, idx.neighbors, idx.seed_vertex)
+        assert sum(len(a) for a in fixed) == before
+
+
+def _bfs(neighbors, start):
+    n = len(neighbors)
+    seen = np.zeros(n, dtype=bool)
+    stack = [start]
+    seen[start] = True
+    while stack:
+        v = stack.pop()
+        for u in neighbors[v]:
+            if not seen[u]:
+                seen[u] = True
+                stack.append(int(u))
+    return seen
+
+
+class TestFusedIndexBuilder:
+    def test_build_valid_graph(self, space):
+        idx = FusedIndexBuilder(gamma=8, seed=1).build(space)
+        idx.validate()
+        assert idx.n == space.n
+        assert idx.degree_stats()["max"] <= 8 + 1  # +1 connectivity bridges
+
+    def test_reachability_from_seed(self, space):
+        idx = FusedIndexBuilder(gamma=8, seed=1).build(space)
+        assert _bfs(idx.neighbors, idx.seed_vertex).all()
+
+    def test_deterministic_build(self, space):
+        a = FusedIndexBuilder(gamma=8, seed=1).build(space)
+        b = FusedIndexBuilder(gamma=8, seed=1).build(space)
+        for x, y in zip(a.neighbors, b.neighbors):
+            assert np.array_equal(x, y)
+        assert a.seed_vertex == b.seed_vertex
+
+    def test_meta_records_parameters(self, space):
+        idx = FusedIndexBuilder(gamma=8, epsilon=2, seed=1).build(space)
+        assert idx.meta["gamma"] == 8
+        assert idx.meta["epsilon"] == 2
+        assert idx.build_seconds > 0
+
+    def test_selection_variants_build(self, space):
+        for selection in ("mrng", "angle", "alpha", "top"):
+            idx = FusedIndexBuilder(
+                gamma=6, selection=selection, seed=1
+            ).build(space)
+            idx.validate()
+
+    def test_invalid_params(self):
+        with pytest.raises(ValueError):
+            FusedIndexBuilder(gamma=0)
+        with pytest.raises(ValueError):
+            FusedIndexBuilder(selection="bogus")
+        with pytest.raises(ValueError):
+            FusedIndexBuilder(candidate_source="bogus")
+
+    def test_gamma_bounds_degree_growth(self, space):
+        small = FusedIndexBuilder(gamma=4, seed=1).build(space)
+        large = FusedIndexBuilder(gamma=16, seed=1).build(space)
+        assert large.num_edges > small.num_edges
+
+
+class TestGraphIndexContainer:
+    def test_size_in_bytes(self, tiny_index):
+        assert tiny_index.size_in_bytes() == (
+            tiny_index.num_edges * 4 + (tiny_index.n + 1) * 8
+        )
+
+    def test_validate_rejects_self_loop(self, tiny_space):
+        neighbors = [np.empty(0, dtype=np.int32) for _ in range(tiny_space.n)]
+        neighbors[3] = np.array([3], dtype=np.int32)
+        idx = GraphIndex(tiny_space, neighbors, seed_vertex=0)
+        with pytest.raises(ValueError, match="self-loop"):
+            idx.validate()
+
+    def test_validate_rejects_out_of_range(self, tiny_space):
+        neighbors = [np.empty(0, dtype=np.int32) for _ in range(tiny_space.n)]
+        neighbors[0] = np.array([tiny_space.n + 5], dtype=np.int32)
+        idx = GraphIndex(tiny_space, neighbors, seed_vertex=0)
+        with pytest.raises(ValueError, match="out-of-range"):
+            idx.validate()
+
+    def test_save_load_roundtrip(self, tiny_index, tiny_space, tmp_path):
+        path = tmp_path / "index.npz"
+        tiny_index.save(path)
+        loaded = GraphIndex.load(path, tiny_space)
+        assert loaded.seed_vertex == tiny_index.seed_vertex
+        assert loaded.name == tiny_index.name
+        for a, b in zip(loaded.neighbors, tiny_index.neighbors):
+            assert np.array_equal(a, b)
+
+    def test_wrong_adjacency_length_rejected(self, tiny_space):
+        with pytest.raises(ValueError):
+            GraphIndex(tiny_space, [np.empty(0, dtype=np.int32)], 0)

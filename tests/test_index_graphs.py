@@ -1,0 +1,111 @@
+"""Tests for the six alternative proximity graphs (Fig. 10 zoo)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.space import JointSpace
+from repro.core.weights import Weights
+from repro.index import BUILDERS, FlatIndex, joint_search
+from repro.index.graphs.hnsw import HNSWBuilder, HNSWGraph
+
+from tests.conftest import random_multivector_set, random_query
+
+
+@pytest.fixture(scope="module")
+def space():
+    return JointSpace(random_multivector_set(250, (8, 6), seed=55),
+                      Weights([0.5, 0.5]))
+
+
+@pytest.fixture(scope="module")
+def queries():
+    return [random_query((8, 6), seed=s) for s in range(15)]
+
+
+def _reachable_fraction(index) -> float:
+    n = index.n
+    seen = np.zeros(n, dtype=bool)
+    stack = [index.seed_vertex]
+    seen[index.seed_vertex] = True
+    while stack:
+        v = stack.pop()
+        for u in index.neighbors[v]:
+            if not seen[u]:
+                seen[u] = True
+                stack.append(int(u))
+    return float(seen.mean())
+
+
+@pytest.mark.parametrize("name", sorted(BUILDERS))
+class TestEveryBuilder:
+    def test_structurally_valid(self, space, name):
+        index = _build(space, name)
+        index.validate()
+        assert index.name == name
+        assert index.build_seconds > 0
+
+    def test_search_recall(self, space, queries, name):
+        index = _build(space, name)
+        flat = FlatIndex(space)
+        hits = 0
+        for q in queries:
+            approx = joint_search(index, q, k=10, l=80)
+            exact = flat.search(q, 10)
+            hits += np.intersect1d(approx.ids, exact.ids).size
+        assert hits / (10 * len(queries)) > 0.8, f"{name} recall too low"
+
+    def test_mostly_reachable(self, space, name):
+        index = _build(space, name)
+        # KGraph has no connectivity repair (paper: it lacks it); the
+        # others must reach everything from the seed.
+        minimum = 0.8 if name == "kgraph" else 1.0
+        assert _reachable_fraction(index) >= minimum
+
+
+_CACHE: dict[str, object] = {}
+
+
+def _build(space, name):
+    if name not in _CACHE:
+        builder_cls = BUILDERS[name]
+        _CACHE[name] = builder_cls(seed=2).build(space)
+    return _CACHE[name]
+
+
+class TestHNSWSpecifics:
+    def test_incremental_insert_grows_graph(self, space):
+        """§IX dynamic updates: HNSW inserts points one at a time."""
+        builder = HNSWBuilder(m=8, ef_construction=24, seed=3)
+        graph = HNSWGraph()
+        rng = np.random.default_rng(3)
+        for v in range(60):
+            builder.insert(space, graph, v, rng)
+        assert graph.entry_point >= 0
+        assert len(graph.layers[0]) == 60
+
+    def test_levels_geometric(self, space):
+        builder = HNSWBuilder(m=8, ef_construction=24, seed=3)
+        index = builder.build(space)
+        assert index.meta["levels"] >= 1
+        # Most points live only on the base layer.
+        assert index.meta["levels"] < 10
+
+
+class TestBuilderOrderings:
+    def test_ours_not_slower_than_search_based_nsg(self, space):
+        """Fig. 10(a) shape: the re-assembled pipeline builds faster than
+        NSG's search-based construction."""
+        ours = _build(space, "ours")
+        nsg = _build(space, "nsg")
+        assert ours.build_seconds <= nsg.build_seconds * 1.5
+
+    def test_kgraph_has_full_degree(self, space):
+        kgraph = _build(space, "kgraph")
+        assert kgraph.degree_stats()["min"] == kgraph.degree_stats()["max"]
+
+    def test_selection_graphs_are_sparser_than_kgraph(self, space):
+        kgraph = _build(space, "kgraph")
+        ours = _build(space, "ours")
+        assert ours.num_edges < kgraph.num_edges

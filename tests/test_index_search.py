@@ -1,0 +1,223 @@
+"""Tests for the joint search (Algorithm 2): engines, Lemmas 3 & 4, knobs."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.space import JointSpace
+from repro.core.weights import Weights
+from repro.index.flat import FlatIndex
+from repro.index.pipeline import FusedIndexBuilder
+from repro.index.search import greedy_search_graph, joint_search
+
+from tests.conftest import random_multivector_set, random_query
+
+
+@pytest.fixture(scope="module")
+def setup():
+    space = JointSpace(random_multivector_set(400, (10, 6), seed=33),
+                       Weights([0.4, 0.6]))
+    index = FusedIndexBuilder(gamma=12, seed=1).build(space)
+    flat = FlatIndex(space)
+    queries = [random_query((10, 6), seed=s) for s in range(25)]
+    return space, index, flat, queries
+
+
+class TestJointSearchBasics:
+    def test_returns_k_sorted_results(self, setup):
+        _, index, _, queries = setup
+        res = joint_search(index, queries[0], k=7, l=40)
+        assert len(res) == 7
+        assert list(res.similarities) == sorted(res.similarities, reverse=True)
+        assert len(set(res.ids.tolist())) == 7
+
+    def test_high_l_matches_exact(self, setup):
+        space, index, flat, queries = setup
+        hits = 0
+        for q in queries:
+            approx = joint_search(index, q, k=10, l=120)
+            exact = flat.search(q, 10)
+            hits += np.intersect1d(approx.ids, exact.ids).size
+        assert hits / (10 * len(queries)) > 0.9
+
+    def test_recall_increases_with_l(self, setup):
+        space, index, flat, queries = setup
+        recalls = []
+        for l in (10, 40, 160):
+            hit = 0
+            for q in queries:
+                approx = joint_search(index, q, k=10, l=l)
+                exact = flat.search(q, 10)
+                hit += np.intersect1d(approx.ids, exact.ids).size
+            recalls.append(hit)
+        assert recalls[0] <= recalls[1] <= recalls[2]
+
+    def test_l_ge_n_is_exhaustive(self, setup):
+        space, index, flat, queries = setup
+        res = joint_search(index, queries[0], k=5, l=space.n + 10)
+        exact = flat.search(queries[0], 5)
+        assert np.array_equal(np.sort(res.ids), np.sort(exact.ids))
+
+    def test_invalid_k_l(self, setup):
+        _, index, _, queries = setup
+        with pytest.raises(ValueError):
+            joint_search(index, queries[0], k=0, l=10)
+        with pytest.raises(ValueError):
+            joint_search(index, queries[0], k=20, l=10)
+        with pytest.raises(ValueError):
+            joint_search(index, queries[0], k=1, l=10, engine="bogus")
+
+    def test_stats_populated(self, setup):
+        _, index, _, queries = setup
+        res = joint_search(index, queries[0], k=5, l=30)
+        assert res.stats.hops > 0
+        assert res.stats.joint_evals >= 30
+        assert res.stats.visited_vertices == res.stats.hops
+
+    def test_deterministic_given_rng(self, setup):
+        _, index, _, queries = setup
+        a = joint_search(index, queries[0], k=5, l=30, rng=7)
+        b = joint_search(index, queries[0], k=5, l=30, rng=7)
+        assert np.array_equal(a.ids, b.ids)
+
+
+class TestEngines:
+    def test_heap_and_paper_agree(self, setup):
+        """Both engines implement the same greedy routing; they agree on
+        the returned results for the overwhelming majority of queries."""
+        _, index, flat, queries = setup
+        agree = 0
+        for q in queries:
+            heap = joint_search(index, q, k=10, l=60, engine="heap")
+            paper = joint_search(index, q, k=10, l=60, engine="paper")
+            agree += np.intersect1d(heap.ids, paper.ids).size
+        assert agree / (10 * len(queries)) > 0.95
+
+    def test_paper_engine_lemma3_monotone(self, setup):
+        _, index, _, queries = setup
+        for q in queries[:10]:
+            joint_search(index, q, k=5, l=40, engine="paper",
+                         check_monotone=True)
+
+    def test_heap_engine_lemma3_monotone(self, setup):
+        _, index, _, queries = setup
+        for q in queries[:10]:
+            joint_search(index, q, k=5, l=40, engine="heap",
+                         check_monotone=True)
+
+
+class TestLemma4Equivalence:
+    def test_early_termination_identical_results(self, setup):
+        """Lemma 4: the multi-vector optimisation never changes results."""
+        _, index, _, queries = setup
+        for engine in ("heap", "paper"):
+            for q in queries:
+                fast = joint_search(index, q, k=10, l=50, engine=engine,
+                                    early_termination=False)
+                pruned = joint_search(index, q, k=10, l=50, engine=engine,
+                                      early_termination=True)
+                assert np.array_equal(fast.ids, pruned.ids)
+                assert np.allclose(
+                    fast.similarities, pruned.similarities, atol=1e-5
+                )
+
+    def test_early_termination_saves_modality_evals(self, setup):
+        _, index, _, queries = setup
+        base = sum(
+            joint_search(index, q, k=10, l=20).stats.modality_evals
+            for q in queries
+        )
+        pruned = sum(
+            joint_search(index, q, k=10, l=20,
+                         early_termination=True).stats.modality_evals
+            for q in queries
+        )
+        assert pruned <= base
+
+    @settings(deadline=None, max_examples=15)
+    @given(st.integers(0, 10_000), st.sampled_from([10, 25, 60]))
+    def test_lemma4_property(self, setup, qseed, l):
+        _, index, _, _ = setup
+        q = random_query((10, 6), seed=qseed)
+        fast = joint_search(index, q, k=5, l=l)
+        pruned = joint_search(index, q, k=5, l=l, early_termination=True)
+        assert np.array_equal(fast.ids, pruned.ids)
+
+
+class TestQueryVariants:
+    def test_single_modality_query(self, setup):
+        space, index, flat, queries = setup
+        q = queries[0].replace(1, None)
+        res = joint_search(index, q, k=5, l=80)
+        exact = flat.search(q, 5)
+        assert np.intersect1d(res.ids, exact.ids).size >= 3
+
+    def test_weight_override_changes_results(self, setup):
+        _, index, _, queries = setup
+        default = joint_search(index, queries[1], k=10, l=60)
+        skewed = joint_search(index, queries[1], k=10, l=60,
+                              weights=Weights([0.99, 0.01]))
+        assert not np.array_equal(default.ids, skewed.ids)
+
+    def test_weight_override_matches_exact(self, setup):
+        space, index, flat, queries = setup
+        override = Weights([0.8, 0.2])
+        res = joint_search(index, queries[2], k=10, l=150, weights=override)
+        exact = flat.search(queries[2], 10, weights=override)
+        assert np.intersect1d(res.ids, exact.ids).size >= 8
+
+
+class TestFlatIndex:
+    def test_exact_results_sorted(self, setup):
+        space, _, flat, queries = setup
+        res = flat.search(queries[0], 8)
+        full = space.query_all(queries[0])
+        assert res.similarities[0] == pytest.approx(full.max(), abs=1e-6)
+        assert list(res.similarities) == sorted(res.similarities, reverse=True)
+
+    def test_stats_count_full_scan(self, setup):
+        space, _, flat, queries = setup
+        res = flat.search(queries[0], 5)
+        assert res.stats.joint_evals == space.n
+        assert res.stats.modality_evals == space.n * 2
+
+
+class TestGreedySearchGraph:
+    def test_finds_entry_at_least(self, setup):
+        space, index, _, _ = setup
+        ids, sims = greedy_search_graph(
+            space.concatenated, index.neighbors, index.seed_vertex,
+            space.concatenated[5], beam=10,
+        )
+        assert ids.size >= 1
+        assert list(sims) == sorted(sims, reverse=True)
+
+    def test_locates_existing_vector(self, setup):
+        space, index, _, _ = setup
+        found = 0
+        for target in (3, 77, 200, 399):
+            ids, _ = greedy_search_graph(
+                space.concatenated, index.neighbors, index.seed_vertex,
+                space.concatenated[target], beam=30,
+            )
+            found += int(target in ids[:5])
+        assert found >= 3
+
+
+class TestSearchResultContainer:
+    def test_top_slices(self, setup):
+        _, index, _, queries = setup
+        res = joint_search(index, queries[0], k=10, l=40)
+        top3 = res.top(3)
+        assert np.array_equal(top3.ids, res.ids[:3])
+
+    def test_stats_merge(self, setup):
+        _, index, _, queries = setup
+        a = joint_search(index, queries[0], k=5, l=20)
+        b = joint_search(index, queries[1], k=5, l=20)
+        total = a.stats.hops + b.stats.hops
+        a.stats.merge(b.stats)
+        assert a.stats.hops == total

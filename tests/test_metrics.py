@@ -1,0 +1,148 @@
+"""Tests for metrics: Recall@k(k') (Eq. 1), SME (Eq. 4), timing, ground truth."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.space import JointSpace
+from repro.core.weights import Weights
+from repro.metrics import (
+    TimedRun,
+    exact_top_k,
+    exact_top_k_batch,
+    hit_rate_at_k,
+    mean_hit_rate,
+    mean_recall,
+    mean_sme,
+    measure_qps,
+    recall_at_k,
+    sme,
+)
+
+from tests.conftest import random_multivector_set, random_query
+
+
+class TestRecall:
+    def test_perfect_recall(self):
+        assert recall_at_k(np.array([1, 2, 3]), np.array([1, 2, 3]), 3) == 1.0
+
+    def test_partial_recall(self):
+        assert recall_at_k(np.array([1, 9, 8]), np.array([1, 2]), 3) == 0.5
+
+    def test_zero_recall(self):
+        assert recall_at_k(np.array([7, 8]), np.array([1]), 2) == 0.0
+
+    def test_only_top_k_counted(self):
+        # Ground truth at rank 3 does not count for k=2.
+        assert recall_at_k(np.array([9, 8, 1]), np.array([1]), 2) == 0.0
+
+    def test_eq1_denominator_is_gt_size(self):
+        # |R ∩ G| / k' with k' = 4, one hit → 0.25.
+        assert recall_at_k(np.array([1]), np.array([1, 2, 3, 4]), 1) == 0.25
+
+    def test_invalid_k(self):
+        with pytest.raises(ValueError):
+            recall_at_k(np.array([1]), np.array([1]), 0)
+
+    def test_empty_ground_truth_rejected(self):
+        with pytest.raises(ValueError):
+            recall_at_k(np.array([1]), np.array([]), 1)
+
+    def test_mean_recall(self):
+        res = [np.array([1]), np.array([5])]
+        gts = [np.array([1]), np.array([6])]
+        assert mean_recall(res, gts, 1) == 0.5
+
+    def test_mean_recall_batch_mismatch(self):
+        with pytest.raises(ValueError):
+            mean_recall([np.array([1])], [], 1)
+
+    @given(st.lists(st.integers(0, 20), min_size=1, max_size=10, unique=True),
+           st.integers(1, 10))
+    def test_recall_bounded(self, gt, k):
+        result = np.arange(10)
+        r = recall_at_k(result, np.array(gt), k)
+        assert 0.0 <= r <= 1.0
+
+
+class TestHitRate:
+    def test_hit_in_top_k(self):
+        assert hit_rate_at_k(np.array([5, 1, 9]), np.array([1, 2]), 2) == 1.0
+
+    def test_miss(self):
+        assert hit_rate_at_k(np.array([5, 9]), np.array([1]), 2) == 0.0
+
+    def test_any_instance_counts(self):
+        # Either ground-truth instance satisfies Recall@k(1).
+        assert hit_rate_at_k(np.array([4]), np.array([3, 4]), 1) == 1.0
+
+    def test_mean_hit_rate(self):
+        res = [np.array([1]), np.array([9])]
+        gts = [np.array([1, 2]), np.array([2])]
+        assert mean_hit_rate(res, gts, 1) == 0.5
+
+
+class TestSme:
+    def test_identical_vectors_zero_error(self):
+        v = np.array([0.6, 0.8])
+        assert sme(v, v) == pytest.approx(0.0)
+
+    def test_orthogonal_vectors_full_error(self):
+        assert sme(np.array([1.0, 0.0]), np.array([0.0, 1.0])) == pytest.approx(1.0)
+
+    def test_mean_sme_uses_best_ground_truth(self):
+        mat = np.array([[1.0, 0.0], [0.0, 1.0], [0.6, 0.8]])
+        # result 2 vs gts {0,1}: best IP is max(0.6, 0.8) = 0.8.
+        got = mean_sme(mat, [2], [np.array([0, 1])])
+        assert got == pytest.approx(0.2)
+
+    def test_mean_sme_perfect_retrieval(self):
+        mat = np.eye(3)
+        assert mean_sme(mat, [1], [np.array([1])]) == pytest.approx(0.0)
+
+
+class TestGroundTruth:
+    def test_exact_top_k_is_argmax(self):
+        space = JointSpace(random_multivector_set(30, (4, 4), seed=3),
+                           Weights([0.5, 0.5]))
+        q = random_query((4, 4), seed=1)
+        ids, sims = exact_top_k(space, q, 5)
+        full = space.query_all(q)
+        assert sims[0] == pytest.approx(full.max(), abs=1e-6)
+        assert list(sims) == sorted(sims, reverse=True)
+        assert np.array_equal(np.sort(ids), np.sort(np.argsort(-full)[:5]))
+
+    def test_exact_top_k_batch(self):
+        space = JointSpace(random_multivector_set(30, (4, 4), seed=3),
+                           Weights([0.5, 0.5]))
+        qs = [random_query((4, 4), seed=s) for s in range(3)]
+        batch = exact_top_k_batch(space, qs, 4)
+        assert len(batch) == 3
+        for q, ids in zip(qs, batch):
+            assert np.array_equal(ids, exact_top_k(space, q, 4)[0])
+
+
+class TestTiming:
+    def test_measure_qps_counts_queries(self):
+        run = measure_qps(lambda q: q * 2, [1, 2, 3])
+        assert run.num_queries == 3
+        assert run.results == [2, 4, 6]
+        assert run.qps > 0
+
+    def test_warmup_not_included_in_results(self):
+        calls = []
+        run = measure_qps(lambda q: calls.append(q), [1, 2], warmup=1)
+        assert run.num_queries == 2
+        assert calls == [1, 1, 2]  # warmup re-runs the first query
+
+    def test_mean_latency(self):
+        run = TimedRun(results=[], elapsed=2.0, num_queries=4)
+        assert run.mean_latency == pytest.approx(0.5)
+        assert run.qps == pytest.approx(2.0)
+
+    def test_zero_elapsed_guard(self):
+        run = TimedRun(results=[], elapsed=0.0, num_queries=1)
+        assert run.qps == float("inf")

@@ -1,0 +1,167 @@
+"""Unit tests for repro.utils (rng, topk, validation, io)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.utils.io import (
+    load_arrays,
+    pack_adjacency,
+    save_arrays,
+    unpack_adjacency,
+)
+from repro.utils.rng import derive_seed, make_rng, spawn
+from repro.utils.topk import merge_top_k, top_k_indices, top_k_sorted
+from repro.utils.validation import (
+    as_float_matrix,
+    as_float_vector,
+    check_normalized,
+    require,
+)
+
+
+class TestRng:
+    def test_make_rng_from_int_is_deterministic(self):
+        assert make_rng(7).integers(1000) == make_rng(7).integers(1000)
+
+    def test_make_rng_passthrough_generator(self):
+        gen = np.random.default_rng(0)
+        assert make_rng(gen) is gen
+
+    def test_make_rng_none_gives_generator(self):
+        assert isinstance(make_rng(None), np.random.Generator)
+
+    def test_derive_seed_is_stable(self):
+        assert derive_seed(1, "a", 2) == derive_seed(1, "a", 2)
+
+    def test_derive_seed_differs_by_label(self):
+        assert derive_seed(1, "a") != derive_seed(1, "b")
+
+    def test_derive_seed_differs_by_base(self):
+        assert derive_seed(1, "a") != derive_seed(2, "a")
+
+    def test_derive_seed_label_order_matters(self):
+        assert derive_seed(1, "a", "b") != derive_seed(1, "b", "a")
+
+    def test_spawn_streams_are_independent(self):
+        a = spawn(3, "x").standard_normal(4)
+        b = spawn(3, "y").standard_normal(4)
+        assert not np.allclose(a, b)
+
+    @given(st.integers(min_value=0, max_value=2**32))
+    def test_derive_seed_in_range(self, base):
+        seed = derive_seed(base, "label")
+        assert 0 <= seed < 2**63
+
+
+class TestTopK:
+    def test_top_k_indices_small_k(self):
+        scores = np.array([0.1, 0.9, 0.5, 0.7])
+        assert set(top_k_indices(scores, 2)) == {1, 3}
+
+    def test_top_k_indices_k_ge_n(self):
+        scores = np.array([0.1, 0.9])
+        assert set(top_k_indices(scores, 5)) == {0, 1}
+
+    def test_top_k_indices_k_zero(self):
+        assert top_k_indices(np.array([1.0, 2.0]), 0).size == 0
+
+    def test_top_k_sorted_descending(self):
+        scores = np.array([0.3, 0.9, 0.5])
+        assert list(top_k_sorted(scores, 3)) == [1, 2, 0]
+
+    def test_top_k_sorted_tie_broken_by_index(self):
+        scores = np.array([0.5, 0.9, 0.5])
+        assert list(top_k_sorted(scores, 3)) == [1, 0, 2]
+
+    @given(
+        hnp.arrays(
+            np.float64,
+            st.integers(1, 60),
+            elements=st.floats(-1, 1, allow_nan=False),
+        ),
+        st.integers(1, 20),
+    )
+    def test_top_k_sorted_matches_argsort(self, scores, k):
+        got = top_k_sorted(scores, k)
+        want = np.lexsort((np.arange(len(scores)), -scores))[:k]
+        # The score multiset must be the true top-k (ties at the boundary
+        # may select different indices), and ordering must be descending.
+        assert np.allclose(np.sort(scores[got]), np.sort(scores[want]))
+        assert list(scores[got]) == sorted(scores[got], reverse=True)
+        assert len(set(got.tolist())) == len(got)
+
+    def test_merge_top_k_dedup_takes_best_score(self):
+        ids, scores = merge_top_k(
+            np.array([1, 2]), np.array([0.5, 0.4]),
+            np.array([2, 3]), np.array([0.9, 0.1]),
+            k=3,
+        )
+        assert list(ids) == [2, 1, 3]
+        assert scores[0] == pytest.approx(0.9)
+
+    def test_merge_top_k_respects_k(self):
+        ids, _ = merge_top_k(
+            np.arange(5), np.linspace(1, 0.5, 5),
+            np.arange(5, 10), np.linspace(0.4, 0.1, 5),
+            k=3,
+        )
+        assert len(ids) == 3
+
+
+class TestValidation:
+    def test_require_passes(self):
+        require(True, "never")
+
+    def test_require_raises(self):
+        with pytest.raises(ValueError, match="boom"):
+            require(False, "boom")
+
+    def test_as_float_matrix_coerces(self):
+        out = as_float_matrix([[1, 2], [3, 4]])
+        assert out.dtype == np.float32 and out.shape == (2, 2)
+
+    def test_as_float_matrix_rejects_1d(self):
+        with pytest.raises(ValueError):
+            as_float_matrix(np.zeros(3))
+
+    def test_as_float_vector_rejects_2d(self):
+        with pytest.raises(ValueError):
+            as_float_vector(np.zeros((2, 2)))
+
+    def test_check_normalized(self):
+        mat = np.eye(3, dtype=np.float32)
+        assert check_normalized(mat)
+        assert not check_normalized(2 * mat)
+
+
+class TestIo:
+    def test_pack_unpack_roundtrip(self):
+        adj = [np.array([1, 2], dtype=np.int32),
+               np.array([], dtype=np.int32),
+               np.array([0], dtype=np.int32)]
+        flat, offsets = pack_adjacency(adj)
+        back = unpack_adjacency(flat, offsets)
+        assert len(back) == 3
+        for a, b in zip(adj, back):
+            assert np.array_equal(a, b)
+
+    def test_pack_empty_adjacency(self):
+        flat, offsets = pack_adjacency([np.array([], dtype=np.int32)])
+        assert flat.size == 0 and list(offsets) == [0, 0]
+
+    def test_save_load_arrays(self, tmp_path):
+        path = tmp_path / "blob.npz"
+        save_arrays(path, {"k": 1, "name": "x"}, data=np.arange(5))
+        meta, arrays = load_arrays(path)
+        assert meta == {"k": 1, "name": "x"}
+        assert np.array_equal(arrays["data"], np.arange(5))
+
+    def test_save_creates_parent_dirs(self, tmp_path):
+        path = tmp_path / "a" / "b" / "c.npz"
+        save_arrays(path, {}, x=np.zeros(2))
+        assert path.exists()
