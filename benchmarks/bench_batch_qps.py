@@ -1,0 +1,51 @@
+"""Batch-execution throughput — single-query vs batched vs parallel QPS.
+
+Writes the ``BENCH_batch_qps.json`` perf-trajectory artifact at the repo
+root so CI can track executor throughput over time.  Runnable standalone
+(``PYTHONPATH=src python benchmarks/bench_batch_qps.py``) or through
+pytest like the other bench files.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from repro.bench import cache
+from repro.bench.efficiency import batch_throughput
+from repro.bench.harness import format_table, save_table
+
+ARTIFACT = Path(__file__).resolve().parents[1] / "BENCH_batch_qps.json"
+
+
+def run(kind: str = "image") -> dict:
+    """Run the experiment and write the JSON artifact."""
+    table, payload = batch_throughput(kind)
+    save_table(table, "batch_qps")
+    print(format_table(table))
+    ARTIFACT.write_text(json.dumps(payload, indent=2) + "\n")
+    return payload
+
+
+def test_batch_qps(benchmark, capsys):
+    from benchmarks.conftest import emit
+
+    table, payload = batch_throughput("image")
+    emit(table, "batch_qps", capsys)
+    ARTIFACT.write_text(json.dumps(payload, indent=2) + "\n")
+    # Acceptance guard: the GEMM-batched exact path must beat the
+    # per-query exact loop on throughput.
+    modes = payload["modes"]
+    assert (
+        modes["exact/executor GEMM batch"]["qps"]
+        > modes["exact/single-query loop"]["qps"]
+    )
+    enc, must = cache.largescale_must("image")
+    queries = list(enc.queries[:16])
+    benchmark(lambda: must.batch_search(queries, k=10, l=80, n_jobs=4))
+
+
+if __name__ == "__main__":
+    out = run()
+    print(json.dumps(out["modes"], indent=2))
+    print(f"wrote {ARTIFACT}")

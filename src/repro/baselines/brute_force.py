@@ -10,6 +10,7 @@ from repro.core.multivector import MultiVector, MultiVectorSet
 from repro.core.results import SearchResult
 from repro.core.space import JointSpace
 from repro.core.weights import Weights
+from repro.index.executor import BatchExecutor, BatchResult
 from repro.index.flat import FlatIndex
 
 __all__ = ["BruteForceMUST"]
@@ -36,3 +37,15 @@ class BruteForceMUST:
         weights: Weights | None = None,
     ) -> SearchResult:
         return self._flat.search(query, k, weights=weights)
+
+    def batch_search(
+        self,
+        queries: list[MultiVector],
+        k: int,
+        weights: Weights | None = None,
+        n_jobs: int = 1,
+    ) -> BatchResult:
+        """Exact batch: all fast-path queries scored with one GEMM."""
+        return BatchExecutor(n_jobs=n_jobs).run_flat(
+            self._flat, queries, k, weights=weights
+        )

@@ -15,6 +15,7 @@ from repro.core.multivector import MultiVector, MultiVectorSet
 from repro.core.results import SearchResult
 from repro.core.space import JointSpace
 from repro.core.weights import Weights
+from repro.index.executor import BatchExecutor, BatchResult
 from repro.index.flat import FlatIndex
 from repro.index.pipeline import FusedIndexBuilder
 from repro.index.search import joint_search
@@ -61,15 +62,38 @@ class JointEmbeddingSearch:
     ) -> SearchResult:
         """Search with the composition vector in the query's target slot."""
         require(self._index is not None, "call build() first")
+        sub_query = self._sub_query(query)
+        if self.exact:
+            return self._index.search(sub_query, k)
+        return joint_search(
+            self._index, sub_query, k=k, l=min(max(l, k), self.objects.n)
+        )
+
+    def _sub_query(self, query: MultiVector) -> MultiVector:
         composition = query.vectors[self.target_modality]
         require(
             composition is not None,
             "JE needs the composition vector in the target slot "
             "(encode the dataset with a composition encoder, Option 2)",
         )
-        sub_query = MultiVector((composition,))
+        return MultiVector((composition,))
+
+    def batch_search(
+        self,
+        queries: list[MultiVector],
+        k: int,
+        l: int = 100,
+        n_jobs: int = 1,
+        rng: int | None = 0,
+    ) -> BatchResult:
+        """Batch JE search via the shared executor (GEMM when exact,
+        thread pool + per-query child seeds over the graph otherwise)."""
+        require(self._index is not None, "call build() first")
+        sub_queries = [self._sub_query(q) for q in queries]
+        executor = BatchExecutor(n_jobs=n_jobs, rng=rng)
         if self.exact:
-            return self._index.search(sub_query, k)
-        return joint_search(
-            self._index, sub_query, k=k, l=min(max(l, k), self.objects.n)
+            return executor.run_flat(self._index, sub_queries, k)
+        return executor.run_graph(
+            self._index, sub_queries, k=k,
+            l=min(max(l, k), self.objects.n),
         )

@@ -7,6 +7,7 @@ benchmark suite reuses them across every table and figure.
 
 from __future__ import annotations
 
+import os
 from functools import lru_cache
 
 import numpy as np
@@ -36,11 +37,20 @@ __all__ = [
     "train_test_split",
 ]
 
+def _int_knob(name: str, default: int) -> int:
+    """Benchmark scale knob, overridable via the environment.
+
+    CI smoke runs shrink the whole harness with e.g.
+    ``REPRO_LARGESCALE_N=2000`` instead of editing this file.
+    """
+    return int(os.environ.get(name, default))
+
+
 #: Benchmark scale knobs — one place to shrink everything for smoke runs.
-LARGESCALE_N = 20_000
-LARGESCALE_QUERIES = 60
-ACCURACY_QUERIES = 240
-WEIGHT_EPOCHS = 300
+LARGESCALE_N = _int_knob("REPRO_LARGESCALE_N", 20_000)
+LARGESCALE_QUERIES = _int_knob("REPRO_LARGESCALE_QUERIES", 60)
+ACCURACY_QUERIES = _int_knob("REPRO_ACCURACY_QUERIES", 240)
+WEIGHT_EPOCHS = _int_knob("REPRO_WEIGHT_EPOCHS", 300)
 WEIGHT_LR = 0.2
 
 

@@ -31,6 +31,7 @@ from repro.core.results import SearchResult
 from repro.core.space import JointSpace
 from repro.core.weights import Weights
 from repro.index.base import GraphIndex
+from repro.index.executor import BatchExecutor, BatchResult
 from repro.index.flat import FlatIndex
 from repro.index.pipeline import FusedIndexBuilder
 from repro.index.search import joint_search
@@ -157,7 +158,7 @@ class MUST:
         bypasses the graph (brute force, the MUST-- behaviour).
         """
         if exact:
-            return FlatIndex(self.space).search(query, k, weights=weights)
+            return self._flat().search(query, k, weights=weights)
         return joint_search(
             self.index,
             query,
@@ -168,11 +169,49 @@ class MUST:
             **search_kwargs,
         )
 
+    def _flat(self) -> FlatIndex:
+        """Exact searcher sharing the live §IX deletion bitset (if any)."""
+        deleted = self._index.deleted if self._index is not None else None
+        return FlatIndex(self.space, deleted=deleted)
+
     def batch_search(
-        self, queries: list[MultiVector], k: int = 10, l: int = 100, **kwargs
-    ) -> list[SearchResult]:
-        """Convenience loop over :meth:`search`."""
-        return [self.search(q, k=k, l=l, **kwargs) for q in queries]
+        self,
+        queries: list[MultiVector],
+        k: int = 10,
+        l: int = 100,
+        weights: Weights | None = None,
+        early_termination: bool = False,
+        exact: bool = False,
+        engine: str = "heap",
+        n_jobs: int = 1,
+        rng: int | None = 0,
+        **search_kwargs,
+    ) -> BatchResult:
+        """Joint top-*k* search for a batch of queries via the executor.
+
+        The exact path scores all queries with a single GEMM per wave;
+        the graph path runs stateless per-query searchers, on a thread
+        pool when ``n_jobs != 1``.  Each query draws its random init
+        vertices from its own child seed derived from ``rng``
+        (``SeedSequence.spawn``), so batches are deterministic without
+        every query sharing one init draw — and bit-identical for any
+        ``n_jobs``.  The returned :class:`BatchResult` iterates like the
+        old list of per-query results and carries the aggregated
+        per-batch :class:`~repro.core.results.SearchStats` as ``.stats``.
+        """
+        executor = BatchExecutor(n_jobs=n_jobs, rng=rng)
+        if exact:
+            return executor.run_flat(self._flat(), queries, k, weights=weights)
+        return executor.run_graph(
+            self.index,
+            queries,
+            k=k,
+            l=min(l, self.objects.n),
+            weights=weights,
+            early_termination=early_termination,
+            engine=engine,
+            **search_kwargs,
+        )
 
     # ------------------------------------------------------------------
     # Dynamic updates (paper §IX)

@@ -3,6 +3,7 @@
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import Iterable
 
 import numpy as np
 
@@ -32,6 +33,14 @@ class SearchStats:
         self.joint_evals += other.joint_evals
         self.modality_evals += other.modality_evals
         self.pruned_early += other.pruned_early
+
+    @classmethod
+    def aggregate(cls, stats: "Iterable[SearchStats]") -> "SearchStats":
+        """Sum of many per-query counters (one batch's total work)."""
+        total = cls()
+        for s in stats:
+            total.merge(s)
+        return total
 
 
 @dataclass

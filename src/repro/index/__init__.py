@@ -6,10 +6,16 @@
   the Lemma-4 multi-vector computation optimisation.
 * :mod:`repro.index.graphs` — KGraph / NSG / NSSG / HNSW / Vamana / HCNNG
   for the Fig. 10 ablation.
-* :class:`FlatIndex` — exact brute force (the MUST-- reference).
+* :class:`FlatIndex` — exact brute force (the MUST-- reference),
+  deletion-aware and GEMM-batched.
+* :class:`Scorer` / :func:`batch_score_all` — the unified scoring engine
+  every search path (graph engines, flat scan, baselines) routes through.
+* :class:`BatchExecutor` — batched / thread-parallel query execution with
+  per-query child seeds and aggregated per-batch stats.
 """
 
 from repro.index.base import GraphIndex
+from repro.index.executor import BatchExecutor, BatchResult
 from repro.index.flat import FlatIndex
 from repro.index.graphs import (
     HCNNGBuilder,
@@ -21,6 +27,7 @@ from repro.index.graphs import (
 )
 from repro.index.nndescent import graph_quality, nndescent, random_knn
 from repro.index.pipeline import FusedIndexBuilder
+from repro.index.scoring import MatrixScorer, Scorer, batch_score_all
 from repro.index.search import greedy_search_graph, joint_search
 
 BUILDERS = {
@@ -36,6 +43,11 @@ BUILDERS = {
 __all__ = [
     "GraphIndex",
     "FlatIndex",
+    "BatchExecutor",
+    "BatchResult",
+    "Scorer",
+    "MatrixScorer",
+    "batch_score_all",
     "FusedIndexBuilder",
     "KGraphBuilder",
     "NSGBuilder",

@@ -1,0 +1,134 @@
+"""Batched and parallel query execution over one index.
+
+:class:`BatchExecutor` is the throughput layer every batch entry point
+(:meth:`MUST.batch_search`, the baselines' batch paths, the QPS
+harness) shares.  Two execution strategies, both returning per-query
+:class:`~repro.core.results.SearchResult` objects in input order plus a
+batch-aggregated :class:`~repro.core.results.SearchStats`:
+
+* **Flat wave** (:meth:`run_flat`) — all fast-path queries in the batch
+  are stacked and scored against the whole corpus with a single GEMM
+  (:func:`~repro.index.scoring.batch_score_all`) instead of one GEMV
+  scan per query.
+* **Graph pool** (:meth:`run_graph`) — graph search is control-flow
+  heavy, so queries run concurrently on a thread pool.  Each task is a
+  stateless per-query searcher (its own scorer, heaps, and stats), the
+  index and corpus are shared read-only, and the heavy scoring kernels
+  release the GIL inside BLAS — the preconditions that make the pool
+  both safe and useful.
+
+Determinism: each query draws its init vertices from its own
+:class:`numpy.random.SeedSequence` child
+(:func:`~repro.utils.rng.spawn_seed_sequences`), so a batch is exactly
+reproducible from ``rng`` **and** bit-identical whether it runs on one
+thread or many — scheduling only changes completion order, never a
+query's arithmetic.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.multivector import MultiVector
+from repro.core.results import SearchResult, SearchStats
+from repro.core.weights import Weights
+from repro.index.base import GraphIndex
+from repro.utils.parallel import resolve_n_jobs, thread_map
+from repro.utils.rng import spawn_seed_sequences
+
+__all__ = ["BatchResult", "BatchExecutor"]
+
+
+@dataclass
+class BatchResult:
+    """One batch's answers: a sequence of per-query results + total work.
+
+    Behaves like the plain ``list[SearchResult]`` the sequential loop
+    used to return (len / iteration / indexing), with the aggregated
+    batch counters on :attr:`stats`.
+    """
+
+    results: list[SearchResult]
+    stats: SearchStats = field(default_factory=SearchStats)
+
+    def __len__(self) -> int:
+        return len(self.results)
+
+    def __iter__(self):
+        return iter(self.results)
+
+    def __getitem__(self, i):
+        return self.results[i]
+
+
+class BatchExecutor:
+    """Runs many queries over one index, batched and optionally parallel.
+
+    ``n_jobs`` follows the scikit-learn convention (``1`` sequential,
+    ``-1`` all cores); ``rng`` seeds the whole batch — per-query child
+    seeds are derived from it.
+    """
+
+    def __init__(self, n_jobs: int = 1, rng: int | None = 0):
+        self.n_jobs = resolve_n_jobs(n_jobs)
+        self.rng = rng
+
+    # ------------------------------------------------------------------
+    # Graph path
+    # ------------------------------------------------------------------
+    def run_graph(
+        self,
+        index: GraphIndex,
+        queries: list[MultiVector],
+        k: int,
+        l: int,
+        weights: Weights | None = None,
+        early_termination: bool = False,
+        engine: str = "heap",
+        **search_kwargs,
+    ) -> BatchResult:
+        """Thread-pooled :func:`~repro.index.search.joint_search` batch."""
+        from repro.index.search import joint_search
+
+        queries = list(queries)
+        seeds = spawn_seed_sequences(self.rng, len(queries))
+        # Touch the lazy concatenated matrix once so pool workers never
+        # race to materialise it.
+        index.space.concatenated
+
+        def one(task: tuple[MultiVector, np.random.SeedSequence]) -> SearchResult:
+            query, seed = task
+            return joint_search(
+                index,
+                query,
+                k=k,
+                l=l,
+                weights=weights,
+                early_termination=early_termination,
+                engine=engine,
+                rng=np.random.default_rng(seed),
+                **search_kwargs,
+            )
+
+        results = thread_map(one, zip(queries, seeds), n_jobs=self.n_jobs)
+        return BatchResult(
+            results, SearchStats.aggregate(r.stats for r in results)
+        )
+
+    # ------------------------------------------------------------------
+    # Flat (exact) path
+    # ------------------------------------------------------------------
+    def run_flat(
+        self,
+        flat,
+        queries: list[MultiVector],
+        k: int,
+        weights: Weights | None = None,
+    ) -> BatchResult:
+        """Single-GEMM exact batch over a :class:`FlatIndex`."""
+        results = flat.batch_search(list(queries), k, weights=weights)
+        return BatchResult(
+            results, SearchStats.aggregate(r.stats for r in results)
+        )

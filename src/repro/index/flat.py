@@ -3,6 +3,13 @@
 Scans every object's joint similarity; exact but linear in ``n``
 (Tab. VII shows its response time growing linearly while the fused index
 stays near-flat).
+
+The scan itself lives in the shared scoring engine
+(:class:`~repro.index.scoring.Scorer` for one query,
+:func:`~repro.index.scoring.batch_score_all` for a batch — one GEMM for
+the whole wave).  The index is deletion-aware: pass the §IX data-status
+bitset as ``deleted`` and soft-deleted objects are excluded from exact
+results, matching the graph searcher's behaviour.
 """
 
 from __future__ import annotations
@@ -10,25 +17,45 @@ from __future__ import annotations
 import numpy as np
 
 from repro.core.multivector import MultiVector
-from repro.core.results import SearchResult, SearchStats
+from repro.core.results import SearchResult
 from repro.core.space import JointSpace
 from repro.core.weights import Weights
+from repro.index.scoring import Scorer, batch_score_all
 from repro.utils.topk import top_k_sorted
 
 __all__ = ["FlatIndex"]
 
 
 class FlatIndex:
-    """Exact joint-similarity scan over a :class:`JointSpace`."""
+    """Exact joint-similarity scan over a :class:`JointSpace`.
+
+    ``deleted`` is an optional boolean bitset over the corpus; True rows
+    never appear in results.  Pass the array of a live
+    :class:`~repro.index.base.GraphIndex` to share its view — but note
+    the graph allocates its bitset lazily on the first ``mark_deleted``,
+    so a ``None`` captured here stays ``None``; construct the
+    :class:`FlatIndex` after the bitset exists (or per search, as
+    :meth:`MUST._flat` does) to track later deletions.
+    """
 
     name = "flat"
 
-    def __init__(self, space: JointSpace):
+    def __init__(self, space: JointSpace, deleted: np.ndarray | None = None):
         self.space = space
+        self.deleted = deleted
 
     @property
     def n(self) -> int:
         return self.space.n
+
+    def _rank(self, sims: np.ndarray, k: int) -> np.ndarray:
+        """Top-*k* ids of one scan, with deleted rows masked out."""
+        if self.deleted is not None:
+            sims = np.where(self.deleted, -np.inf, sims)
+        ids = top_k_sorted(sims, k)
+        # Fewer than k active objects leave -inf (deleted) entries in the
+        # selection; drop them rather than return tombstones.
+        return ids[np.isfinite(sims[ids])]
 
     def search(
         self,
@@ -37,15 +64,34 @@ class FlatIndex:
         weights: Weights | None = None,
     ) -> SearchResult:
         """Exact top-*k* by full scan."""
-        sims = self.space.query_all(query, weights=weights)
-        ids = top_k_sorted(sims, k)
-        active = sum(
-            1 for i, q in enumerate(query.vectors)
-            if q is not None
+        scorer = Scorer(self.space, query, weights=weights)
+        sims = scorer.score_all()
+        ids = self._rank(sims, k)
+        return SearchResult(ids=ids, similarities=sims[ids],
+                            stats=scorer.stats)
+
+    def batch_search(
+        self,
+        queries: list[MultiVector],
+        k: int,
+        weights: Weights | None = None,
+    ) -> list[SearchResult]:
+        """Exact top-*k* for a whole batch — one GEMM for the wave.
+
+        Ranks agree with ``[search(q, k) for q in queries]`` on
+        non-degenerate data, but the similarities travel a different
+        numerical route (rescaled float32 concat GEMM vs the sequential
+        scan's per-modality float64 accumulation) and can diverge by
+        ~1e-7; objects whose joint similarities are closer than that may
+        swap ranks between the two paths.  See :func:`batch_score_all`.
+        """
+        all_sims, all_stats = batch_score_all(
+            self.space, queries, weights=weights
         )
-        stats = SearchStats(
-            joint_evals=self.n,
-            modality_evals=self.n * active,
-            visited_vertices=self.n,
-        )
-        return SearchResult(ids=ids, similarities=sims[ids], stats=stats)
+        out = []
+        for sims, stats in zip(all_sims, all_stats):
+            ids = self._rank(sims, k)
+            out.append(
+                SearchResult(ids=ids, similarities=sims[ids], stats=stats)
+            )
+        return out

@@ -1,0 +1,208 @@
+"""Unified similarity-scoring engine for the whole search stack.
+
+Every search path in the library — the two graph-search engines, the
+exact :class:`~repro.index.flat.FlatIndex` scan, the construction-time
+beam search, and the baselines — used to re-implement the same three
+scoring branches.  This module is now their single home:
+
+* **Concat fast path** — when :meth:`JointSpace.concat_query` can build a
+  rescaled query vector, scoring a frontier is one gather + one GEMV
+  against the ω-scaled concatenated matrix (Lemma 1).
+* **Per-modality fallback** — when the fast path is impossible (the query
+  needs a modality whose index weight is zero), similarities accumulate
+  modality by modality via :meth:`JointSpace.query_ids`.
+* **Lemma-4 pruned evaluation** — with ``early_termination`` the
+  incremental multi-vector computation drops an object the moment its
+  partial-IP upper bound falls to the pruning threshold
+  (:meth:`JointSpace.query_ids_early_stop`); lossless by Lemma 4.
+* **Stats accounting** — every branch feeds the same
+  :class:`~repro.core.results.SearchStats` counters, so work comparisons
+  stay consistent across engines and indexes.
+
+:class:`Scorer` binds one (space, query, weights, early-termination)
+configuration; it is cheap to construct and **stateless between calls**
+apart from the stats counters, which is what makes one-scorer-per-query
+execution safe under the thread-pool of
+:class:`~repro.index.executor.BatchExecutor`.
+
+:func:`batch_score_all` is the batched (many queries × whole corpus)
+variant: all fast-path queries are stacked into one matrix and scored
+with a single GEMM, the throughput core of the executor's exact path.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.multivector import MultiVector
+from repro.core.results import SearchStats
+from repro.core.space import JointSpace
+from repro.core.weights import Weights
+
+__all__ = ["MatrixScorer", "Scorer", "batch_score_all"]
+
+
+class MatrixScorer:
+    """Raw-matrix scorer for construction-time search (no weights, no stats).
+
+    Index builders route over plain concatenated vectors where the query
+    *is* a corpus row; there is nothing to rescale and no work counters
+    to keep.  This thin wrapper still centralises the actual arithmetic
+    so the gather + GEMV idiom lives in exactly one module.
+    """
+
+    __slots__ = ("matrix", "query_vec")
+
+    def __init__(self, matrix: np.ndarray, query_vec: np.ndarray):
+        self.matrix = matrix
+        self.query_vec = query_vec
+
+    def score_one(self, i: int) -> float:
+        return float(self.matrix[i] @ self.query_vec)
+
+    def score_ids(self, ids: np.ndarray) -> np.ndarray:
+        return self.matrix[ids] @ self.query_vec
+
+
+class Scorer:
+    """Joint-similarity scorer for one query under one weight override.
+
+    Owns the branch selection the searchers used to duplicate:
+
+    ========================  ============================================
+    configuration             scoring route
+    ========================  ============================================
+    default                   concat fast path (gather + GEMV, Lemma 1)
+    zeroed index weight       per-modality fallback (``query_ids``)
+    ``early_termination``     Lemma-4 pruned scan (``query_ids_early_stop``)
+    ========================  ============================================
+
+    All routes update :attr:`stats` with identical accounting, so results
+    produced through the scorer are bit-identical to the historical
+    per-call-site implementations.
+    """
+
+    def __init__(
+        self,
+        space: JointSpace,
+        query: MultiVector,
+        weights: Weights | None = None,
+        early_termination: bool = False,
+        stats: SearchStats | None = None,
+    ):
+        self.space = space
+        self.query = query
+        self.weights = weights
+        self.early_termination = bool(early_termination)
+        self.stats = stats if stats is not None else SearchStats()
+        # The pruned path scores modality-by-modality on purpose, so the
+        # concatenated fast path is only prepared when it is off.
+        self._qcat = (
+            None if early_termination else space.concat_query(query, weights)
+        )
+        self._concat = space.concatenated if self._qcat is not None else None
+        self._active = sum(1 for q in query.vectors if q is not None)
+
+    @property
+    def has_fast_path(self) -> bool:
+        """True when frontier scoring is a single GEMV."""
+        return self._qcat is not None
+
+    @property
+    def num_active_modalities(self) -> int:
+        """Modalities the query actually carries (``t`` in the paper)."""
+        return self._active
+
+    # ------------------------------------------------------------------
+    # Scoring routes
+    # ------------------------------------------------------------------
+    def score_ids(self, ids: np.ndarray) -> np.ndarray:
+        """Exact joint similarities of the objects in *ids* (no pruning)."""
+        if self._qcat is not None:
+            sims = (self._concat[ids] @ self._qcat).astype(np.float64)
+            self.stats.joint_evals += int(ids.size)
+            self.stats.modality_evals += int(ids.size) * self._active
+            return sims
+        return self.space.query_ids(
+            self.query, ids, weights=self.weights, stats=self.stats
+        )
+
+    def score_frontier(
+        self, ids: np.ndarray, threshold: float
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Score one frontier wave against a pruning *threshold*.
+
+        Returns ``(sims, keep)`` where ``keep[j]`` is True when ``ids[j]``
+        beats the threshold with an **exact** similarity — under Lemma-4
+        pruning a dropped object carries only its upper bound, which is
+        already ≤ the threshold, so the mask is identical in all routes.
+        """
+        if self.early_termination:
+            sims, exact = self.space.query_ids_early_stop(
+                self.query, ids, threshold, weights=self.weights,
+                stats=self.stats,
+            )
+            return sims, exact & (sims > threshold)
+        sims = self.score_ids(ids)
+        return sims, sims > threshold
+
+    def score_all(self) -> np.ndarray:
+        """Full-corpus joint similarities (the exact-search scan)."""
+        sims = self.space.query_all(self.query, weights=self.weights)
+        n = self.space.n
+        self.stats.joint_evals += n
+        self.stats.modality_evals += n * self._active
+        self.stats.visited_vertices += n
+        return sims
+
+
+def batch_score_all(
+    space: JointSpace,
+    queries: list[MultiVector],
+    weights: Weights | None = None,
+) -> tuple[list[np.ndarray], list[SearchStats]]:
+    """Score many queries against the whole corpus in one GEMM.
+
+    The batched exact path of :class:`~repro.index.executor.BatchExecutor`:
+    every query with a concat fast path contributes one column to a
+    stacked query matrix, and a single ``(n, D) @ (D, b)`` GEMM replaces
+    ``b`` separate scans.  Queries without a fast path (zeroed index
+    weight) fall back to the per-query :meth:`Scorer.score_all`.
+
+    Returns per-query ``(sims, stats)`` aligned with *queries*.  Note the
+    numerics: the stacked path scores through the rescaled float32
+    concatenation (Lemma 1), while the sequential :meth:`Scorer.score_all`
+    accumulates per modality in float64 — similarities can diverge by
+    ~1e-7 on unit-norm data, which only matters for objects whose joint
+    similarities are closer than that (ranks are unaffected on
+    non-degenerate data).
+    """
+    n = len(queries)
+    sims_out: list[np.ndarray | None] = [None] * n
+    stats_out: list[SearchStats] = [SearchStats() for _ in range(n)]
+
+    stacked: list[np.ndarray] = []
+    fast_rows: list[int] = []
+    for row, query in enumerate(queries):
+        qcat = space.concat_query(query, weights)
+        if qcat is None:
+            scorer = Scorer(space, query, weights=weights,
+                            stats=stats_out[row])
+            sims_out[row] = scorer.score_all()
+        else:
+            stacked.append(qcat)
+            fast_rows.append(row)
+
+    if fast_rows:
+        block = space.concatenated @ np.stack(stacked, axis=1)  # (n_obj, b)
+        block = block.astype(np.float64)
+        for col, row in enumerate(fast_rows):
+            sims_out[row] = block[:, col]
+            active = sum(
+                1 for q in queries[row].vectors if q is not None
+            )
+            stats = stats_out[row]
+            stats.joint_evals += space.n
+            stats.modality_evals += space.n * active
+            stats.visited_vertices += space.n
+    return sims_out, stats_out

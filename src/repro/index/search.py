@@ -20,6 +20,13 @@ incremental multi-vector computation (Lemma 4): per-modality distances
 accumulate and a neighbour is dropped the moment its partial-IP upper
 bound cannot beat the current worst of ``R`` — identical results, fewer
 modality evaluations (Fig. 10(c)).
+
+All similarity arithmetic (concat fast path, per-modality fallback,
+Lemma-4 pruning, stats accounting) lives in the shared
+:class:`~repro.index.scoring.Scorer`; the engines here only own the
+routing.  Batches of queries should go through
+:class:`~repro.index.executor.BatchExecutor` rather than a caller-side
+loop.
 """
 
 from __future__ import annotations
@@ -29,9 +36,10 @@ import heapq
 import numpy as np
 
 from repro.core.multivector import MultiVector
-from repro.core.results import SearchResult, SearchStats
+from repro.core.results import SearchResult
 from repro.core.weights import Weights
 from repro.index.base import GraphIndex
+from repro.index.scoring import MatrixScorer, Scorer
 from repro.utils.rng import make_rng
 from repro.utils.validation import require
 
@@ -86,14 +94,6 @@ def _init_result_set(
     return np.concatenate([[index.seed_vertex], extra]).astype(np.int64)
 
 
-def _score_setup(space, query, weights, early_termination):
-    """Shared scoring context: fast concatenated path when possible."""
-    qcat = None if early_termination else space.concat_query(query, weights)
-    concat = space.concatenated if qcat is not None else None
-    active = sum(1 for q in query.vectors if q is not None)
-    return qcat, concat, active
-
-
 def _heap_search(
     index: GraphIndex,
     query: MultiVector,
@@ -106,18 +106,14 @@ def _heap_search(
 ) -> SearchResult:
     space = index.space
     n = space.n
-    stats = SearchStats()
-    qcat, concat, active = _score_setup(space, query, weights, early_termination)
+    scorer = Scorer(space, query, weights=weights,
+                    early_termination=early_termination)
+    stats = scorer.stats
 
     r_ids = _init_result_set(index, l, rng)
     seen = np.zeros(n, dtype=bool)
     seen[r_ids] = True
-    if qcat is not None:
-        init_sims = (concat[r_ids] @ qcat).astype(np.float64)
-        stats.joint_evals += int(r_ids.size)
-        stats.modality_evals += int(r_ids.size) * active
-    else:
-        init_sims = space.query_ids(query, r_ids, weights=weights, stats=stats)
+    init_sims = scorer.score_ids(r_ids)
 
     # Soft-deleted vertices (§IX bitset) route but never enter results.
     deleted = index.deleted
@@ -150,19 +146,8 @@ def _heap_search(
             continue
         seen[fresh] = True
         threshold = threshold_now()
-        if early_termination:
-            sims, exact = space.query_ids_early_stop(
-                query, fresh, threshold, weights=weights, stats=stats
-            )
-            win = np.flatnonzero(exact & (sims > threshold))
-        else:
-            if qcat is not None:
-                sims = (concat[fresh] @ qcat).astype(np.float64)
-                stats.joint_evals += int(fresh.size)
-                stats.modality_evals += int(fresh.size) * active
-            else:
-                sims = space.query_ids(query, fresh, weights=weights, stats=stats)
-            win = np.flatnonzero(sims > threshold)
+        sims, keep = scorer.score_frontier(fresh, threshold)
+        win = np.flatnonzero(keep)
         for j in win:
             sim = float(sims[j])
             u = int(fresh[j])
@@ -204,20 +189,16 @@ def _paper_search(
 ) -> SearchResult:
     space = index.space
     n = space.n
-    stats = SearchStats()
-    qcat, concat, active = _score_setup(space, query, weights, early_termination)
+    scorer = Scorer(space, query, weights=weights,
+                    early_termination=early_termination)
+    stats = scorer.stats
 
     r_ids = _init_result_set(index, l, rng)
     init_size = r_ids.size
     seen = np.zeros(n, dtype=bool)
     expanded = np.zeros(n, dtype=bool)
     seen[r_ids] = True
-    if qcat is not None:
-        r_sims = (concat[r_ids] @ qcat).astype(np.float64)
-        stats.joint_evals += int(r_ids.size)
-        stats.modality_evals += int(r_ids.size) * active
-    else:
-        r_sims = space.query_ids(query, r_ids, weights=weights, stats=stats)
+    r_sims = scorer.score_ids(r_ids)
 
     last_total = -np.inf
     while True:
@@ -236,19 +217,7 @@ def _paper_search(
         if fresh.size:
             seen[fresh] = True
             threshold = float(r_sims.min()) if r_ids.size >= init_size else -np.inf
-            if early_termination:
-                sims, exact = space.query_ids_early_stop(
-                    query, fresh, threshold, weights=weights, stats=stats
-                )
-                keep = exact & (sims > threshold)
-            elif qcat is not None:
-                sims = (concat[fresh] @ qcat).astype(np.float64)
-                stats.joint_evals += int(fresh.size)
-                stats.modality_evals += int(fresh.size) * active
-                keep = sims > threshold
-            else:
-                sims = space.query_ids(query, fresh, weights=weights, stats=stats)
-                keep = sims > threshold
+            sims, keep = scorer.score_frontier(fresh, threshold)
             if keep.any():
                 r_ids = np.concatenate([r_ids, fresh[keep]])
                 r_sims = np.concatenate([r_sims, sims[keep]])
@@ -289,9 +258,10 @@ def greedy_search_graph(
     :func:`joint_search` instead, which adds weights/pruning/stats.
     """
     n = concat.shape[0]
+    scorer = MatrixScorer(concat, query_vec)
     seen = np.zeros(n, dtype=bool)
     seen[entry] = True
-    entry_sim = float(concat[entry] @ query_vec)
+    entry_sim = scorer.score_one(entry)
     results = [(entry_sim, entry)]
     candidates = [(-entry_sim, entry)]
     expanded_ids: list[int] = [entry]
@@ -305,7 +275,7 @@ def greedy_search_graph(
         if fresh.size == 0:
             continue
         seen[fresh] = True
-        sims = concat[fresh] @ query_vec
+        sims = scorer.score_ids(fresh)
         threshold = results[0][0] if len(results) >= beam else -np.inf
         for j in np.flatnonzero(sims > threshold):
             sim = float(sims[j])

@@ -9,7 +9,7 @@ from repro.metrics.recall import (
     recall_at_k,
     sme,
 )
-from repro.metrics.timing import TimedRun, measure_qps
+from repro.metrics.timing import TimedRun, measure_batch_qps, measure_qps
 
 __all__ = [
     "exact_top_k",
@@ -22,4 +22,5 @@ __all__ = [
     "sme",
     "TimedRun",
     "measure_qps",
+    "measure_batch_qps",
 ]

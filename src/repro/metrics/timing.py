@@ -11,7 +11,7 @@ import time
 from dataclasses import dataclass
 from typing import Callable, Iterable, Sequence, TypeVar
 
-__all__ = ["TimedRun", "measure_qps"]
+__all__ = ["TimedRun", "measure_qps", "measure_batch_qps"]
 
 Q = TypeVar("Q")
 
@@ -53,3 +53,28 @@ def measure_qps(
     results = [search_fn(q) for q in queries]
     elapsed = time.perf_counter() - start
     return TimedRun(results=results, elapsed=elapsed, num_queries=len(queries))
+
+
+def measure_batch_qps(
+    batch_fn: Callable[[list], object],
+    queries: Sequence[Q] | Iterable[Q],
+    warmup: int = 0,
+) -> TimedRun:
+    """Time a *batch* entry point (one call over all queries).
+
+    The executor-era counterpart of :func:`measure_qps`: ``batch_fn``
+    receives the whole query list and returns an iterable of per-query
+    results (a plain list or a
+    :class:`~repro.index.executor.BatchResult`).  QPS then reflects true
+    batch throughput — GEMM waves and thread-pool parallelism included —
+    rather than a sum of single-query latencies.
+    """
+    queries = list(queries)
+    if warmup > 0:
+        batch_fn(queries[:warmup])
+    start = time.perf_counter()
+    out = batch_fn(queries)
+    elapsed = time.perf_counter() - start
+    return TimedRun(
+        results=list(out), elapsed=elapsed, num_queries=len(queries)
+    )

@@ -111,3 +111,62 @@ class TestCompaction:
         compacted, active = must.compact()
         assert compacted.objects.n == must.objects.n
         assert np.array_equal(active, np.arange(must.objects.n))
+
+
+class TestExactSearchSoftDeletes:
+    """Regression: the exact (FlatIndex) path must honour the §IX bitset
+    exactly like the graph searcher does — it used to return tombstones."""
+
+    def _fresh_must(self):
+        must = MUST(random_multivector_set(250, (8, 6), seed=17),
+                    weights=Weights([0.5, 0.5]))
+        return must.build()
+
+    def test_exact_search_filters_deleted(self):
+        must = self._fresh_must()
+        q = random_query((8, 6), seed=4)
+        doomed = must.search(q, k=5, exact=True).ids
+        must.mark_deleted(doomed)
+        res = must.search(q, k=5, exact=True)
+        assert not (set(res.ids.tolist()) & set(doomed.tolist()))
+        # The survivors are exactly the best *active* objects.
+        sims = must.space.query_all(q)
+        sims[doomed] = -np.inf
+        expected = np.argsort(-sims)[:5]
+        assert set(res.ids.tolist()) == set(expected.tolist())
+
+    def test_exact_matches_graph_filtering(self):
+        must = self._fresh_must()
+        q = random_query((8, 6), seed=9)
+        must.mark_deleted(np.arange(0, 250, 4))
+        exact = must.search(q, k=10, exact=True)
+        graph = must.search(q, k=10, l=250)
+        deleted = set(np.arange(0, 250, 4).tolist())
+        assert not (set(exact.ids.tolist()) & deleted)
+        assert not (set(graph.ids.tolist()) & deleted)
+        assert len(set(exact.ids.tolist()) & set(graph.ids.tolist())) >= 9
+
+    def test_exact_batch_filters_deleted(self):
+        must = self._fresh_must()
+        queries = [random_query((8, 6), seed=s) for s in range(6)]
+        must.mark_deleted(np.arange(0, 250, 3))
+        deleted = set(np.arange(0, 250, 3).tolist())
+        batch = must.batch_search(queries, k=7, exact=True)
+        for res in batch:
+            assert len(res) == 7
+            assert not (set(res.ids.tolist()) & deleted)
+
+    def test_k_exceeding_active_count_returns_only_survivors(self):
+        must = MUST(random_multivector_set(40, (8, 6), seed=21),
+                    weights=Weights([0.5, 0.5])).build()
+        must.mark_deleted(np.arange(35))
+        res = must.search(random_query((8, 6), seed=2), k=10, exact=True)
+        assert len(res) == 5
+        assert set(res.ids.tolist()) == set(range(35, 40))
+
+    def test_exact_without_build_ignores_bitset(self):
+        """Exact search works pre-build (no graph, hence no bitset yet)."""
+        must = MUST(random_multivector_set(60, (8, 6), seed=5),
+                    weights=Weights([0.5, 0.5]))
+        res = must.search(random_query((8, 6), seed=0), k=3, exact=True)
+        assert len(res) == 3
