@@ -1,0 +1,72 @@
+"""Dynamic-update throughput — streaming inserts/searches/deletes QPS.
+
+Exercises the segmented subsystem (§IX made automatic): interleaved
+insert/search/delete traffic, auto-sealing and compaction, then
+steady-state search QPS compared against a freshly built single-segment
+index.  Writes the ``BENCH_dynamic_qps.json`` perf-trajectory artifact at
+the repo root.  Runnable standalone
+(``PYTHONPATH=src python benchmarks/bench_dynamic_updates.py``) or
+through pytest like the other bench files.  Scale via ``REPRO_DYNAMIC_N``
+and ``REPRO_LARGESCALE_QUERIES``.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from repro.bench.efficiency import dynamic_throughput
+from repro.bench.harness import format_table, save_table
+
+ARTIFACT = Path(__file__).resolve().parents[1] / "BENCH_dynamic_qps.json"
+
+
+def run(kind: str = "image") -> dict:
+    """Run the experiment and write the JSON artifact."""
+    table, payload = dynamic_throughput(kind)
+    save_table(table, "dynamic_qps")
+    print(format_table(table))
+    ARTIFACT.write_text(json.dumps(payload, indent=2) + "\n")
+    return payload
+
+
+def test_dynamic_qps(benchmark, capsys):
+    from benchmarks.conftest import emit
+
+    table, payload = dynamic_throughput("image")
+    emit(table, "dynamic_qps", capsys)
+    ARTIFACT.write_text(json.dumps(payload, indent=2) + "\n")
+    # Acceptance guards: the stream must actually exercise the segment
+    # lifecycle, and steady-state QPS after auto-compaction must stay
+    # within 10% of a freshly built single-segment index.
+    life = payload["lifecycle"]
+    assert life["seals"] + life["compactions"] > 0
+    assert len(life["segments"]) == 1
+    assert payload["steady_vs_fresh"] >= 0.9
+    assert payload["steady_recall"] >= 0.9
+
+    from repro.bench import cache
+
+    enc = cache.largescale_encoded("image", cache.DYNAMIC_N)
+    queries = list(enc.queries[:16])
+    from repro.core.framework import MUST
+    from repro.core.weights import Weights
+    from repro.index.segments import SegmentPolicy
+    import numpy as np
+
+    must = MUST(
+        enc.objects.subset(np.arange(enc.objects.n // 2)),
+        weights=Weights.uniform(enc.objects.num_modalities),
+        segment_policy=SegmentPolicy(seal_size=enc.objects.n),
+    ).build()
+    must.insert(enc.objects.subset(
+        np.arange(enc.objects.n // 2, enc.objects.n // 2 + 64)
+    ))
+    benchmark(lambda: must.batch_search(queries, k=10, l=80))
+
+
+if __name__ == "__main__":
+    out = run()
+    print(json.dumps({k: v for k, v in out.items() if k != "lifecycle"},
+                     indent=2))
+    print(f"wrote {ARTIFACT}")

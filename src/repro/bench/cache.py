@@ -52,6 +52,8 @@ LARGESCALE_QUERIES = _int_knob("REPRO_LARGESCALE_QUERIES", 60)
 ACCURACY_QUERIES = _int_knob("REPRO_ACCURACY_QUERIES", 240)
 WEIGHT_EPOCHS = _int_knob("REPRO_WEIGHT_EPOCHS", 300)
 WEIGHT_LR = 0.2
+#: Corpus size for the dynamic-update (streaming insert/delete) benchmark.
+DYNAMIC_N = _int_knob("REPRO_DYNAMIC_N", 6_000)
 
 
 @lru_cache(maxsize=None)

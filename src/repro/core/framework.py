@@ -35,6 +35,8 @@ from repro.index.executor import BatchExecutor, BatchResult
 from repro.index.flat import FlatIndex
 from repro.index.pipeline import FusedIndexBuilder
 from repro.index.search import joint_search
+from repro.index.segments import MANIFEST_NAME, SegmentedIndex, SegmentPolicy
+from repro.utils.io import load_arrays
 from repro.utils.validation import require
 from repro.weightlearn.trainer import VectorWeightLearner, WeightLearningResult
 
@@ -51,11 +53,16 @@ class MUST:
         objects: MultiVectorSet,
         weights: Weights | None = None,
         builder=None,
+        segment_policy: SegmentPolicy | None = None,
     ):
         self.objects = objects
         self.weights = weights or Weights.uniform(objects.num_modalities)
         self.builder = builder or FusedIndexBuilder()
+        #: Seal/compaction knobs used once :meth:`insert` switches the
+        #: instance to the segmented subsystem.
+        self.segment_policy = segment_policy
         self._index: GraphIndex | None = None
+        self._segments: SegmentedIndex | None = None
         self._space: JointSpace | None = None
         self.weight_result: WeightLearningResult | None = None
 
@@ -89,6 +96,12 @@ class MUST:
         installed on this instance; call :meth:`build` afterwards, since
         the fused index depends on the weights.
         """
+        require(
+            self._segments is None,
+            "cannot change weights after streaming inserts: segment graphs "
+            "and inserted vectors are bound to the old weights — fit "
+            "weights before going dynamic, or rebuild a fresh MUST",
+        )
         positive_object_ids = np.asarray(positive_object_ids, dtype=np.int64)
         if pool_object_ids is None:
             pool_object_ids = np.arange(self.objects.n, dtype=np.int64)
@@ -104,16 +117,20 @@ class MUST:
         )
         learner = VectorWeightLearner(**learner_kwargs)
         result = learner.fit(anchors, positions, pool)
-        self.weights = result.weights
         self.weight_result = result
-        self._space = None  # weights changed → spaces/indexes are stale
-        self._index = None
+        self.set_weights(result.weights)
         return result
 
     def set_weights(self, weights: Weights) -> None:
         """Install user-defined weights (Fig. 4(g) Option 2)."""
+        require(
+            self._segments is None,
+            "cannot change weights after streaming inserts: segment graphs "
+            "and inserted vectors are bound to the old weights — fit "
+            "weights before going dynamic, or rebuild a fresh MUST",
+        )
         self.weights = weights
-        self._space = None
+        self._space = None  # weights changed → spaces/indexes are stale
         self._index = None
 
     # ------------------------------------------------------------------
@@ -131,11 +148,29 @@ class MUST:
         return self._index
 
     @property
+    def segments(self) -> SegmentedIndex:
+        """The segmented subsystem (only exists after :meth:`insert` or
+        loading a segment manifest)."""
+        require(self._segments is not None,
+                "no segmented index — call insert() first")
+        return self._segments
+
+    @property
     def is_built(self) -> bool:
-        return self._index is not None
+        return self._index is not None or self._segments is not None
+
+    @property
+    def is_segmented(self) -> bool:
+        return self._segments is not None
 
     def build(self) -> "MUST":
         """Construct the fused proximity-graph index (Algorithm 1)."""
+        require(
+            self._segments is None,
+            "rebuilding from the original corpus would discard streamed "
+            "objects and tombstones (and recycle their external ids) — "
+            "use compact() to reconstruct a segmented index",
+        )
         self._index = self.builder.build(self.space)
         return self
 
@@ -155,8 +190,22 @@ class MUST:
         """Joint top-*k* search for one multimodal query.
 
         ``weights`` overrides the index weights at query time; ``exact``
-        bypasses the graph (brute force, the MUST-- behaviour).
+        bypasses the graph (brute force, the MUST-- behaviour).  On a
+        segmented instance results carry stable external ids, and the
+        exact path is layout-independent (bit-identical no matter how the
+        corpus is split into segments).
         """
+        if self._segments is not None:
+            if exact:
+                return self._segments.exact_search(query, k, weights=weights)
+            return self._segments.search(
+                query,
+                k=k,
+                l=l,
+                weights=weights,
+                early_termination=early_termination,
+                **search_kwargs,
+            )
         if exact:
             return self._flat().search(query, k, weights=weights)
         return joint_search(
@@ -200,6 +249,18 @@ class MUST:
         per-batch :class:`~repro.core.results.SearchStats` as ``.stats``.
         """
         executor = BatchExecutor(n_jobs=n_jobs, rng=rng)
+        if self._segments is not None:
+            return executor.run_segmented(
+                self._segments,
+                queries,
+                k=k,
+                l=l,
+                weights=weights,
+                early_termination=early_termination,
+                engine=engine,
+                exact=exact,
+                **search_kwargs,
+            )
         if exact:
             return executor.run_flat(self._flat(), queries, k, weights=weights)
         return executor.run_graph(
@@ -214,24 +275,49 @@ class MUST:
         )
 
     # ------------------------------------------------------------------
-    # Dynamic updates (paper §IX)
+    # Dynamic updates (paper §IX, segmented subsystem)
     # ------------------------------------------------------------------
+    def insert(self, objects: MultiVectorSet | MultiVector) -> np.ndarray:
+        """Stream new objects into the live index; returns their ids.
+
+        The first insert switches the instance to the segmented
+        subsystem: the existing fused graph becomes sealed segment 0
+        (its rows keep ids ``0..n-1``) and new objects flow into a
+        mutable delta segment via incremental HNSW insertion.  Sealing
+        and compaction run automatically per
+        :class:`~repro.index.segments.SegmentPolicy` (override via the
+        ``segment_policy`` constructor argument).  An unbuilt instance is
+        built first.
+        """
+        return self._ensure_segments().insert(objects)
+
     def mark_deleted(self, object_ids: np.ndarray) -> None:
         """Soft-delete objects (data-status bitset, §IX).
 
         Deleted objects stop appearing in results immediately but keep
         routing searches — proximity graphs need periodic reconstruction
-        to physically remove them; see :meth:`compact`.
+        to physically remove them; see :meth:`compact` (automatic on a
+        segmented instance once the tombstone ratio crosses the policy
+        threshold).
         """
+        if self._segments is not None:
+            self._segments.mark_deleted(object_ids)
+            return
         self.index.mark_deleted(object_ids)
 
     def compact(self) -> tuple["MUST", np.ndarray]:
         """Reconstruct over the active subset (§IX periodic rebuild).
 
-        Returns ``(new_must, active_ids)``: a freshly built framework over
-        the surviving objects, plus the id mapping — row ``j`` of the new
-        corpus is object ``active_ids[j]`` of the old one.
+        Returns ``(must, active_ids)``.  On a segmented instance the
+        rebuild happens **in place** (all segments merge into one fresh
+        sealed segment, tombstones dropped, external ids preserved) and
+        ``must is self``; otherwise the legacy behaviour returns a
+        freshly built framework over the surviving objects, where row
+        ``j`` of the new corpus is object ``active_ids[j]`` of the old.
         """
+        if self._segments is not None:
+            active = self._segments.compact()
+            return self, active
         active = self.index.active_ids()
         fresh = MUST(
             self.objects.subset(active),
@@ -241,11 +327,33 @@ class MUST:
         fresh.build()
         return fresh, active
 
+    def _ensure_segments(self) -> SegmentedIndex:
+        if self._segments is None:
+            if self._index is None:
+                self.build()
+            self._segments = SegmentedIndex.from_graph(
+                self._index,
+                builder=self.builder,
+                policy=self.segment_policy,
+            )
+            self._index = None
+        return self._segments
+
     # ------------------------------------------------------------------
     # Persistence
     # ------------------------------------------------------------------
     def save_index(self, path: str | Path) -> None:
-        """Persist the graph structure; weights go in the metadata."""
+        """Persist the index; weights go in the metadata.
+
+        A classic single-graph index saves as one ``.npz`` archive
+        (graph structure only — vectors stay with the corpus).  A
+        segmented instance saves *path* as a directory: a manifest plus
+        one ``.npz`` per segment, vectors included, so streamed objects
+        survive the round-trip.
+        """
+        if self._segments is not None:
+            self._segments.save(path)
+            return
         require(self._index is not None, "call build() first")
         self._index.meta["squared_weights"] = [
             float(x) for x in self.weights.squared
@@ -253,12 +361,26 @@ class MUST:
         self._index.save(path)
 
     def load_index(self, path: str | Path) -> "MUST":
-        """Restore a graph saved by :meth:`save_index` for these objects."""
-        probe = GraphIndex.load(path, self.space)
-        stored = probe.meta.get("squared_weights")
+        """Restore an index saved by :meth:`save_index`.
+
+        Directories holding a segment manifest load the full segmented
+        state; plain archives load the legacy single-graph path for these
+        objects.  Either way the archive is read once — stored weights
+        are applied before the graph is bound to its space, not by
+        re-reading the file.
+        """
+        path = Path(path)
+        if path.is_dir() or (path / MANIFEST_NAME).exists():
+            self._segments = SegmentedIndex.load(path, builder=self.builder)
+            self.weights = self._segments.weights
+            self._space = None
+            self._index = None
+            return self
+        metadata, arrays = load_arrays(path)
+        stored = metadata.get("meta", {}).get("squared_weights")
         if stored is not None:
             self.weights = Weights(stored)
             self._space = None
-            probe = GraphIndex.load(path, self.space)
-        self._index = probe
+        self._index = GraphIndex.from_arrays(metadata, arrays, self.space)
+        self._segments = None
         return self

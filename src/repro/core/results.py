@@ -18,6 +18,12 @@ class SearchStats:
     the unit the multi-vector computation optimisation (Lemma 4) saves.
     A full joint similarity over ``m`` modalities costs ``m`` modality
     evaluations; an early-terminated one costs fewer.
+
+    ``segments_probed`` counts how many index segments contributed to the
+    answer: 0 for a classic single-graph search, ≥1 when the query went
+    through a :class:`~repro.index.segments.SegmentedIndex` (one per
+    sealed/delta segment probed; merging per-segment stats sums it, so a
+    batch aggregate reports total probes across the batch).
     """
 
     visited_vertices: int = 0
@@ -25,6 +31,7 @@ class SearchStats:
     joint_evals: int = 0
     modality_evals: int = 0
     pruned_early: int = 0
+    segments_probed: int = 0
 
     def merge(self, other: "SearchStats") -> None:
         """Accumulate *other* into self (for batch aggregation)."""
@@ -33,6 +40,7 @@ class SearchStats:
         self.joint_evals += other.joint_evals
         self.modality_evals += other.modality_evals
         self.pruned_early += other.pruned_early
+        self.segments_probed += other.segments_probed
 
     @classmethod
     def aggregate(cls, stats: "Iterable[SearchStats]") -> "SearchStats":

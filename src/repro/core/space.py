@@ -44,6 +44,10 @@ class JointSpace:
         self._vectors = vectors
         self._weights = weights
         self._concat: np.ndarray | None = None  # lazy ω-scaled concatenation
+        #: lazy float64 copies of the modality matrices, built on the
+        #: first deterministic scan (:meth:`query_ids_stable`) — trades
+        #: memory for not re-converting the corpus on every exact query.
+        self._f64: list[np.ndarray] | None = None
 
     # ------------------------------------------------------------------
     # Introspection / derivation
@@ -165,6 +169,44 @@ class JointSpace:
         if stats is not None:
             stats.joint_evals += int(ids.shape[0])
             stats.modality_evals += int(ids.shape[0]) * active
+        return out
+
+    def query_ids_stable(
+        self,
+        query: MultiVector,
+        ids: np.ndarray | None = None,
+        weights: Weights | None = None,
+        stats: SearchStats | None = None,
+    ) -> np.ndarray:
+        """Layout-independent exact joint similarities.
+
+        BLAS GEMV kernels pick different accumulation orders for
+        different matrix row counts, so :meth:`query_all` over a 60-row
+        corpus and over a 600-row corpus can disagree in the last bit for
+        the *same* object.  This route multiplies elementwise and reduces
+        each row independently in float64, so a row's similarity depends
+        only on its own vectors, the query, and the per-modality
+        dimensionality — never on which other rows share the matrix.
+        The segmented exact path uses it so results are bit-identical
+        regardless of how the corpus is split into segments.
+        ``ids=None`` scores the whole corpus.
+        """
+        w2 = self._effective_weights(query, weights)
+        count = self.n if ids is None else int(np.asarray(ids).shape[0])
+        out = np.zeros(count, dtype=np.float64)
+        active = 0
+        if self._f64 is None:
+            self._f64 = [m.astype(np.float64) for m in self._vectors.matrices]
+        for i, (mat, q) in enumerate(zip(self._f64, query.vectors)):
+            if q is None or w2[i] == 0.0:
+                continue
+            rows = mat if ids is None else mat[np.asarray(ids)]
+            prod = rows * q.astype(np.float64)
+            out += w2[i] * np.add.reduce(prod, axis=1)
+            active += 1
+        if stats is not None:
+            stats.joint_evals += count
+            stats.modality_evals += count * active
         return out
 
     def query_ids_early_stop(

@@ -12,6 +12,9 @@
   every search path (graph engines, flat scan, baselines) routes through.
 * :class:`BatchExecutor` — batched / thread-parallel query execution with
   per-query child seeds and aggregated per-batch stats.
+* :class:`SegmentedIndex` — the §IX dynamic-update subsystem: streaming
+  inserts into a mutable delta segment, sealed immutable segments, and
+  automatic compaction under a :class:`SegmentPolicy`.
 """
 
 from repro.index.base import GraphIndex
@@ -29,6 +32,7 @@ from repro.index.nndescent import graph_quality, nndescent, random_knn
 from repro.index.pipeline import FusedIndexBuilder
 from repro.index.scoring import MatrixScorer, Scorer, batch_score_all
 from repro.index.search import greedy_search_graph, joint_search
+from repro.index.segments import Segment, SegmentedIndex, SegmentPolicy
 
 BUILDERS = {
     "ours": FusedIndexBuilder,
@@ -43,6 +47,9 @@ BUILDERS = {
 __all__ = [
     "GraphIndex",
     "FlatIndex",
+    "SegmentedIndex",
+    "SegmentPolicy",
+    "Segment",
     "BatchExecutor",
     "BatchResult",
     "Scorer",

@@ -79,13 +79,24 @@ class GraphIndex:
         return self.num_edges * 4 + (self.n + 1) * 8
 
     def validate(self) -> None:
-        """Structural sanity: ids in range, no self-loops."""
+        """Structural sanity: ids in range, no self-loops, seed alive.
+
+        A soft-deleted seed still routes traffic, but an index meant to
+        *serve* (a sealed segment, a freshly compacted graph) must keep
+        an active entry point — deleting it is legal mid-stream and is
+        repaired by the next compaction, so this check belongs at
+        seal/compact transitions rather than inside :meth:`mark_deleted`.
+        """
         for v, adj in enumerate(self.neighbors):
             if adj.size == 0:
                 continue
             require(bool((adj >= 0).all() and (adj < self.n).all()),
                     f"vertex {v} has out-of-range neighbour ids")
             require(bool((adj != v).all()), f"vertex {v} has a self-loop")
+        require(
+            self.deleted is None or not bool(self.deleted[self.seed_vertex]),
+            f"seed vertex {self.seed_vertex} is soft-deleted",
+        )
 
     # ------------------------------------------------------------------
     # Dynamic updates (paper §IX)
@@ -148,9 +159,15 @@ class GraphIndex:
         )
 
     @classmethod
-    def load(cls, path: str | Path, space: JointSpace) -> "GraphIndex":
-        """Load a graph saved by :meth:`save`, rebinding it to *space*."""
-        metadata, arrays = load_arrays(path)
+    def from_arrays(
+        cls, metadata: dict, arrays: dict[str, np.ndarray], space: JointSpace
+    ) -> "GraphIndex":
+        """Rebuild a graph from already-loaded archive contents.
+
+        Lets callers that need to inspect the metadata first (e.g. to
+        restore stored weights before constructing *space*) avoid a
+        second read of the archive — :meth:`load` is this plus the I/O.
+        """
         neighbors = unpack_adjacency(arrays["flat"], arrays["offsets"])
         deleted = arrays.get("deleted")
         return cls(
@@ -162,3 +179,9 @@ class GraphIndex:
             meta=dict(metadata.get("meta", {})),
             deleted=None if deleted is None else deleted.astype(bool),
         )
+
+    @classmethod
+    def load(cls, path: str | Path, space: JointSpace) -> "GraphIndex":
+        """Load a graph saved by :meth:`save`, rebinding it to *space*."""
+        metadata, arrays = load_arrays(path)
+        return cls.from_arrays(metadata, arrays, space)

@@ -118,6 +118,58 @@ class BatchExecutor:
         )
 
     # ------------------------------------------------------------------
+    # Segmented path
+    # ------------------------------------------------------------------
+    def run_segmented(
+        self,
+        segmented,
+        queries: list[MultiVector],
+        k: int,
+        l: int = 100,
+        weights: Weights | None = None,
+        early_termination: bool = False,
+        engine: str = "heap",
+        exact: bool = False,
+        **search_kwargs,
+    ) -> BatchResult:
+        """Batch over a :class:`~repro.index.segments.SegmentedIndex`.
+
+        The graph path pools cross-segment searches exactly like
+        :meth:`run_graph` — each query gets its own SeedSequence child,
+        from which the segmented index spawns per-segment grandchildren,
+        so results stay bit-identical for any ``n_jobs``.  The exact path
+        runs one GEMM wave per segment and merges per query.
+        """
+        queries = list(queries)
+        if exact:
+            results = segmented.exact_batch(queries, k, weights=weights)
+            return BatchResult(
+                results, SearchStats.aggregate(r.stats for r in results)
+            )
+        seeds = spawn_seed_sequences(self.rng, len(queries))
+        # Materialise the delta graph + per-segment concat matrices before
+        # the pool starts, so workers never race to build them.
+        segmented.prepare_search()
+
+        def one(task: tuple[MultiVector, np.random.SeedSequence]) -> SearchResult:
+            query, seed = task
+            return segmented.search(
+                query,
+                k=k,
+                l=l,
+                weights=weights,
+                early_termination=early_termination,
+                engine=engine,
+                rng=seed,
+                **search_kwargs,
+            )
+
+        results = thread_map(one, zip(queries, seeds), n_jobs=self.n_jobs)
+        return BatchResult(
+            results, SearchStats.aggregate(r.stats for r in results)
+        )
+
+    # ------------------------------------------------------------------
     # Flat (exact) path
     # ------------------------------------------------------------------
     def run_flat(

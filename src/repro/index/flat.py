@@ -36,26 +36,50 @@ class FlatIndex:
     so a ``None`` captured here stays ``None``; construct the
     :class:`FlatIndex` after the bitset exists (or per search, as
     :meth:`MUST._flat` does) to track later deletions.
+
+    ``ids`` optionally remaps results into an external id space: result
+    entry ``j`` reports ``ids[local_j]`` instead of the local row number.
+    The segmented index uses this to report stable external ids from
+    per-segment scans.
+
+    ``deterministic`` routes the single-query scan through the
+    layout-independent kernel (:meth:`JointSpace.query_ids_stable`), so
+    a row's similarity does not depend on the corpus row count — the
+    property that makes per-segment exact scans bit-identical to one
+    whole-corpus scan.  Off by default: the BLAS scan is faster and is
+    the historical MUST-- behaviour.
     """
 
     name = "flat"
 
-    def __init__(self, space: JointSpace, deleted: np.ndarray | None = None):
+    def __init__(
+        self,
+        space: JointSpace,
+        deleted: np.ndarray | None = None,
+        ids: np.ndarray | None = None,
+        deterministic: bool = False,
+    ):
         self.space = space
         self.deleted = deleted
+        self.ids = None if ids is None else np.asarray(ids, dtype=np.int64)
+        self.deterministic = bool(deterministic)
 
     @property
     def n(self) -> int:
         return self.space.n
 
     def _rank(self, sims: np.ndarray, k: int) -> np.ndarray:
-        """Top-*k* ids of one scan, with deleted rows masked out."""
+        """Top-*k* local ids of one scan, with deleted rows masked out."""
         if self.deleted is not None:
             sims = np.where(self.deleted, -np.inf, sims)
         ids = top_k_sorted(sims, k)
         # Fewer than k active objects leave -inf (deleted) entries in the
         # selection; drop them rather than return tombstones.
         return ids[np.isfinite(sims[ids])]
+
+    def _result(self, local: np.ndarray, sims: np.ndarray, stats) -> SearchResult:
+        out_ids = local if self.ids is None else self.ids[local]
+        return SearchResult(ids=out_ids, similarities=sims[local], stats=stats)
 
     def search(
         self,
@@ -64,11 +88,11 @@ class FlatIndex:
         weights: Weights | None = None,
     ) -> SearchResult:
         """Exact top-*k* by full scan."""
-        scorer = Scorer(self.space, query, weights=weights)
+        scorer = Scorer(self.space, query, weights=weights,
+                        deterministic=self.deterministic)
         sims = scorer.score_all()
-        ids = self._rank(sims, k)
-        return SearchResult(ids=ids, similarities=sims[ids],
-                            stats=scorer.stats)
+        local = self._rank(sims, k)
+        return self._result(local, sims, scorer.stats)
 
     def batch_search(
         self,
@@ -90,8 +114,6 @@ class FlatIndex:
         )
         out = []
         for sims, stats in zip(all_sims, all_stats):
-            ids = self._rank(sims, k)
-            out.append(
-                SearchResult(ids=ids, similarities=sims[ids], stats=stats)
-            )
+            local = self._rank(sims, k)
+            out.append(self._result(local, sims, stats))
         return out

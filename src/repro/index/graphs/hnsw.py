@@ -66,6 +66,19 @@ class HNSWBuilder:
         graph = HNSWGraph()
         for v in range(space.n):
             self.insert(space, graph, v, rng)
+        index = self.materialize(space, graph)
+        index.build_seconds = time.perf_counter() - start
+        return index
+
+    def materialize(self, space: JointSpace, graph: HNSWGraph) -> GraphIndex:
+        """Export *graph*'s base layer as a searchable :class:`GraphIndex`.
+
+        Valid at any point during incremental insertion as long as the
+        first ``space.n`` vertices have been inserted — the segmented
+        delta uses this to serve queries between inserts, and the
+        structural property tests validate the export after every
+        insert step.
+        """
         neighbors = [
             np.asarray(graph.layers[0].get(v, []), dtype=np.int32)
             for v in range(space.n)
@@ -75,7 +88,6 @@ class HNSWBuilder:
             neighbors=neighbors,
             seed_vertex=graph.entry_point,
             name=self.name,
-            build_seconds=time.perf_counter() - start,
             meta={
                 "m": self.m,
                 "ef_construction": self.ef_construction,

@@ -12,6 +12,8 @@ from __future__ import annotations
 import time
 from dataclasses import dataclass, field
 
+import numpy as np
+
 from repro.core.space import JointSpace
 from repro.index.base import GraphIndex
 from repro.index.components import (
@@ -70,6 +72,8 @@ class FusedIndexBuilder:
     def build(self, space: JointSpace) -> GraphIndex:
         """Run the five-component pipeline over *space*."""
         start = time.perf_counter()
+        if space.n <= 2:
+            return self._trivial(space, start)
         init_k = self.init_k if self.init_k is not None else self.gamma
         init_k = min(init_k, space.n - 1)
 
@@ -112,13 +116,7 @@ class FusedIndexBuilder:
             neighbors = ensure_connectivity(space, neighbors, seed_vertex)
 
         elapsed = time.perf_counter() - start
-        meta = {
-            "gamma": self.gamma,
-            "epsilon": self.epsilon,
-            "selection": self.selection,
-            "candidate_source": self.candidate_source,
-            **self.extra_meta,
-        }
+        meta = self._meta()
         return GraphIndex(
             space=space,
             neighbors=neighbors,
@@ -126,4 +124,31 @@ class FusedIndexBuilder:
             name=self.name,
             build_seconds=elapsed,
             meta=meta,
+        )
+
+    def _meta(self) -> dict:
+        return {
+            "gamma": self.gamma,
+            "epsilon": self.epsilon,
+            "selection": self.selection,
+            "candidate_source": self.candidate_source,
+            **self.extra_meta,
+        }
+
+    def _trivial(self, space: JointSpace, start: float) -> GraphIndex:
+        """Degenerate corpora (n ≤ 2): the pipeline's components assume
+        at least one non-self neighbour per vertex, so emit the complete
+        graph directly.  Compaction can shrink a segment this far."""
+        n = space.n
+        neighbors = [
+            np.asarray([u for u in range(n) if u != v], dtype=np.int32)
+            for v in range(n)
+        ]
+        return GraphIndex(
+            space=space,
+            neighbors=neighbors,
+            seed_vertex=0,
+            name=self.name,
+            build_seconds=time.perf_counter() - start,
+            meta=self._meta(),
         )

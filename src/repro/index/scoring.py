@@ -89,11 +89,17 @@ class Scorer:
         weights: Weights | None = None,
         early_termination: bool = False,
         stats: SearchStats | None = None,
+        deterministic: bool = False,
     ):
         self.space = space
         self.query = query
         self.weights = weights
         self.early_termination = bool(early_termination)
+        #: Route full scans through :meth:`JointSpace.query_ids_stable`
+        #: so a row's similarity never depends on the corpus row count —
+        #: the property the segmented exact path needs for bit-identical
+        #: results across segment layouts (BLAS GEMV is not row-stable).
+        self.deterministic = bool(deterministic)
         self.stats = stats if stats is not None else SearchStats()
         # The pruned path scores modality-by-modality on purpose, so the
         # concatenated fast path is only prepared when it is off.
@@ -148,8 +154,11 @@ class Scorer:
 
     def score_all(self) -> np.ndarray:
         """Full-corpus joint similarities (the exact-search scan)."""
-        sims = self.space.query_all(self.query, weights=self.weights)
         n = self.space.n
+        if self.deterministic:
+            sims = self.space.query_ids_stable(self.query, weights=self.weights)
+        else:
+            sims = self.space.query_all(self.query, weights=self.weights)
         self.stats.joint_evals += n
         self.stats.modality_evals += n * self._active
         self.stats.visited_vertices += n

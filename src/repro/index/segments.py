@@ -1,0 +1,796 @@
+"""Segmented dynamic-update subsystem: streaming inserts + auto-compaction.
+
+The paper's §IX sketches dynamic updates as a data-status bitset plus
+periodic reconstruction.  This module turns that sketch into an LSM-style
+segmented index, the architecture streaming vector stores use:
+
+* a list of **sealed** immutable :class:`~repro.index.base.GraphIndex`
+  segments, each a self-contained graph over its own vector slice;
+* one **mutable delta segment** fed by incremental HNSW insertion
+  (:meth:`~repro.index.graphs.hnsw.HNSWBuilder.insert` — §IX names HNSW
+  and Vamana as the index families that admit it);
+* a global id map: every object carries a **stable external id**,
+  allocated monotonically and never reused, so ids survive sealing,
+  compaction, and persistence round-trips;
+* per-segment §IX deletion bitsets — tombstones keep routing searches
+  inside their segment but never surface in results;
+* a **seal/compaction policy** (:class:`SegmentPolicy`): the delta seals
+  into an immutable graph at a size threshold, and the whole index is
+  rebuilt over the surviving objects — the §IX "periodic reconstruction"
+  made automatic — when the tombstone fraction or the segment count
+  crosses configurable ratios.
+
+Cross-segment search asks every segment for its top-``l`` candidates
+through the unified scorer stack (:func:`~repro.index.search.joint_search`
+per sealed/delta graph, :class:`~repro.index.flat.FlatIndex` for exact
+scans) and merges by ``(similarity, external id)``.  The exact
+single-query path scores through the layout-independent kernel
+(:meth:`~repro.core.space.JointSpace.query_ids_stable`), so its results
+are **bit-identical regardless of how the corpus is split into
+segments**; the exact batch path keeps the per-segment GEMM waves (same
+~1e-7 numerics caveat as :meth:`FlatIndex.batch_search`).  Graph-path
+determinism mirrors the executor: per-segment init draws come from
+:class:`numpy.random.SeedSequence` children, so batches are
+bit-identical for any thread count.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+
+import numpy as np
+
+from repro.core.multivector import MultiVector, MultiVectorSet
+from repro.core.results import SearchResult, SearchStats
+from repro.core.space import JointSpace
+from repro.core.weights import Weights
+from repro.index.base import GraphIndex
+from repro.index.flat import FlatIndex
+from repro.index.graphs.hnsw import HNSWBuilder, HNSWGraph
+from repro.index.pipeline import FusedIndexBuilder
+from repro.index.search import joint_search
+from repro.utils.io import load_arrays, pack_adjacency, save_arrays
+from repro.utils.rng import spawn, spawn_seed_sequences
+from repro.utils.validation import require
+
+__all__ = ["SegmentPolicy", "Segment", "SegmentedIndex", "MANIFEST_NAME"]
+
+MANIFEST_NAME = "manifest.json"
+_FORMAT = "must-segments-v1"
+
+
+@dataclass
+class SegmentPolicy:
+    """Seal/compaction knobs — §IX "periodic reconstruction" made automatic.
+
+    ``seal_size``: the delta segment is sealed into an immutable graph
+    once it holds this many objects.  ``max_segments``: a merge
+    compaction runs when the sealed-segment count exceeds this.
+    ``max_deleted_fraction``: a compaction runs when tombstones exceed
+    this share of the whole corpus (ignored below ``min_compact_size``
+    objects, where rebuilding costs more than the tombstones do).
+    """
+
+    seal_size: int = 128
+    max_segments: int = 4
+    max_deleted_fraction: float = 0.3
+    min_compact_size: int = 64
+
+    def __post_init__(self) -> None:
+        require(self.seal_size >= 1, "seal_size must be positive")
+        require(self.max_segments >= 1, "max_segments must be positive")
+        require(0.0 < self.max_deleted_fraction <= 1.0,
+                "max_deleted_fraction must be in (0, 1]")
+        require(self.min_compact_size >= 0,
+                "min_compact_size must be non-negative")
+
+    def to_dict(self) -> dict:
+        return {
+            "seal_size": self.seal_size,
+            "max_segments": self.max_segments,
+            "max_deleted_fraction": self.max_deleted_fraction,
+            "min_compact_size": self.min_compact_size,
+        }
+
+
+@dataclass
+class Segment:
+    """One searchable slice: a graph over its own vectors + the id map."""
+
+    index: GraphIndex
+    ext_ids: np.ndarray
+    kind: str = "sealed"
+
+    def __post_init__(self) -> None:
+        self.ext_ids = np.asarray(self.ext_ids, dtype=np.int64)
+        require(self.ext_ids.size == self.index.n,
+                "one external id per segment row required")
+
+    @property
+    def n(self) -> int:
+        return self.index.n
+
+    @property
+    def num_active(self) -> int:
+        return self.index.num_active
+
+    @property
+    def space(self) -> JointSpace:
+        return self.index.space
+
+
+class _DeltaSegment:
+    """The mutable head of the LSM hierarchy.
+
+    Vectors accumulate in per-modality matrices; every appended object is
+    inserted into a persistent :class:`HNSWGraph` whose base layer is
+    materialised on demand for searching.  Each vertex draws its HNSW
+    level from a child seed derived from its *external id*, so the delta
+    graph is a deterministic function of the inserted set and order —
+    independent of unrelated earlier traffic.
+    """
+
+    def __init__(self, weights: Weights):
+        self.weights = weights
+        self.mats: list[np.ndarray] | None = None
+        self.ext_ids = np.zeros(0, dtype=np.int64)
+        self.deleted = np.zeros(0, dtype=bool)
+        self.graph = HNSWGraph()
+        self._space: JointSpace | None = None
+        self._materialized: GraphIndex | None = None
+
+    @property
+    def n(self) -> int:
+        return int(self.ext_ids.size)
+
+    @property
+    def num_active(self) -> int:
+        return int(self.n - self.deleted.sum())
+
+    @property
+    def space(self) -> JointSpace:
+        require(self._space is not None, "delta segment is empty")
+        return self._space
+
+    def append(
+        self,
+        objects: MultiVectorSet,
+        ext_ids: np.ndarray,
+        hnsw: HNSWBuilder,
+        seed: int,
+    ) -> None:
+        start = self.n
+        if self.mats is None:
+            self.mats = [m.copy() for m in objects.matrices]
+        else:
+            require(
+                objects.dims == tuple(m.shape[1] for m in self.mats),
+                "inserted objects must match the corpus modality dims",
+            )
+            self.mats = [
+                np.concatenate([old, new])
+                for old, new in zip(self.mats, objects.matrices)
+            ]
+        self.ext_ids = np.concatenate([self.ext_ids, ext_ids])
+        self.deleted = np.concatenate(
+            [self.deleted, np.zeros(ext_ids.size, dtype=bool)]
+        )
+        self._space = JointSpace(MultiVectorSet(self.mats), self.weights)
+        self._materialized = None
+        for local in range(start, self.n):
+            rng = spawn(seed, "hnsw-level", int(self.ext_ids[local]))
+            hnsw.insert(self._space, self.graph, local, rng)
+
+    def as_segment(self, hnsw: HNSWBuilder) -> Segment:
+        """Materialise the base layer as a searchable transient segment."""
+        if self._materialized is None:
+            self._materialized = hnsw.materialize(self.space, self.graph)
+        self._materialized.deleted = (
+            self.deleted if bool(self.deleted.any()) else None
+        )
+        return Segment(self._materialized, self.ext_ids, kind="delta")
+
+    def reset(self) -> None:
+        self.mats = None
+        self.ext_ids = np.zeros(0, dtype=np.int64)
+        self.deleted = np.zeros(0, dtype=bool)
+        self.graph = HNSWGraph()
+        self._space = None
+        self._materialized = None
+
+
+def _mark_local(index: GraphIndex, local_ids: np.ndarray) -> None:
+    """Set bitset rows directly — unlike :meth:`GraphIndex.mark_deleted`
+    this permits a *segment* to become fully dead (the global liveness
+    guard lives in :meth:`SegmentedIndex.mark_deleted`)."""
+    if index.deleted is None:
+        index.deleted = np.zeros(index.n, dtype=bool)
+    index.deleted[local_ids] = True
+
+
+def _merge_candidates(
+    parts: list[tuple[np.ndarray, np.ndarray]], k: int
+) -> tuple[np.ndarray, np.ndarray]:
+    """Global top-*k* of per-segment candidate lists, ordered by
+    ``(-similarity, external id)`` — external ids are unique across
+    segments, so no dedup is needed."""
+    if not parts:
+        return np.zeros(0, dtype=np.int64), np.zeros(0, dtype=np.float64)
+    ids = np.concatenate([p[0] for p in parts])
+    sims = np.concatenate([p[1] for p in parts])
+    order = np.lexsort((ids, -sims))[:k]
+    return ids[order], sims[order]
+
+
+class SegmentedIndex:
+    """Streaming-updatable index: sealed graph segments + a mutable delta.
+
+    Construct empty (``SegmentedIndex(weights)``) and stream objects in,
+    or wrap an existing single-graph index with :meth:`from_graph` (its
+    rows become external ids ``0..n-1``).  All mutating entry points run
+    the auto-seal/auto-compact policy inline — there is no background
+    thread to coordinate with, which keeps results reproducible.
+    """
+
+    name = "segmented"
+
+    def __init__(
+        self,
+        weights: Weights,
+        builder: FusedIndexBuilder | None = None,
+        policy: SegmentPolicy | None = None,
+        hnsw: HNSWBuilder | None = None,
+        seed: int = 0,
+    ):
+        self.weights = weights
+        self.builder = builder if builder is not None else FusedIndexBuilder()
+        self.policy = policy if policy is not None else SegmentPolicy()
+        self.hnsw = hnsw if hnsw is not None else HNSWBuilder(
+            m=8, ef_construction=48, name="delta"
+        )
+        self.seed = int(seed)
+        self.sealed: list[Segment] = []
+        self.delta = _DeltaSegment(weights)
+        self._next_ext = 0
+        self.num_seals = 0
+        self.num_compactions = 0
+
+    # ------------------------------------------------------------------
+    # Constructors
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_graph(
+        cls,
+        index: GraphIndex,
+        builder: FusedIndexBuilder | None = None,
+        policy: SegmentPolicy | None = None,
+        hnsw: HNSWBuilder | None = None,
+        seed: int = 0,
+    ) -> "SegmentedIndex":
+        """Wrap a built single-graph index as the first sealed segment."""
+        seg = cls(index.space.weights, builder=builder, policy=policy,
+                  hnsw=hnsw, seed=seed)
+        seg.sealed.append(
+            Segment(index, np.arange(index.n, dtype=np.int64))
+        )
+        seg._next_ext = index.n
+        return seg
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def num_total(self) -> int:
+        """Objects including tombstones."""
+        return sum(s.n for s in self.sealed) + self.delta.n
+
+    @property
+    def num_active(self) -> int:
+        return sum(s.num_active for s in self.sealed) + self.delta.num_active
+
+    @property
+    def deleted_fraction(self) -> float:
+        total = self.num_total
+        if total == 0:
+            return 0.0
+        return 1.0 - self.num_active / total
+
+    @property
+    def num_segments(self) -> int:
+        """Searchable segments (sealed + a non-empty delta)."""
+        return len(self.sealed) + (1 if self.delta.n else 0)
+
+    def searchable_segments(self) -> list[Segment]:
+        segs = list(self.sealed)
+        if self.delta.n:
+            segs.append(self.delta.as_segment(self.hnsw))
+        return segs
+
+    def active_ext_ids(self) -> np.ndarray:
+        """External ids of all live objects, ascending."""
+        parts = []
+        for seg in self.searchable_segments():
+            if seg.index.deleted is None:
+                parts.append(seg.ext_ids)
+            else:
+                parts.append(seg.ext_ids[~seg.index.deleted])
+        if not parts:
+            return np.zeros(0, dtype=np.int64)
+        return np.sort(np.concatenate(parts))
+
+    def describe(self) -> dict:
+        """JSON-ready summary (used by the manifest and the benchmarks)."""
+        return {
+            "segments": [
+                {
+                    "kind": seg.kind,
+                    "n": int(seg.n),
+                    "active": int(seg.num_active),
+                    "edges": int(seg.index.num_edges),
+                }
+                for seg in self.searchable_segments()
+            ],
+            "total": int(self.num_total),
+            "active": int(self.num_active),
+            "deleted_fraction": float(self.deleted_fraction),
+            "seals": int(self.num_seals),
+            "compactions": int(self.num_compactions),
+            "next_ext_id": int(self._next_ext),
+        }
+
+    # ------------------------------------------------------------------
+    # Mutations
+    # ------------------------------------------------------------------
+    def insert(self, objects: MultiVectorSet | MultiVector) -> np.ndarray:
+        """Stream objects into the delta segment; returns their external ids.
+
+        May seal the delta and/or trigger a compaction on the way out,
+        per :attr:`policy`.
+        """
+        if isinstance(objects, MultiVector):
+            require(
+                all(v is not None for v in objects.vectors),
+                "inserted objects must carry every modality",
+            )
+            objects = MultiVectorSet([v[None, :] for v in objects.vectors])
+        require(objects.n >= 1, "nothing to insert")
+        if self.num_total:
+            dims = self._modality_dims()
+            require(objects.dims == dims,
+                    f"inserted objects have dims {objects.dims}, "
+                    f"index holds {dims}")
+        ext = np.arange(
+            self._next_ext, self._next_ext + objects.n, dtype=np.int64
+        )
+        self._next_ext += objects.n
+        self.delta.append(objects, ext, self.hnsw, self.seed)
+        self._maybe_seal()
+        self._maybe_compact()
+        return ext
+
+    def mark_deleted(self, ext_ids: np.ndarray) -> None:
+        """Soft-delete by external id (per-segment §IX bitsets).
+
+        Unknown ids raise; re-deleting is idempotent.  Deleting the last
+        active object is rejected, mirroring the single-graph guard.
+        Validation happens before any bitset is touched, so a rejected
+        call leaves the index unchanged.
+        """
+        ext_ids = np.unique(np.asarray(ext_ids, dtype=np.int64))
+        # Pass 1: locate everything and count the *newly* dead, so both
+        # guards fire before any mutation.
+        sealed_hits: list[tuple[Segment, np.ndarray]] = []
+        found = fresh_kills = 0
+        for seg in self.sealed:
+            local = np.flatnonzero(np.isin(seg.ext_ids, ext_ids))
+            found += int(local.size)
+            if local.size:
+                sealed_hits.append((seg, local))
+                if seg.index.deleted is None:
+                    fresh_kills += int(local.size)
+                else:
+                    fresh_kills += int((~seg.index.deleted[local]).sum())
+        dmask = np.isin(self.delta.ext_ids, ext_ids)
+        found += int(dmask.sum())
+        fresh_kills += int((dmask & ~self.delta.deleted).sum())
+        require(found == ext_ids.size,
+                "unknown external ids in mark_deleted")
+        require(self.num_active - fresh_kills > 0,
+                "cannot delete every object")
+        # Pass 2: apply.
+        for seg, local in sealed_hits:
+            _mark_local(seg.index, local)
+        if dmask.any():
+            self.delta.deleted[dmask] = True
+        self._maybe_compact()
+
+    def seal_delta(self) -> Segment | None:
+        """Freeze the delta into an immutable sealed segment.
+
+        The sealed graph is rebuilt with the main :attr:`builder` (a
+        proper fused graph, not the delta's insertion-order HNSW);
+        tombstones ride along — compaction is what drops them — unless
+        the whole delta is dead, in which case it is simply discarded.
+        """
+        if self.delta.n == 0:
+            return None
+        if self.delta.num_active == 0:
+            self.delta.reset()
+            return None
+        space = JointSpace(
+            MultiVectorSet(self.delta.mats), self.weights
+        )
+        index = self.builder.build(space)
+        if bool(self.delta.deleted.any()):
+            index.deleted = self.delta.deleted.copy()
+            self._reseat_seed(index)
+        seg = Segment(index, self.delta.ext_ids.copy())
+        self.sealed.append(seg)
+        self.delta.reset()
+        self.num_seals += 1
+        return seg
+
+    def compact(self) -> np.ndarray:
+        """Rebuild one sealed segment over every live object (§IX
+        periodic reconstruction); drops all tombstones and empties the
+        delta.  Returns the surviving external ids, ascending — row ``j``
+        of the new segment is external id ``active[j]``."""
+        segs = self.searchable_segments()
+        if not segs:
+            return np.zeros(0, dtype=np.int64)
+        num_modalities = segs[0].space.num_modalities
+        ext_parts: list[np.ndarray] = []
+        mat_parts: list[list[np.ndarray]] = [[] for _ in range(num_modalities)]
+        for seg in segs:
+            alive = (
+                np.arange(seg.n)
+                if seg.index.deleted is None
+                else np.flatnonzero(~seg.index.deleted)
+            )
+            if alive.size == 0:
+                continue
+            ext_parts.append(seg.ext_ids[alive])
+            for i in range(num_modalities):
+                mat_parts[i].append(seg.space.vectors.modality(i)[alive])
+        ext = np.concatenate(ext_parts)
+        order = np.argsort(ext)
+        objects = MultiVectorSet(
+            [np.concatenate(parts)[order] for parts in mat_parts]
+        )
+        space = JointSpace(objects, self.weights)
+        index = self.builder.build(space)
+        self.sealed = [Segment(index, ext[order])]
+        self.delta.reset()
+        self.num_compactions += 1
+        return ext[order]
+
+    def _modality_dims(self) -> tuple[int, ...]:
+        if self.delta.n:
+            return self.delta.space.vectors.dims
+        return self.sealed[0].space.vectors.dims
+
+    def _maybe_seal(self) -> None:
+        if self.delta.n >= self.policy.seal_size:
+            self.seal_delta()
+
+    def _maybe_compact(self) -> None:
+        if len(self.sealed) > self.policy.max_segments:
+            self.compact()
+            return
+        if (
+            self.num_total >= self.policy.min_compact_size
+            and self.deleted_fraction > self.policy.max_deleted_fraction
+        ):
+            self.compact()
+
+    def _reseat_seed(self, index: GraphIndex) -> None:
+        """Point the seed at a live vertex (nearest the live centroid) —
+        the builder picks seeds deletion-blind, and a sealed segment must
+        stay servable (see :meth:`GraphIndex.validate`)."""
+        if index.deleted is None or not index.deleted[index.seed_vertex]:
+            return
+        alive = np.flatnonzero(~index.deleted)
+        c = index.space.concatenated
+        centroid = c[alive].mean(axis=0)
+        index.seed_vertex = int(alive[np.argmax(c[alive] @ centroid)])
+
+    # ------------------------------------------------------------------
+    # Searching
+    # ------------------------------------------------------------------
+    def _segment_rngs(self, rng, count: int) -> list:
+        """One init-draw source per segment, deterministic per query.
+
+        A :class:`~numpy.random.SeedSequence` (or an int/None seed)
+        spawns independent children — the property that makes batch
+        results identical for any thread count; a live Generator is
+        shared sequentially (legacy single-query behaviour)."""
+        if isinstance(rng, np.random.Generator):
+            return [rng] * count
+        if not isinstance(rng, np.random.SeedSequence):
+            rng = np.random.SeedSequence(rng)
+        return [np.random.default_rng(s) for s in spawn_seed_sequences(rng, count)]
+
+    def search(
+        self,
+        query: MultiVector,
+        k: int = 10,
+        l: int = 100,
+        weights: Weights | None = None,
+        early_termination: bool = False,
+        engine: str = "heap",
+        rng: np.random.Generator | np.random.SeedSequence | int | None = 0,
+        **search_kwargs,
+    ) -> SearchResult:
+        """Cross-segment graph search: per-segment top-``l`` candidates
+        through :func:`joint_search`, merged by ``(similarity, id)``.
+        Result ids are external ids."""
+        segs = self.searchable_segments()
+        rngs = self._segment_rngs(rng, len(segs))
+        parts: list[tuple[np.ndarray, np.ndarray]] = []
+        stats_parts: list[SearchStats] = []
+        for seg, seg_rng in zip(segs, rngs):
+            if seg.num_active == 0:
+                continue
+            res = joint_search(
+                seg.index,
+                query,
+                k=min(l, seg.num_active),
+                l=min(l, seg.n),
+                weights=weights,
+                early_termination=early_termination,
+                engine=engine,
+                rng=seg_rng,
+                **search_kwargs,
+            )
+            res.stats.segments_probed = 1
+            parts.append((seg.ext_ids[res.ids], res.similarities))
+            stats_parts.append(res.stats)
+        ids, sims = _merge_candidates(parts, k)
+        return SearchResult(ids, sims, SearchStats.aggregate(stats_parts))
+
+    def exact_search(
+        self,
+        query: MultiVector,
+        k: int = 10,
+        weights: Weights | None = None,
+    ) -> SearchResult:
+        """Exact cross-segment top-*k* (the MUST-- path over segments).
+
+        Scores through the layout-independent kernel, so the returned ids
+        and similarities are bit-identical to one brute-force scan over
+        the concatenation of all live objects — regardless of the segment
+        layout.  (With exactly tied similarities straddling the cut-off
+        the tie is broken by external id.)
+        """
+        parts: list[tuple[np.ndarray, np.ndarray]] = []
+        stats_parts: list[SearchStats] = []
+        for seg in self.searchable_segments():
+            if seg.num_active == 0:
+                continue
+            flat = FlatIndex(
+                seg.space,
+                deleted=seg.index.deleted,
+                ids=seg.ext_ids,
+                deterministic=True,
+            )
+            res = flat.search(query, k, weights=weights)
+            res.stats.segments_probed = 1
+            parts.append((res.ids, res.similarities))
+            stats_parts.append(res.stats)
+        ids, sims = _merge_candidates(parts, k)
+        return SearchResult(ids, sims, SearchStats.aggregate(stats_parts))
+
+    def exact_batch(
+        self,
+        queries: list[MultiVector],
+        k: int,
+        weights: Weights | None = None,
+    ) -> list[SearchResult]:
+        """Exact batch: one GEMM wave per segment, merged per query.
+
+        Throughput path — same numerics caveat as
+        :meth:`FlatIndex.batch_search`: the stacked GEMM can diverge from
+        the single-query kernel by ~1e-7, so ranks (not bits) are the
+        contract here.
+        """
+        queries = list(queries)
+        per_query: list[list[tuple[np.ndarray, np.ndarray]]] = [
+            [] for _ in queries
+        ]
+        per_stats: list[list[SearchStats]] = [[] for _ in queries]
+        for seg in self.searchable_segments():
+            if seg.num_active == 0:
+                continue
+            flat = FlatIndex(
+                seg.space, deleted=seg.index.deleted, ids=seg.ext_ids
+            )
+            for j, res in enumerate(flat.batch_search(queries, k, weights)):
+                res.stats.segments_probed = 1
+                per_query[j].append((res.ids, res.similarities))
+                per_stats[j].append(res.stats)
+        out = []
+        for parts, stats_parts in zip(per_query, per_stats):
+            ids, sims = _merge_candidates(parts, k)
+            out.append(
+                SearchResult(ids, sims, SearchStats.aggregate(stats_parts))
+            )
+        return out
+
+    def prepare_search(self) -> None:
+        """Materialise every lazy artifact (delta graph, per-segment
+        concatenated matrices) so thread-pool workers never race to
+        build them."""
+        for seg in self.searchable_segments():
+            seg.space.concatenated
+
+    # ------------------------------------------------------------------
+    # Persistence
+    # ------------------------------------------------------------------
+    def save(self, path: str | Path) -> None:
+        """Persist the full segmented state into directory *path*:
+        ``manifest.json`` plus one ``.npz`` per segment (vectors,
+        adjacency, external ids, deletion bitset; the delta additionally
+        stores its multi-layer HNSW state so reloads resume insertion
+        exactly where they left off)."""
+        path = Path(path)
+        path.mkdir(parents=True, exist_ok=True)
+        entries = []
+        for i, seg in enumerate(self.sealed):
+            fname = f"segment_{i:03d}.npz"
+            self._save_segment(path / fname, seg.index, seg.ext_ids)
+            entries.append({"file": fname, "kind": "sealed", "n": int(seg.n)})
+        if self.delta.n:
+            fname = f"segment_{len(self.sealed):03d}.npz"
+            self._save_delta(path / fname)
+            entries.append(
+                {"file": fname, "kind": "delta", "n": int(self.delta.n)}
+            )
+        manifest = {
+            "format": _FORMAT,
+            "squared_weights": [float(x) for x in self.weights.squared],
+            "next_ext_id": int(self._next_ext),
+            "seed": self.seed,
+            "policy": self.policy.to_dict(),
+            "hnsw": {
+                "m": self.hnsw.m,
+                "ef_construction": self.hnsw.ef_construction,
+                "seed": self.hnsw.seed,
+                "name": self.hnsw.name,
+            },
+            "counters": {
+                "seals": self.num_seals,
+                "compactions": self.num_compactions,
+            },
+            "segments": entries,
+        }
+        (path / MANIFEST_NAME).write_text(
+            json.dumps(manifest, indent=2) + "\n"
+        )
+
+    def _segment_arrays(
+        self, index: GraphIndex, ext_ids: np.ndarray
+    ) -> tuple[dict, dict]:
+        flat, offsets = pack_adjacency(index.neighbors)
+        arrays = {"flat": flat, "offsets": offsets, "ext_ids": ext_ids}
+        if index.deleted is not None:
+            arrays["deleted"] = index.deleted
+        for i in range(index.space.num_modalities):
+            arrays[f"mod_{i}"] = index.space.vectors.modality(i)
+        metadata = {
+            "name": index.name,
+            "seed_vertex": int(index.seed_vertex),
+            "build_seconds": float(index.build_seconds),
+            "num_modalities": index.space.num_modalities,
+        }
+        return metadata, arrays
+
+    def _save_segment(
+        self, file: Path, index: GraphIndex, ext_ids: np.ndarray
+    ) -> None:
+        metadata, arrays = self._segment_arrays(index, ext_ids)
+        save_arrays(file, metadata=metadata, **arrays)
+
+    def _save_delta(self, file: Path) -> None:
+        index = self.delta.as_segment(self.hnsw).index
+        metadata, arrays = self._segment_arrays(index, self.delta.ext_ids)
+        graph = self.delta.graph
+        metadata["hnsw_state"] = {
+            "entry_point": int(graph.entry_point),
+            "levels": {str(v): int(lv) for v, lv in graph.levels.items()},
+            "layers": [
+                {str(v): [int(u) for u in adj] for v, adj in layer.items()}
+                for layer in graph.layers
+            ],
+        }
+        save_arrays(file, metadata=metadata, **arrays)
+
+    @classmethod
+    def load(
+        cls,
+        path: str | Path,
+        builder: FusedIndexBuilder | None = None,
+    ) -> "SegmentedIndex":
+        """Restore an index saved by :meth:`save`.
+
+        The manifest carries weights, policy, and id-allocator state; the
+        *builder* (used for future seals/compactions) is supplied by the
+        caller since build pipelines are not serialised.
+        """
+        path = Path(path)
+        manifest_file = path / MANIFEST_NAME
+        if not manifest_file.exists():
+            raise FileNotFoundError(
+                f"no segment manifest at {manifest_file} — not a segmented "
+                f"index directory"
+            )
+        manifest = json.loads(manifest_file.read_text())
+        require(manifest.get("format") == _FORMAT,
+                f"unsupported segment manifest format "
+                f"{manifest.get('format')!r}")
+        weights = Weights(manifest["squared_weights"])
+        hnsw_cfg = manifest["hnsw"]
+        seg_index = cls(
+            weights,
+            builder=builder,
+            policy=SegmentPolicy(**manifest["policy"]),
+            hnsw=HNSWBuilder(
+                m=hnsw_cfg["m"],
+                ef_construction=hnsw_cfg["ef_construction"],
+                seed=hnsw_cfg["seed"],
+                name=hnsw_cfg.get("name", "delta"),
+            ),
+            seed=int(manifest["seed"]),
+        )
+        seg_index._next_ext = int(manifest["next_ext_id"])
+        counters = manifest.get("counters", {})
+        seg_index.num_seals = int(counters.get("seals", 0))
+        seg_index.num_compactions = int(counters.get("compactions", 0))
+        for entry in manifest["segments"]:
+            file = path / entry["file"]
+            if not file.exists():
+                raise FileNotFoundError(
+                    f"segment file {entry['file']!r} listed in "
+                    f"{manifest_file} is missing from {path} — the index "
+                    f"directory is incomplete"
+                )
+            metadata, arrays = load_arrays(file)
+            mats = [
+                arrays[f"mod_{i}"]
+                for i in range(int(metadata["num_modalities"]))
+            ]
+            space = JointSpace(MultiVectorSet(mats), weights)
+            if entry["kind"] == "sealed":
+                index = GraphIndex.from_arrays(metadata, arrays, space)
+                seg_index.sealed.append(
+                    Segment(index, arrays["ext_ids"].astype(np.int64))
+                )
+            else:
+                seg_index._load_delta(metadata, arrays, mats)
+        return seg_index
+
+    def _load_delta(
+        self, metadata: dict, arrays: dict, mats: list[np.ndarray]
+    ) -> None:
+        state = metadata["hnsw_state"]
+        graph = HNSWGraph(
+            layers=[
+                {int(v): [int(u) for u in adj] for v, adj in layer.items()}
+                for layer in state["layers"]
+            ],
+            levels={int(v): int(lv) for v, lv in state["levels"].items()},
+            entry_point=int(state["entry_point"]),
+        )
+        delta = _DeltaSegment(self.weights)
+        delta.mats = [m.copy() for m in mats]
+        delta.ext_ids = arrays["ext_ids"].astype(np.int64)
+        deleted = arrays.get("deleted")
+        delta.deleted = (
+            deleted.astype(bool)
+            if deleted is not None
+            else np.zeros(delta.ext_ids.size, dtype=bool)
+        )
+        delta.graph = graph
+        delta._space = JointSpace(MultiVectorSet(delta.mats), self.weights)
+        self.delta = delta

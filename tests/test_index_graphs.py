@@ -5,10 +5,13 @@ from __future__ import annotations
 import numpy as np
 import pytest
 
+from repro.core.multivector import MultiVectorSet
 from repro.core.space import JointSpace
 from repro.core.weights import Weights
 from repro.index import BUILDERS, FlatIndex, joint_search
 from repro.index.graphs.hnsw import HNSWBuilder, HNSWGraph
+from repro.index.pipeline import FusedIndexBuilder
+from repro.index.segments import SegmentedIndex, SegmentPolicy
 
 from tests.conftest import random_multivector_set, random_query
 
@@ -91,6 +94,67 @@ class TestHNSWSpecifics:
         assert index.meta["levels"] >= 1
         # Most points live only on the base layer.
         assert index.meta["levels"] < 10
+
+
+class TestIncrementalStructure:
+    """Structural property tests for the §IX dynamic-update path: the
+    graph must stay valid after *every* incremental insert and across
+    every seal/compact transition (no self-loops, ids in range, seed
+    vertex alive)."""
+
+    def test_validate_after_every_hnsw_insert(self):
+        full = random_multivector_set(50, (8, 6), seed=77)
+        weights = Weights([0.5, 0.5])
+        builder = HNSWBuilder(m=6, ef_construction=24, seed=9)
+        graph = HNSWGraph()
+        rng = np.random.default_rng(9)
+        for v in range(50):
+            prefix = JointSpace(
+                MultiVectorSet([m[: v + 1] for m in full.matrices]), weights
+            )
+            builder.insert(prefix, graph, v, rng)
+            index = builder.materialize(prefix, graph)
+            index.validate()
+            assert 0 <= index.seed_vertex <= v
+            # Every inserted vertex except the first has a neighbour.
+            if v > 0:
+                assert index.num_edges > 0
+
+    def test_validate_across_seal_and_compact_transitions(self):
+        weights = Weights([0.5, 0.5])
+        seg = SegmentedIndex(
+            weights,
+            builder=FusedIndexBuilder(gamma=6, seed=1),
+            policy=SegmentPolicy(seal_size=12, max_segments=3,
+                                 max_deleted_fraction=0.4,
+                                 min_compact_size=20),
+        )
+        rng = np.random.default_rng(13)
+
+        def everything_valid():
+            for s in seg.searchable_segments():
+                s.index.validate()
+                deleted = s.index.deleted
+                assert deleted is None or not deleted[s.index.seed_vertex]
+
+        corpus = random_multivector_set(64, (8, 6), seed=21)
+        for step in range(16):  # 4 per batch → seals fire mid-stream
+            seg.insert(corpus.subset(np.arange(step * 4, step * 4 + 4)))
+            everything_valid()
+        assert seg.num_seals > 0
+        seg.mark_deleted(np.arange(0, 40, 2))  # may trigger auto-compaction
+        everything_valid()
+        seg.compact()
+        everything_valid()
+        assert len(seg.sealed) == 1 and seg.sealed[0].index.deleted is None
+
+    def test_validate_rejects_dead_seed(self):
+        space = JointSpace(random_multivector_set(30, (8, 6), seed=3),
+                           Weights([0.5, 0.5]))
+        index = FusedIndexBuilder(gamma=6, seed=1).build(space)
+        index.mark_deleted(np.array([index.seed_vertex]))
+        with pytest.raises(ValueError, match="seed vertex"):
+            index.validate()
 
 
 class TestBuilderOrderings:

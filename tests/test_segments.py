@@ -1,0 +1,408 @@
+"""Randomized-trace parity suite for the segmented dynamic-update subsystem.
+
+Replays random interleaved insert/delete/search/compact traces (seeded via
+``SeedSequence`` children) against a brute-force oracle that stores every
+object ever inserted in external-id order with an alive mask.  At **every
+step of every trace**:
+
+* exact-mode segmented search must be **bit-identical** to the oracle
+  (ids and similarities — both sides score through the
+  layout-independent kernel), and
+* segmented graph search must reach recall@10 ≥ 0.9 against the oracle.
+
+Plus unit coverage of the policy triggers (seal threshold, segment-count
+compaction, tombstone-ratio compaction), id-map stability, and the
+executor parity guarantees on segmented instances.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.framework import MUST
+from repro.core.multivector import MultiVectorSet, normalize_rows
+from repro.core.space import JointSpace
+from repro.core.weights import Weights
+from repro.index.flat import FlatIndex
+from repro.index.pipeline import FusedIndexBuilder
+from repro.index.segments import SegmentedIndex, SegmentPolicy
+
+from tests.conftest import random_multivector_set, random_query
+
+DIMS = (8, 6)
+WEIGHTS = Weights([0.5, 0.5])
+
+
+def _objects(n: int, rng: np.random.Generator) -> MultiVectorSet:
+    return MultiVectorSet(
+        [normalize_rows(rng.standard_normal((n, d)).astype(np.float32))
+         for d in DIMS]
+    )
+
+
+class Oracle:
+    """Ground truth: every object ever inserted, in external-id order."""
+
+    def __init__(self, objects: MultiVectorSet):
+        self.mats = [m.copy() for m in objects.matrices]
+        self.alive = np.ones(objects.n, dtype=bool)
+
+    def insert(self, objects: MultiVectorSet) -> None:
+        self.mats = [
+            np.concatenate([old, new])
+            for old, new in zip(self.mats, objects.matrices)
+        ]
+        self.alive = np.concatenate(
+            [self.alive, np.ones(objects.n, dtype=bool)]
+        )
+
+    def delete(self, ext_ids: np.ndarray) -> None:
+        self.alive[np.asarray(ext_ids)] = False
+
+    @property
+    def num_active(self) -> int:
+        return int(self.alive.sum())
+
+    def flat(self) -> FlatIndex:
+        return FlatIndex(
+            JointSpace(MultiVectorSet(self.mats), WEIGHTS),
+            deleted=~self.alive,
+            deterministic=True,
+        )
+
+
+def _policy() -> SegmentPolicy:
+    return SegmentPolicy(
+        seal_size=12, max_segments=3,
+        max_deleted_fraction=0.35, min_compact_size=24,
+    )
+
+
+def _fresh(n0: int = 40, seed: int = 11) -> tuple[MUST, Oracle]:
+    objects = random_multivector_set(n0, DIMS, seed=seed)
+    must = MUST(
+        objects,
+        weights=WEIGHTS,
+        builder=FusedIndexBuilder(gamma=8, seed=3),
+        segment_policy=_policy(),
+    )
+    must.build()
+    oracle = Oracle(objects)
+    return must, oracle
+
+
+class TestRandomizedTraceParity:
+    """The archetype suite: N random traces, parity asserted at every step."""
+
+    N_TRACES = 3
+    N_OPS = 22
+    K = 10
+    L = 80
+
+    def _check_step(self, must: MUST, oracle: Oracle, queries) -> None:
+        flat = oracle.flat()
+        k = min(self.K, oracle.num_active)
+        hits = total = 0
+        for q in queries:
+            exact_oracle = flat.search(q, k)
+            exact_seg = must.search(q, k=k, exact=True)
+            # Exact path: bit-identical, regardless of segment layout.
+            np.testing.assert_array_equal(exact_seg.ids, exact_oracle.ids)
+            np.testing.assert_array_equal(
+                exact_seg.similarities, exact_oracle.similarities
+            )
+            approx = must.search(q, k=k, l=self.L)
+            assert approx.stats.segments_probed >= 1
+            hits += np.intersect1d(approx.ids, exact_oracle.ids).size
+            total += len(exact_oracle)
+        assert hits / total >= 0.9, "graph-path recall@10 below 0.9"
+
+    @pytest.mark.parametrize("trace_id", range(N_TRACES))
+    def test_trace(self, trace_id):
+        root = np.random.SeedSequence(20240)
+        rng = np.random.default_rng(root.spawn(self.N_TRACES)[trace_id])
+        must, oracle = _fresh(seed=100 + trace_id)
+        queries = [random_query(DIMS, seed=1000 + trace_id * 10 + j)
+                   for j in range(4)]
+        # Enter streaming mode (wraps the built graph as sealed segment 0).
+        warmup = _objects(5, rng)
+        must.insert(warmup)
+        oracle.insert(warmup)
+        self._check_step(must, oracle, queries)
+
+        for _ in range(self.N_OPS):
+            op = rng.choice(
+                ["insert", "delete", "compact", "search"],
+                p=[0.40, 0.25, 0.10, 0.25],
+            )
+            if op == "insert":
+                batch = _objects(int(rng.integers(1, 9)), rng)
+                ext = must.insert(batch)
+                oracle.insert(batch)
+                assert ext.size == batch.n
+            elif op == "delete":
+                active = must.segments.active_ext_ids()
+                # Keep at least two objects alive.
+                max_kill = max(min(active.size - 2, 6), 0)
+                if max_kill == 0:
+                    continue
+                count = int(rng.integers(1, max_kill + 1))
+                doomed = rng.choice(active, size=count, replace=False)
+                must.mark_deleted(doomed)
+                oracle.delete(doomed)
+            elif op == "compact":
+                _, active = must.compact()
+                np.testing.assert_array_equal(
+                    active, np.flatnonzero(oracle.alive)
+                )
+            self._check_step(must, oracle, queries)
+
+        # The trace must actually have exercised the lifecycle.
+        seg = must.segments
+        assert seg.num_seals + seg.num_compactions > 0
+
+    def test_traces_are_deterministic(self):
+        must, oracle = _fresh(seed=7)
+        must.insert(_objects(15, np.random.default_rng(3)))
+        q = random_query(DIMS, seed=5)
+        a = must.search(q, k=10, l=60, rng=0)
+        b = must.search(q, k=10, l=60, rng=0)
+        np.testing.assert_array_equal(a.ids, b.ids)
+        np.testing.assert_array_equal(a.similarities, b.similarities)
+
+
+class TestLayoutInvariance:
+    """Same corpus, different segment layouts → identical exact answers."""
+
+    def test_exact_independent_of_layout(self):
+        corpus = random_multivector_set(90, DIMS, seed=42)
+        q = random_query(DIMS, seed=2)
+
+        # Layout A: everything in one sealed segment.
+        one = SegmentedIndex(
+            WEIGHTS, builder=FusedIndexBuilder(gamma=8, seed=3),
+            policy=SegmentPolicy(seal_size=1000),
+        )
+        one.insert(corpus)
+        one.seal_delta()
+
+        # Layout B: three segments of very different sizes + live delta.
+        many = SegmentedIndex(
+            WEIGHTS, builder=FusedIndexBuilder(gamma=8, seed=3),
+            policy=SegmentPolicy(seal_size=1000, max_segments=10),
+        )
+        for lo, hi in ((0, 50), (50, 71), (71, 84)):
+            many.insert(corpus.subset(np.arange(lo, hi)))
+            many.seal_delta()
+        many.insert(corpus.subset(np.arange(84, 90)))  # stays in the delta
+
+        for k in (1, 10, 25):
+            a = one.exact_search(q, k)
+            b = many.exact_search(q, k)
+            np.testing.assert_array_equal(a.ids, b.ids)
+            np.testing.assert_array_equal(a.similarities, b.similarities)
+
+    def test_deletes_respected_in_both_layouts(self):
+        corpus = random_multivector_set(40, DIMS, seed=8)
+        seg = SegmentedIndex(
+            WEIGHTS, builder=FusedIndexBuilder(gamma=8, seed=3),
+            policy=SegmentPolicy(seal_size=20, max_segments=10),
+        )
+        seg.insert(corpus)
+        doomed = np.array([1, 5, 21, 33])
+        seg.mark_deleted(doomed)
+        q = random_query(DIMS, seed=3)
+        for res in (seg.exact_search(q, 15), seg.search(q, k=15, l=40)):
+            assert not (set(res.ids.tolist()) & set(doomed.tolist()))
+
+
+class TestPolicyTriggers:
+    def _seg(self, **kwargs) -> SegmentedIndex:
+        defaults = dict(seal_size=10, max_segments=2,
+                        max_deleted_fraction=0.3, min_compact_size=15)
+        defaults.update(kwargs)
+        return SegmentedIndex(
+            WEIGHTS, builder=FusedIndexBuilder(gamma=6, seed=1),
+            policy=SegmentPolicy(**defaults),
+        )
+
+    def test_delta_seals_at_threshold(self):
+        seg = self._seg()
+        rng = np.random.default_rng(0)
+        seg.insert(_objects(9, rng))
+        assert seg.num_seals == 0 and seg.delta.n == 9
+        seg.insert(_objects(1, rng))
+        assert seg.num_seals == 1 and seg.delta.n == 0
+        assert len(seg.sealed) == 1
+        seg.sealed[-1].index.validate()
+
+    def test_segment_count_triggers_merge_compaction(self):
+        seg = self._seg(max_segments=2, min_compact_size=10_000)
+        rng = np.random.default_rng(1)
+        for _ in range(3):  # three seals → count trigger fires
+            seg.insert(_objects(10, rng))
+        assert seg.num_compactions == 1
+        assert len(seg.sealed) == 1 and seg.sealed[0].n == 30
+        seg.sealed[0].index.validate()
+
+    def test_tombstone_ratio_triggers_compaction(self):
+        seg = self._seg(seal_size=100, max_segments=10, min_compact_size=15)
+        rng = np.random.default_rng(2)
+        seg.insert(_objects(30, rng))
+        seg.mark_deleted(np.arange(5))
+        assert seg.num_compactions == 0  # 5/30 < 0.3
+        seg.mark_deleted(np.arange(5, 12))
+        assert seg.num_compactions == 1  # 12/30 > 0.3 → auto-rebuild
+        assert seg.num_total == 18 and seg.deleted_fraction == 0.0
+        np.testing.assert_array_equal(
+            seg.active_ext_ids(), np.arange(12, 30)
+        )
+
+    def test_small_corpora_ignore_ratio_trigger(self):
+        seg = self._seg(min_compact_size=50)
+        rng = np.random.default_rng(3)
+        seg.insert(_objects(8, rng))
+        seg.mark_deleted(np.arange(4))  # 50% dead but below min size
+        assert seg.num_compactions == 0
+
+    def test_seal_reseats_deleted_seed(self):
+        seg = self._seg(seal_size=10_000, max_segments=10,
+                        min_compact_size=10_000)
+        rng = np.random.default_rng(4)
+        seg.insert(_objects(20, rng))
+        # Kill most of the delta so the centroid seed is likely dead,
+        # then seal: the sealed segment must still validate (live seed).
+        seg.mark_deleted(np.arange(15))
+        sealed = seg.seal_delta()
+        sealed.index.validate()
+        assert not sealed.index.deleted[sealed.index.seed_vertex]
+
+    def test_fully_dead_delta_is_discarded_on_seal(self):
+        seg = self._seg(seal_size=10_000, min_compact_size=10_000)
+        rng = np.random.default_rng(5)
+        seg.insert(_objects(6, rng))
+        seg.seal_delta()
+        seg.insert(_objects(4, rng))
+        seg.mark_deleted(np.arange(6, 10))  # the whole delta
+        assert seg.seal_delta() is None
+        assert len(seg.sealed) == 1 and seg.delta.n == 0
+
+
+class TestIdMapAndGuards:
+    def test_external_ids_stable_across_compaction(self):
+        must, _ = _fresh(n0=30, seed=1)
+        ext = must.insert(_objects(10, np.random.default_rng(0)))
+        np.testing.assert_array_equal(ext, np.arange(30, 40))
+        must.mark_deleted(np.array([0, 35]))
+        _, active = must.compact()
+        assert 0 not in active and 35 not in active
+        # Ids never reused: the next insert continues after 39.
+        ext2 = must.insert(_objects(3, np.random.default_rng(1)))
+        np.testing.assert_array_equal(ext2, np.arange(40, 43))
+
+    def test_unknown_delete_rejected(self):
+        must, _ = _fresh(n0=20, seed=2)
+        must.insert(_objects(5, np.random.default_rng(0)))
+        with pytest.raises(ValueError):
+            must.mark_deleted(np.array([999]))
+
+    def test_cannot_delete_every_object(self):
+        seg = SegmentedIndex(WEIGHTS, builder=FusedIndexBuilder(gamma=6))
+        seg.insert(_objects(5, np.random.default_rng(0)))
+        with pytest.raises(ValueError):
+            seg.mark_deleted(np.arange(5))
+
+    def test_rejected_delete_leaves_state_unchanged(self):
+        """A failed mark_deleted must be atomic: no partial tombstones."""
+        seg = SegmentedIndex(
+            WEIGHTS, builder=FusedIndexBuilder(gamma=6),
+            policy=SegmentPolicy(seal_size=10),
+        )
+        seg.insert(_objects(25, np.random.default_rng(0)))  # sealed + delta
+        with pytest.raises(ValueError):
+            seg.mark_deleted(np.array([3, 12, 999]))  # 999 unknown
+        assert seg.num_active == 25
+        with pytest.raises(ValueError):
+            seg.mark_deleted(np.arange(25))  # would kill everything
+        assert seg.num_active == 25
+        np.testing.assert_array_equal(seg.active_ext_ids(), np.arange(25))
+
+    def test_build_refused_after_streaming(self):
+        """build() would silently drop streamed objects and recycle their
+        external ids — it must refuse and point at compact()."""
+        must, _ = _fresh(n0=20, seed=9)
+        must.insert(_objects(4, np.random.default_rng(0)))
+        with pytest.raises(ValueError, match="compact"):
+            must.build()
+        # The streamed objects are still there.
+        assert must.segments.num_active == 24
+
+    def test_fit_weights_refused_after_streaming(self):
+        must, _ = _fresh(n0=20, seed=10)
+        must.insert(_objects(4, np.random.default_rng(0)))
+        q = random_query(DIMS, seed=0)
+        with pytest.raises(ValueError, match="streaming"):
+            must.fit_weights([q], np.array([1]))
+        assert must.weight_result is None  # guard fired before training
+
+    def test_dim_mismatch_rejected(self):
+        must, _ = _fresh(n0=20, seed=3)
+        bad = MultiVectorSet([
+            normalize_rows(np.random.default_rng(0)
+                           .standard_normal((2, 5)).astype(np.float32)),
+            normalize_rows(np.random.default_rng(1)
+                           .standard_normal((2, 6)).astype(np.float32)),
+        ])
+        with pytest.raises(ValueError):
+            must.insert(bad)
+
+    def test_empty_segmented_search(self):
+        seg = SegmentedIndex(WEIGHTS)
+        res = seg.search(random_query(DIMS, seed=0), k=5, l=10)
+        assert len(res) == 0
+        assert len(seg.exact_search(random_query(DIMS, seed=0), 5)) == 0
+
+    def test_weights_frozen_after_streaming(self):
+        must, _ = _fresh(n0=20, seed=4)
+        must.insert(_objects(4, np.random.default_rng(0)))
+        with pytest.raises(ValueError):
+            must.set_weights(Weights([0.9, 0.1]))
+
+
+class TestExecutorParityOnSegments:
+    def _streamed(self) -> MUST:
+        must, _ = _fresh(n0=50, seed=6)
+        must.insert(_objects(25, np.random.default_rng(0)))
+        must.mark_deleted(np.arange(0, 20, 4))
+        return must
+
+    def test_graph_batch_bit_identical_across_n_jobs(self):
+        must = self._streamed()
+        queries = [random_query(DIMS, seed=s) for s in range(8)]
+        base = must.batch_search(queries, k=10, l=60, n_jobs=1, rng=7)
+        for n_jobs in (2, 4):
+            run = must.batch_search(queries, k=10, l=60, n_jobs=n_jobs, rng=7)
+            for a, b in zip(base, run):
+                np.testing.assert_array_equal(a.ids, b.ids)
+                np.testing.assert_array_equal(a.similarities, b.similarities)
+        assert base.stats.segments_probed > 0
+
+    def test_exact_batch_matches_single_query_ranks(self):
+        must = self._streamed()
+        queries = [random_query(DIMS, seed=s) for s in range(6)]
+        batch = must.batch_search(queries, k=8, exact=True)
+        for q, res in zip(queries, batch):
+            single = must.search(q, k=8, exact=True)
+            np.testing.assert_array_equal(res.ids, single.ids)
+            np.testing.assert_allclose(
+                res.similarities, single.similarities, atol=1e-6
+            )
+
+    def test_stats_aggregate_counts_probes(self):
+        must = self._streamed()
+        queries = [random_query(DIMS, seed=s) for s in range(4)]
+        run = must.batch_search(queries, k=5, l=40)
+        per_query = sum(r.stats.segments_probed for r in run)
+        assert run.stats.segments_probed == per_query
+        assert per_query >= len(queries)  # ≥ 1 probe per query
