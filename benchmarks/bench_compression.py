@@ -1,0 +1,81 @@
+"""Vector-store compression trade-off — bytes vs recall vs QPS.
+
+Re-seats one fused graph on every :data:`~repro.store.STORE_KINDS`
+backend (float32 / float16 / int8-SQ / PQ) and measures resident
+hot-tier bytes, graph-search recall against exact full-precision ground
+truth (raw codes and with the two-stage ``refine=`` rerank), and batched
+QPS.  Writes the ``BENCH_compression.json`` artifact at the repo root.
+Runnable standalone
+(``PYTHONPATH=src python benchmarks/bench_compression.py``) or through
+pytest like the other bench files.  Scale via ``REPRO_COMPRESSION_N``
+and ``REPRO_LARGESCALE_QUERIES``.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from repro.bench.efficiency import compression_tradeoff
+from repro.bench.harness import format_table, save_table
+
+ARTIFACT = Path(__file__).resolve().parents[1] / "BENCH_compression.json"
+
+
+def run(kind: str = "image") -> dict:
+    """Run the experiment and write the JSON artifact."""
+    table, payload = compression_tradeoff(kind)
+    save_table(table, "compression")
+    print(format_table(table))
+    ARTIFACT.write_text(json.dumps(payload, indent=2) + "\n")
+    return payload
+
+
+def test_compression_tradeoff(benchmark, capsys):
+    from benchmarks.conftest import emit
+
+    table, payload = compression_tradeoff("image")
+    emit(table, "compression", capsys)
+    ARTIFACT.write_text(json.dumps(payload, indent=2) + "\n")
+
+    backends = payload["backends"]
+    # The dense backend is the bit-identical reference point.
+    assert backends["none"]["compression_ratio"] == 1.0
+    # Acceptance guards (ISSUE 3): the quantised backends must cut
+    # resident vector bytes >= 3x while refine=4 holds recall@10 at
+    # >= 0.95 of exact search.
+    for kind in ("int8", "pq"):
+        assert backends[kind]["compression_ratio"] >= 3.0, kind
+        assert backends[kind]["recall_at_10"] >= 0.95, kind
+    assert backends["float16"]["compression_ratio"] >= 2.0
+    assert backends["float16"]["recall_at_10"] >= 0.95
+    # Rerank actually ran on the compressed backends.
+    for kind in ("float16", "int8", "pq"):
+        assert backends[kind]["reranked_per_query"] > 0, kind
+
+    from repro.bench import cache
+    from repro.core.framework import MUST
+    from repro.core.weights import Weights
+
+    enc = cache.largescale_encoded("image", cache.COMPRESSION_N)
+    queries = list(enc.queries[:16])
+    must = MUST(
+        enc.objects,
+        weights=Weights.uniform(enc.objects.num_modalities),
+        compression="int8",
+    ).build()
+    benchmark(lambda: must.batch_search(queries, k=10, l=100, refine=4))
+
+
+if __name__ == "__main__":
+    out = run()
+    summary = {
+        kind: {
+            "compression_ratio": round(v["compression_ratio"], 2),
+            "recall_at_10": round(v["recall_at_10"], 4),
+            "qps": round(v["qps"], 1),
+        }
+        for kind, v in out["backends"].items()
+    }
+    print(json.dumps(summary, indent=2))
+    print(f"wrote {ARTIFACT}")

@@ -54,6 +54,8 @@ WEIGHT_EPOCHS = _int_knob("REPRO_WEIGHT_EPOCHS", 300)
 WEIGHT_LR = 0.2
 #: Corpus size for the dynamic-update (streaming insert/delete) benchmark.
 DYNAMIC_N = _int_knob("REPRO_DYNAMIC_N", 6_000)
+#: Corpus size for the vector-store compression benchmark.
+COMPRESSION_N = _int_knob("REPRO_COMPRESSION_N", 6_000)
 
 
 @lru_cache(maxsize=None)

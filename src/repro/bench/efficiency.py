@@ -38,6 +38,7 @@ __all__ = [
     "fig10c_multivector",
     "batch_throughput",
     "dynamic_throughput",
+    "compression_tradeoff",
 ]
 
 _L_SWEEP = (10, 20, 40, 80, 160, 320)
@@ -454,5 +455,113 @@ def batch_throughput(
               "between loop and executor because the executor gives "
               "every query its own SeedSequence child instead of a "
               "shared rng=0 init draw.",
+    )
+    return table, payload
+
+
+def compression_tradeoff(
+    kind: str = "image",
+    k: int = 10,
+    l: int = 100,
+    refine: int = 4,
+) -> tuple[Table, dict]:
+    """Memory/recall/QPS trade-off across the vector-store backends.
+
+    Builds the fused graph **once** over full-precision vectors, then
+    re-seats the same routing graph on every
+    :data:`~repro.store.STORE_KINDS` backend — so the comparison
+    isolates the serving representation (hot bytes + scoring kernels +
+    ``refine=`` rerank) from graph-construction variance.  Reports
+    resident hot-tier bytes, graph-search recall against exact
+    full-precision ground truth (with and without the two-stage rerank),
+    and batched QPS.  Returns the table plus the JSON payload for the
+    ``BENCH_compression.json`` artifact.
+    """
+    import dataclasses
+
+    from repro.index.base import reseat_on_store
+
+    enc = cache.largescale_encoded(kind, cache.COMPRESSION_N)
+    objects = enc.objects
+    weights = Weights.uniform(objects.num_modalities)
+    queries = enc.queries
+    gt = exact_ground_truth(enc, weights, k=k)
+    dense_bytes = sum(m.nbytes for m in objects.matrices)
+    bytes_per_vector = dense_bytes / objects.n
+
+    base = MUST(objects, weights=weights).build()
+    backends = [
+        ("none", {}, None),
+        ("float16", {}, refine),
+        ("int8", {}, refine),
+        ("pq", {}, refine),
+    ]
+
+    headers = ["Backend", "Bytes/vec", "Compression", "Recall@10 (raw)",
+               f"Recall@10 (refine={refine})", "QPS", "Rerank/query"]
+    rows: list[list] = []
+    payload: dict = {
+        "dataset": enc.name,
+        "n": int(objects.n),
+        "num_queries": len(queries),
+        "k": k,
+        "l": l,
+        "refine": refine,
+        "dense_bytes_per_vector": float(bytes_per_vector),
+        "backends": {},
+    }
+
+    for backend, options, backend_refine in backends:
+        if backend == "none":
+            must = base
+        else:
+            must = MUST(objects, weights=weights,
+                        compression=backend, store_options=options)
+            # Same routing graph for every backend: copy the built graph
+            # and swap only its serving representation.
+            must._index = reseat_on_store(
+                dataclasses.replace(base.index), backend, options
+            )
+        store = must.index.space.vectors.store
+
+        def run(qs, r=backend_refine):
+            return must.batch_search(qs, k=k, l=l, refine=r)
+
+        raw = must.batch_search(queries, k=k, l=l)
+        recall_raw = mean_recall([r.ids for r in raw], gt, k)
+        best = None
+        for _ in range(3):
+            timed = measure_batch_qps(run, queries, warmup=len(queries) // 2)
+            if best is None or timed.qps > best.qps:
+                best = timed
+        recall = mean_recall([r.ids for r in best.results], gt, k)
+        reranked = float(np.mean(
+            [r.stats.reranked for r in best.results]
+        ))
+        hot = store.hot_bytes()
+        ratio = dense_bytes / hot
+        rows.append([
+            backend, hot / objects.n, ratio, recall_raw, recall,
+            best.qps, reranked,
+        ])
+        payload["backends"][backend] = {
+            "hot_bytes": int(hot),
+            "cold_bytes": int(store.cold_bytes()),
+            "bytes_per_vector": float(hot / objects.n),
+            "compression_ratio": float(ratio),
+            "recall_at_10_raw": float(recall_raw),
+            "recall_at_10": float(recall),
+            "qps": float(best.qps),
+            "reranked_per_query": reranked,
+            "refine": backend_refine,
+        }
+
+    table = Table(
+        "Compression", f"Vector-store backends on {enc.name}", headers, rows,
+        notes="Same routing graph for every backend; only the serving "
+              "representation changes. Raw recall scores the quantised "
+              "codes end-to-end; the refine column re-scores the top "
+              "refine*k survivors against the full-precision cold tier "
+              "(two-stage rerank). QPS is batched search, best of 3.",
     )
     return table, payload

@@ -30,12 +30,13 @@ from repro.core.multivector import MultiVector, MultiVectorSet
 from repro.core.results import SearchResult
 from repro.core.space import JointSpace
 from repro.core.weights import Weights
-from repro.index.base import GraphIndex
+from repro.index.base import GraphIndex, reseat_on_store
 from repro.index.executor import BatchExecutor, BatchResult
 from repro.index.flat import FlatIndex
 from repro.index.pipeline import FusedIndexBuilder
 from repro.index.search import joint_search
 from repro.index.segments import MANIFEST_NAME, SegmentedIndex, SegmentPolicy
+from repro.store import STORE_KINDS
 from repro.utils.io import load_arrays
 from repro.utils.validation import require
 from repro.weightlearn.trainer import VectorWeightLearner, WeightLearningResult
@@ -44,7 +45,18 @@ __all__ = ["MUST"]
 
 
 class MUST:
-    """Multimodal Search of Target Modality — the full framework."""
+    """Multimodal Search of Target Modality — the full framework.
+
+    ``compression`` selects the vector-store backend serving the index
+    (:data:`~repro.store.STORE_KINDS`: ``"none"``, ``"float16"``,
+    ``"int8"``, ``"pq"``).  The graph is always *built* over the
+    full-precision vectors; with a compressed backend it then *serves*
+    from the compressed codes (asymmetric kernels), the original
+    float32 corpus staying available as the cold exact tier for
+    ``search(..., refine=r)`` rerank, ``exact=True`` scans, and
+    compaction.  ``store_options`` is forwarded to the backend
+    (``keep_exact``, PQ's ``pq_dims``/``pq_centroids``/``seed``, …).
+    """
 
     name = "MUST"
 
@@ -54,13 +66,22 @@ class MUST:
         weights: Weights | None = None,
         builder=None,
         segment_policy: SegmentPolicy | None = None,
+        compression: str = "none",
+        store_options: dict | None = None,
     ):
+        require(
+            compression in STORE_KINDS,
+            f"unknown compression {compression!r}; supported: "
+            f"{sorted(STORE_KINDS)}",
+        )
         self.objects = objects
         self.weights = weights or Weights.uniform(objects.num_modalities)
         self.builder = builder or FusedIndexBuilder()
         #: Seal/compaction knobs used once :meth:`insert` switches the
         #: instance to the segmented subsystem.
         self.segment_policy = segment_policy
+        self.compression = compression
+        self.store_options = dict(store_options or {})
         self._index: GraphIndex | None = None
         self._segments: SegmentedIndex | None = None
         self._space: JointSpace | None = None
@@ -164,14 +185,22 @@ class MUST:
         return self._segments is not None
 
     def build(self) -> "MUST":
-        """Construct the fused proximity-graph index (Algorithm 1)."""
+        """Construct the fused proximity-graph index (Algorithm 1).
+
+        With ``compression=`` the build itself runs over full-precision
+        vectors; the finished graph is then re-seated on the compressed
+        store, so query-time scoring reads the hot codes.
+        """
         require(
             self._segments is None,
             "rebuilding from the original corpus would discard streamed "
             "objects and tombstones (and recycle their external ids) — "
             "use compact() to reconstruct a segmented index",
         )
-        self._index = self.builder.build(self.space)
+        self._index = reseat_on_store(
+            self.builder.build(self.space), self.compression,
+            self.store_options,
+        )
         return self
 
     # ------------------------------------------------------------------
@@ -185,29 +214,38 @@ class MUST:
         weights: Weights | None = None,
         early_termination: bool = False,
         exact: bool = False,
+        refine: int | None = None,
         **search_kwargs,
     ) -> SearchResult:
         """Joint top-*k* search for one multimodal query.
 
         ``weights`` overrides the index weights at query time; ``exact``
-        bypasses the graph (brute force, the MUST-- behaviour).  On a
-        segmented instance results carry stable external ids, and the
-        exact path is layout-independent (bit-identical no matter how the
-        corpus is split into segments).
+        bypasses the graph (brute force over the full-precision corpus,
+        the MUST-- behaviour — compression never touches this path on a
+        non-segmented instance).  ``refine=r`` runs the two-stage rerank
+        pipeline: the top ``r·k`` hot-tier survivors are re-scored at
+        full precision before cutting to *k* (the recall knob for
+        compressed stores).  On a segmented instance results carry
+        stable external ids, and the exact path is layout-independent
+        (bit-identical no matter how the corpus is split into segments).
         """
         if self._segments is not None:
             if exact:
-                return self._segments.exact_search(query, k, weights=weights)
+                return self._segments.exact_search(
+                    query, k, weights=weights, refine=refine
+                )
             return self._segments.search(
                 query,
                 k=k,
                 l=l,
                 weights=weights,
                 early_termination=early_termination,
+                refine=refine,
                 **search_kwargs,
             )
         if exact:
-            return self._flat().search(query, k, weights=weights)
+            return self._flat().search(query, k, weights=weights,
+                                       refine=refine)
         return joint_search(
             self.index,
             query,
@@ -215,6 +253,7 @@ class MUST:
             l=min(l, self.objects.n),
             weights=weights,
             early_termination=early_termination,
+            refine=refine,
             **search_kwargs,
         )
 
@@ -234,6 +273,7 @@ class MUST:
         engine: str = "heap",
         n_jobs: int = 1,
         rng: int | None = 0,
+        refine: int | None = None,
         **search_kwargs,
     ) -> BatchResult:
         """Joint top-*k* search for a batch of queries via the executor.
@@ -244,9 +284,11 @@ class MUST:
         vertices from its own child seed derived from ``rng``
         (``SeedSequence.spawn``), so batches are deterministic without
         every query sharing one init draw — and bit-identical for any
-        ``n_jobs``.  The returned :class:`BatchResult` iterates like the
-        old list of per-query results and carries the aggregated
-        per-batch :class:`~repro.core.results.SearchStats` as ``.stats``.
+        ``n_jobs``.  ``refine`` applies the two-stage full-precision
+        rerank per query (see :meth:`search`).  The returned
+        :class:`BatchResult` iterates like the old list of per-query
+        results and carries the aggregated per-batch
+        :class:`~repro.core.results.SearchStats` as ``.stats``.
         """
         executor = BatchExecutor(n_jobs=n_jobs, rng=rng)
         if self._segments is not None:
@@ -259,10 +301,12 @@ class MUST:
                 early_termination=early_termination,
                 engine=engine,
                 exact=exact,
+                refine=refine,
                 **search_kwargs,
             )
         if exact:
-            return executor.run_flat(self._flat(), queries, k, weights=weights)
+            return executor.run_flat(self._flat(), queries, k,
+                                     weights=weights, refine=refine)
         return executor.run_graph(
             self.index,
             queries,
@@ -271,6 +315,7 @@ class MUST:
             weights=weights,
             early_termination=early_termination,
             engine=engine,
+            refine=refine,
             **search_kwargs,
         )
 
@@ -317,15 +362,29 @@ class MUST:
         """
         if self._segments is not None:
             active = self._segments.compact()
+            self._drop_caches()
             return self, active
         active = self.index.active_ids()
         fresh = MUST(
             self.objects.subset(active),
             weights=self.weights,
             builder=self.builder,
+            compression=self.compression,
+            store_options=self.store_options,
         )
         fresh.build()
+        self._drop_caches()
         return fresh, active
+
+    def _drop_caches(self) -> None:
+        """Release lazily materialised per-space caches (the ω-scaled
+        concatenation and the float64 deterministic-scan copies) after a
+        compaction — the rebuilt index no longer needs the old corpus's
+        derived state pinned in memory."""
+        if self._space is not None:
+            self._space.drop_caches()
+        if self._index is not None:
+            self._index.space.drop_caches()
 
     def _ensure_segments(self) -> SegmentedIndex:
         if self._segments is None:
@@ -335,6 +394,8 @@ class MUST:
                 self._index,
                 builder=self.builder,
                 policy=self.segment_policy,
+                compression=self.compression,
+                store_options=self.store_options,
             )
             self._index = None
         return self._segments
@@ -358,6 +419,15 @@ class MUST:
         self._index.meta["squared_weights"] = [
             float(x) for x in self.weights.squared
         ]
+        # Store kind + options ride along so a reload re-derives the
+        # same compressed serving store (codebook training is
+        # deterministic given the corpus and these options).
+        self._index.meta["compression"] = self.compression
+        self._index.meta["store_options"] = {
+            k: v
+            for k, v in self.store_options.items()
+            if isinstance(v, (str, int, float, bool))
+        }
         self._index.save(path)
 
     def load_index(self, path: str | Path) -> "MUST":
@@ -377,10 +447,28 @@ class MUST:
             self._index = None
             return self
         metadata, arrays = load_arrays(path)
-        stored = metadata.get("meta", {}).get("squared_weights")
+        meta = metadata.get("meta", {})
+        stored = meta.get("squared_weights")
         if stored is not None:
             self.weights = Weights(stored)
             self._space = None
-        self._index = GraphIndex.from_arrays(metadata, arrays, self.space)
+        stored_kind = meta.get("compression", "none")
+        if stored_kind != "none":
+            require(
+                stored_kind in STORE_KINDS,
+                f"index was saved with compression {stored_kind!r}; this "
+                f"build supports {sorted(STORE_KINDS)} — upgrade the "
+                f"library or rebuild the index",
+            )
+            self.compression = stored_kind
+            # Restore the saved codec options too: retraining with
+            # different ones would silently serve different codes than
+            # the index was built and benchmarked with.
+            self.store_options = dict(meta.get("store_options", {}))
+        self._index = reseat_on_store(
+            GraphIndex.from_arrays(metadata, arrays, self.space),
+            self.compression,
+            self.store_options,
+        )
         self._segments = None
         return self

@@ -4,6 +4,14 @@ A multimodal object with ``m`` modalities is represented by ``m``
 L2-normalised vectors, one per modality, produced by pluggable encoders.
 The library stores an object set column-wise — one ``(n, d_i)`` matrix per
 modality — which keeps every similarity kernel a dense matrix product.
+
+The column store itself is pluggable: a :class:`MultiVectorSet` is backed
+by a :class:`~repro.store.VectorStore` (float32 by default — bit-identical
+to the historical in-matrix layout — or a compressed backend: float16,
+int8 scalar quantisation, product quantisation).  Hot search paths score
+through the store's asymmetric kernels; :attr:`matrices` decodes, so code
+that touches raw matrices keeps working on any backend at reconstruction
+precision.
 """
 
 from __future__ import annotations
@@ -13,6 +21,7 @@ from typing import Iterable, Sequence
 
 import numpy as np
 
+from repro.store import DenseStore, VectorStore
 from repro.utils.validation import as_float_matrix, as_float_vector, require
 
 __all__ = ["MultiVector", "MultiVectorSet", "normalize_rows"]
@@ -75,7 +84,11 @@ class MultiVectorSet:
     """Column store of multi-vector objects: one matrix per modality.
 
     All matrices share the row count ``n``; row ``j`` across matrices forms
-    the multi-vector of object ``j``.
+    the multi-vector of object ``j``.  The columns live in a pluggable
+    :class:`~repro.store.VectorStore`; constructing from raw matrices wraps
+    them in a :class:`~repro.store.DenseStore` (float32, bit-identical to
+    the pre-store behaviour), while :meth:`from_store` attaches a
+    compressed backend.
     """
 
     def __init__(self, matrices: Sequence[np.ndarray], normalize: bool = False):
@@ -89,62 +102,99 @@ class MultiVectorSet:
             )
         if normalize:
             mats = [normalize_rows(m) for m in mats]
-        self._matrices = tuple(mats)
+        self._store: VectorStore = DenseStore(mats)
+
+    @classmethod
+    def from_store(cls, store: VectorStore) -> "MultiVectorSet":
+        """Wrap an existing (possibly compressed) vector store."""
+        out = cls.__new__(cls)
+        out._store = store
+        return out
 
     # ------------------------------------------------------------------
     # Introspection
     # ------------------------------------------------------------------
     @property
+    def store(self) -> VectorStore:
+        """The backing store (scoring kernels, byte accounting, codecs)."""
+        return self._store
+
+    @property
+    def is_compressed(self) -> bool:
+        """True when the hot tier is not plain float32."""
+        return self._store.kind != "none"
+
+    @property
     def matrices(self) -> tuple[np.ndarray, ...]:
-        return self._matrices
+        """Per-modality float32 matrices.
+
+        The stored arrays for a dense set; **decoded reconstructions**
+        (materialised on every call) for compressed backends — hot paths
+        must go through the store kernels instead.
+        """
+        return tuple(
+            self._store.modality(i) for i in range(self._store.num_modalities)
+        )
 
     @property
     def n(self) -> int:
         """Number of objects."""
-        return self._matrices[0].shape[0]
+        return self._store.n
 
     def __len__(self) -> int:
         return self.n
 
     @property
     def num_modalities(self) -> int:
-        return len(self._matrices)
+        return self._store.num_modalities
 
     @property
     def dims(self) -> tuple[int, ...]:
         """Per-modality vector dimensionality."""
-        return tuple(m.shape[1] for m in self._matrices)
+        return self._store.dims
 
     # ------------------------------------------------------------------
     # Access
     # ------------------------------------------------------------------
     def row(self, index: int) -> MultiVector:
-        """Multi-vector of object *index*."""
-        return MultiVector(tuple(m[index] for m in self._matrices))
+        """Multi-vector of object *index* (decoded on compressed stores)."""
+        idx = np.asarray([index])
+        return MultiVector(tuple(
+            self._store.rows(i, idx)[0] for i in range(self.num_modalities)
+        ))
 
     def modality(self, i: int) -> np.ndarray:
-        """The full ``(n, d_i)`` matrix of modality *i*."""
-        return self._matrices[i]
+        """The full ``(n, d_i)`` matrix of modality *i* (decoded)."""
+        return self._store.modality(i)
+
+    def exact_modality(self, i: int) -> np.ndarray:
+        """Full-precision matrix of modality *i*.
+
+        The cold exact tier on compressed stores (rerank/compaction
+        source); identical to :meth:`modality` on dense sets and on
+        stores built with ``keep_exact=False``.
+        """
+        return self._store.exact_modality(i)
 
     def subset(self, ids: np.ndarray) -> "MultiVectorSet":
         """New set containing only the objects in *ids* (row order kept)."""
         ids = np.asarray(ids)
-        return MultiVectorSet([m[ids] for m in self._matrices])
+        return MultiVectorSet.from_store(self._store.subset(ids))
 
     def concatenated(self, scales: Sequence[float] | None = None) -> np.ndarray:
         """Horizontal concatenation, optionally scaling each block.
 
         With ``scales = ω`` this materialises the paper's concatenated
         vectors ``x̂ = [ω_0·ϕ_0(x_0), …]`` so that a single dot product
-        equals the joint similarity (Lemma 1).
+        equals the joint similarity (Lemma 1).  Decodes compressed
+        backends — a build/compaction path, not a serving path.
         """
+        mats = self.matrices
         if scales is None:
-            return np.concatenate(self._matrices, axis=1)
+            return np.concatenate(mats, axis=1)
         require(
             len(scales) == self.num_modalities,
             "one scale per modality required",
         )
-        blocks = [
-            np.float32(s) * m for s, m in zip(scales, self._matrices)
-        ]
+        blocks = [np.float32(s) * m for s, m in zip(scales, mats)]
         return np.concatenate(blocks, axis=1)

@@ -24,6 +24,9 @@ class SearchStats:
     through a :class:`~repro.index.segments.SegmentedIndex` (one per
     sealed/delta segment probed; merging per-segment stats sums it, so a
     batch aggregate reports total probes across the batch).
+
+    ``reranked`` counts candidates re-scored at full precision by the
+    two-stage ``refine=`` pipeline (0 when rerank is off).
     """
 
     visited_vertices: int = 0
@@ -32,6 +35,7 @@ class SearchStats:
     modality_evals: int = 0
     pruned_early: int = 0
     segments_probed: int = 0
+    reranked: int = 0
 
     def merge(self, other: "SearchStats") -> None:
         """Accumulate *other* into self (for batch aggregation)."""
@@ -41,6 +45,7 @@ class SearchStats:
         self.modality_evals += other.modality_evals
         self.pruned_early += other.pruned_early
         self.segments_probed += other.segments_probed
+        self.reranked += other.reranked
 
     @classmethod
     def aggregate(cls, stats: "Iterable[SearchStats]") -> "SearchStats":

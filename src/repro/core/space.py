@@ -22,14 +22,27 @@ Scanning modalities in descending-weight order maximises early pruning and
 
 from __future__ import annotations
 
+import os
+
 import numpy as np
 
 from repro.core.multivector import MultiVector, MultiVectorSet
 from repro.core.results import SearchStats
 from repro.core.weights import Weights
+from repro.store import ModalityKernel, VectorStore
 from repro.utils.validation import require
 
 __all__ = ["JointSpace"]
+
+
+def _f64_cache_limit_bytes() -> int:
+    """Cap on the lazy float64 deterministic-scan cache.
+
+    The cache doubles corpus memory, so it is only kept when the float64
+    copies fit under ``REPRO_F64_CACHE_MB`` (default 256 MiB); beyond
+    that the stable kernel recomputes per call instead of caching.
+    """
+    return int(os.environ.get("REPRO_F64_CACHE_MB", "256")) * (1 << 20)
 
 
 class JointSpace:
@@ -47,6 +60,8 @@ class JointSpace:
         #: lazy float64 copies of the modality matrices, built on the
         #: first deterministic scan (:meth:`query_ids_stable`) — trades
         #: memory for not re-converting the corpus on every exact query.
+        #: Capped by ``REPRO_F64_CACHE_MB`` and released by
+        #: :meth:`drop_caches`.
         self._f64: list[np.ndarray] | None = None
 
     # ------------------------------------------------------------------
@@ -59,6 +74,27 @@ class JointSpace:
     @property
     def weights(self) -> Weights:
         return self._weights
+
+    @property
+    def store(self) -> VectorStore:
+        """The backing vector store (hot representation + kernels)."""
+        return self._vectors.store
+
+    @property
+    def is_compressed(self) -> bool:
+        """True when the corpus side of every kernel is compressed."""
+        return self._vectors.is_compressed
+
+    def drop_caches(self) -> None:
+        """Release lazily materialised derived state.
+
+        Drops the ω-scaled concatenation and the float64 scan cache —
+        together they can double (or worse) the resident corpus bytes.
+        Called by :meth:`MUST.compact` and safe at any time: both caches
+        rebuild on demand.
+        """
+        self._concat = None
+        self._f64 = None
 
     @property
     def n(self) -> int:
@@ -112,6 +148,12 @@ class JointSpace:
         w = weights if weights is not None else self._weights
         return w.masked(query).squared
 
+    def effective_squared_weights(
+        self, query: MultiVector, weights: Weights | None = None
+    ) -> np.ndarray:
+        """``ω²`` per modality after masking modalities *query* lacks."""
+        return self._effective_weights(query, weights)
+
     def concat_query(
         self, query: MultiVector, weights: Weights | None = None
     ) -> np.ndarray | None:
@@ -122,8 +164,13 @@ class JointSpace:
         similarity under the *effective* weights — the searcher's fast
         path (one gather + one GEMV per hop).  Returns ``None`` when the
         query needs a modality the index weights zeroed out (``ω_i = 0``),
-        in which case callers fall back to per-modality evaluation.
+        in which case callers fall back to per-modality evaluation — and
+        on compressed stores, where materialising (and caching) a float32
+        concatenation would silently undo the compression; scoring then
+        runs through the store's asymmetric per-modality kernels.
         """
+        if self.is_compressed:
+            return None
         w2 = self._effective_weights(query, weights)
         omegas = self._weights.omegas
         blocks: list[np.ndarray] = []
@@ -137,16 +184,38 @@ class JointSpace:
                 blocks.append((w2[i] / omegas[i]) * q.astype(np.float32))
         return np.concatenate(blocks).astype(np.float32)
 
+    def query_kernels(
+        self, query: MultiVector, weights: Weights | None = None
+    ) -> list[tuple[int, float, ModalityKernel]]:
+        """Per-modality asymmetric kernels for the active modalities.
+
+        One ``(modality, w2_i, kernel)`` triple per modality the query
+        carries with a positive effective weight.  Kernel construction
+        pays any per-query preprocessing (PQ ADC lookup tables,
+        scalar-quant rescale) once; a
+        :class:`~repro.index.scoring.Scorer` holds them for its whole
+        search.
+        """
+        w2 = self._effective_weights(query, weights)
+        store = self.store
+        return [
+            (i, float(w2[i]), store.query_kernel(i, q.astype(np.float32)))
+            for i, q in enumerate(query.vectors)
+            if q is not None and w2[i] > 0.0
+        ]
+
     def query_all(
         self, query: MultiVector, weights: Weights | None = None
     ) -> np.ndarray:
-        """Joint similarity of *query* against every object (brute force)."""
-        w2 = self._effective_weights(query, weights)
+        """Joint similarity of *query* against every object (brute force).
+
+        Scores through the store's asymmetric kernels: exact BLAS on the
+        dense backend (bit-identical to the historical matrix path),
+        uncompressed-query-vs-codes elsewhere.
+        """
         out = np.zeros(self.n, dtype=np.float64)
-        for i, (mat, q) in enumerate(zip(self._vectors.matrices, query.vectors)):
-            if q is None or w2[i] == 0.0:
-                continue
-            out += w2[i] * (mat @ q.astype(np.float32)).astype(np.float64)
+        for _, w2_i, kernel in self.query_kernels(query, weights):
+            out += w2_i * kernel.all().astype(np.float64)
         return out
 
     def query_ids(
@@ -158,17 +227,50 @@ class JointSpace:
     ) -> np.ndarray:
         """Joint similarity against the objects in *ids* (no pruning)."""
         ids = np.asarray(ids)
-        w2 = self._effective_weights(query, weights)
         out = np.zeros(ids.shape[0], dtype=np.float64)
-        active = 0
-        for i, (mat, q) in enumerate(zip(self._vectors.matrices, query.vectors)):
-            if q is None or w2[i] == 0.0:
-                continue
-            out += w2[i] * (mat[ids] @ q.astype(np.float32)).astype(np.float64)
-            active += 1
+        kernels = self.query_kernels(query, weights)
+        for _, w2_i, kernel in kernels:
+            out += w2_i * kernel.ids(ids).astype(np.float64)
         if stats is not None:
             stats.joint_evals += int(ids.shape[0])
-            stats.modality_evals += int(ids.shape[0]) * active
+            stats.modality_evals += int(ids.shape[0]) * len(kernels)
+        return out
+
+    def query_ids_exact(
+        self,
+        query: MultiVector,
+        ids: np.ndarray | None = None,
+        weights: Weights | None = None,
+        stats: SearchStats | None = None,
+    ) -> np.ndarray:
+        """Full-precision joint similarities (the rerank kernel).
+
+        Scores against the store's cold exact tier — the second stage of
+        the ``refine=`` pipeline re-scores the compressed search's top
+        survivors here.  On a dense store this equals :meth:`query_ids`;
+        on a compressed store built with ``keep_exact=False`` it falls
+        back to reconstructions (rerank becomes a no-op).
+        ``ids=None`` scores the whole corpus.
+        """
+        w2 = self._effective_weights(query, weights)
+        store = self.store
+        count = self.n if ids is None else int(np.asarray(ids).shape[0])
+        out = np.zeros(count, dtype=np.float64)
+        active = 0
+        for i, q in enumerate(query.vectors):
+            if q is None or w2[i] == 0.0:
+                continue
+            rows = (
+                store.exact_modality(i)
+                if ids is None
+                else store.exact_rows(i, np.asarray(ids))
+            )
+            out += w2[i] * (rows @ q.astype(np.float32)).astype(np.float64)
+            active += 1
+        if stats is not None:
+            stats.joint_evals += count
+            stats.modality_evals += count * active
+            stats.reranked += count
         return out
 
     def query_ids_stable(
@@ -189,15 +291,16 @@ class JointSpace:
         dimensionality — never on which other rows share the matrix.
         The segmented exact path uses it so results are bit-identical
         regardless of how the corpus is split into segments.
-        ``ids=None`` scores the whole corpus.
+        ``ids=None`` scores the whole corpus.  On compressed stores rows
+        are decoded (per call) before the float64 reduction, which keeps
+        the row-independence property over the reconstructed values.
         """
         w2 = self._effective_weights(query, weights)
         count = self.n if ids is None else int(np.asarray(ids).shape[0])
         out = np.zeros(count, dtype=np.float64)
         active = 0
-        if self._f64 is None:
-            self._f64 = [m.astype(np.float64) for m in self._vectors.matrices]
-        for i, (mat, q) in enumerate(zip(self._f64, query.vectors)):
+        mats = self._f64_matrices()
+        for i, (mat, q) in enumerate(zip(mats, query.vectors)):
             if q is None or w2[i] == 0.0:
                 continue
             rows = mat if ids is None else mat[np.asarray(ids)]
@@ -209,6 +312,25 @@ class JointSpace:
             stats.modality_evals += count * active
         return out
 
+    def _f64_matrices(self) -> list[np.ndarray]:
+        """Float64 modality matrices for the deterministic scan.
+
+        Cached only while the copies fit under the
+        ``REPRO_F64_CACHE_MB`` cap — the cache doubles corpus memory, so
+        oversized corpora (and decoded compressed stores, which would
+        additionally materialise their reconstruction) recompute per
+        call instead of silently pinning the bytes.
+        """
+        if self._f64 is not None:
+            return self._f64
+        mats = [m.astype(np.float64) for m in self._vectors.matrices]
+        if (
+            not self.is_compressed
+            and sum(m.nbytes for m in mats) <= _f64_cache_limit_bytes()
+        ):
+            self._f64 = mats
+        return mats
+
     def query_ids_early_stop(
         self,
         query: MultiVector,
@@ -216,6 +338,7 @@ class JointSpace:
         threshold: float,
         weights: Weights | None = None,
         stats: SearchStats | None = None,
+        kernels: dict[int, ModalityKernel] | None = None,
     ) -> tuple[np.ndarray, np.ndarray]:
         """Lemma-4 pruned similarity evaluation.
 
@@ -224,9 +347,15 @@ class JointSpace:
         the object was pruned because its upper bound fell to ``threshold``
         or below (so its exact similarity is also ≤ the threshold, and
         ``sims[j]`` holds the bound at pruning time).
+
+        ``kernels`` optionally supplies prebuilt per-modality scoring
+        kernels (keyed by modality) so a caller evaluating many frontier
+        waves for one query — the graph searcher — pays per-query kernel
+        preprocessing (PQ ADC tables) once instead of per wave.
         """
         ids = np.asarray(ids)
         w2 = self._effective_weights(query, weights)
+        store = self.store
         active = [
             i
             for i, q in enumerate(query.vectors)
@@ -242,10 +371,17 @@ class JointSpace:
         if stats is not None:
             stats.joint_evals += int(ids.shape[0])
         for step, i in enumerate(active):
-            q = query.vectors[i].astype(np.float32)
-            rows = self._vectors.matrices[i][ids[alive]]
-            # ‖q−u‖² = 2 − 2·(q·u) for unit vectors.
-            d2 = 2.0 - 2.0 * (rows @ q).astype(np.float64)
+            kernel = kernels.get(i) if kernels is not None else None
+            if kernel is None:
+                kernel = store.query_kernel(
+                    i, query.vectors[i].astype(np.float32)
+                )
+            # ‖q−u‖² = 2 − 2·(q·u) for unit vectors.  On compressed rows
+            # the identity Σ wᵢ²·(1 − ½d²ᵢ) = Σ wᵢ²·IPᵢ still holds
+            # exactly; only the *bound* direction inherits the (tiny)
+            # reconstruction error, so pruning is lossless w.r.t. the
+            # store's own scores up to that error.
+            d2 = 2.0 - 2.0 * kernel.ids(ids[alive]).astype(np.float64)
             bound[alive] -= 0.5 * w2[i] * d2
             if stats is not None:
                 stats.modality_evals += int(alive.shape[0])

@@ -7,11 +7,38 @@ from pathlib import Path
 
 import numpy as np
 
+from repro.core.multivector import MultiVectorSet
 from repro.core.space import JointSpace
+from repro.store import make_store
 from repro.utils.io import load_arrays, pack_adjacency, save_arrays, unpack_adjacency
 from repro.utils.validation import require
 
-__all__ = ["GraphIndex"]
+__all__ = ["GraphIndex", "reseat_on_store"]
+
+
+def reseat_on_store(
+    index: "GraphIndex", compression: str, store_options: dict | None = None
+) -> "GraphIndex":
+    """Swap a built graph's serving representation for a compressed store.
+
+    The routing graph is untouched; the space is rebound to a
+    :func:`~repro.store.make_store` encoding of the current vectors'
+    exact tier, under the same weights.  ``compression="none"`` is a
+    no-op.  The single seam every layer (framework build, segment
+    seal/compact, benchmarks) uses to compress a finished index.
+    """
+    if compression == "none":
+        return index
+    vectors = index.space.vectors
+    store = make_store(
+        compression,
+        [vectors.exact_modality(i) for i in range(vectors.num_modalities)],
+        **(store_options or {}),
+    )
+    index.space = JointSpace(
+        MultiVectorSet.from_store(store), index.space.weights
+    )
+    return index
 
 
 @dataclass
@@ -152,6 +179,13 @@ class GraphIndex:
                     or (
                         isinstance(v, (list, tuple))
                         and all(isinstance(x, (str, int, float, bool)) for x in v)
+                    )
+                    or (
+                        isinstance(v, dict)
+                        and all(
+                            isinstance(x, (str, int, float, bool))
+                            for x in v.values()
+                        )
                     )
                 },
             },

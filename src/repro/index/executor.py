@@ -95,8 +95,10 @@ class BatchExecutor:
         queries = list(queries)
         seeds = spawn_seed_sequences(self.rng, len(queries))
         # Touch the lazy concatenated matrix once so pool workers never
-        # race to materialise it.
-        index.space.concatenated
+        # race to materialise it (compressed stores have none — their
+        # per-query kernels are thread-local by construction).
+        if not index.space.is_compressed:
+            index.space.concatenated
 
         def one(task: tuple[MultiVector, np.random.SeedSequence]) -> SearchResult:
             query, seed = task
@@ -130,6 +132,7 @@ class BatchExecutor:
         early_termination: bool = False,
         engine: str = "heap",
         exact: bool = False,
+        refine: int | None = None,
         **search_kwargs,
     ) -> BatchResult:
         """Batch over a :class:`~repro.index.segments.SegmentedIndex`.
@@ -138,11 +141,14 @@ class BatchExecutor:
         :meth:`run_graph` — each query gets its own SeedSequence child,
         from which the segmented index spawns per-segment grandchildren,
         so results stay bit-identical for any ``n_jobs``.  The exact path
-        runs one GEMM wave per segment and merges per query.
+        runs one GEMM wave per segment and merges per query.  ``refine``
+        enables the two-stage full-precision rerank on either path.
         """
         queries = list(queries)
         if exact:
-            results = segmented.exact_batch(queries, k, weights=weights)
+            results = segmented.exact_batch(
+                queries, k, weights=weights, refine=refine
+            )
             return BatchResult(
                 results, SearchStats.aggregate(r.stats for r in results)
             )
@@ -161,6 +167,7 @@ class BatchExecutor:
                 early_termination=early_termination,
                 engine=engine,
                 rng=seed,
+                refine=refine,
                 **search_kwargs,
             )
 
@@ -178,9 +185,12 @@ class BatchExecutor:
         queries: list[MultiVector],
         k: int,
         weights: Weights | None = None,
+        refine: int | None = None,
     ) -> BatchResult:
         """Single-GEMM exact batch over a :class:`FlatIndex`."""
-        results = flat.batch_search(list(queries), k, weights=weights)
+        results = flat.batch_search(
+            list(queries), k, weights=weights, refine=refine
+        )
         return BatchResult(
             results, SearchStats.aggregate(r.stats for r in results)
         )

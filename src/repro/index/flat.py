@@ -20,8 +20,9 @@ from repro.core.multivector import MultiVector
 from repro.core.results import SearchResult
 from repro.core.space import JointSpace
 from repro.core.weights import Weights
-from repro.index.scoring import Scorer, batch_score_all
+from repro.index.scoring import Scorer, batch_score_all, rerank_exact
 from repro.utils.topk import top_k_sorted
+from repro.utils.validation import require
 
 __all__ = ["FlatIndex"]
 
@@ -81,16 +82,45 @@ class FlatIndex:
         out_ids = local if self.ids is None else self.ids[local]
         return SearchResult(ids=out_ids, similarities=sims[local], stats=stats)
 
+    def _refined(
+        self,
+        query: MultiVector,
+        sims: np.ndarray,
+        k: int,
+        refine: int,
+        weights: Weights | None,
+        stats,
+    ) -> SearchResult:
+        """Two-stage rerank: top ``refine·k`` of the scan, re-scored at
+        full precision against the store's exact tier, cut to *k*."""
+        shortlist = self._rank(sims, refine * k)
+        local, exact = rerank_exact(
+            self.space, query, shortlist, k, weights=weights, stats=stats
+        )
+        out_ids = local if self.ids is None else self.ids[local]
+        return SearchResult(ids=out_ids, similarities=exact, stats=stats)
+
     def search(
         self,
         query: MultiVector,
         k: int,
         weights: Weights | None = None,
+        refine: int | None = None,
     ) -> SearchResult:
-        """Exact top-*k* by full scan."""
+        """Exact top-*k* by full scan.
+
+        On a compressed space the scan scores the hot codes; pass
+        ``refine=r`` to re-score the top ``r·k`` survivors at full
+        precision (two-stage rerank) before cutting to *k*.
+        """
+        require(refine is None or refine >= 1, "refine must be >= 1")
         scorer = Scorer(self.space, query, weights=weights,
                         deterministic=self.deterministic)
         sims = scorer.score_all()
+        if refine is not None:
+            return self._refined(
+                query, sims, k, refine, weights, scorer.stats
+            )
         local = self._rank(sims, k)
         return self._result(local, sims, scorer.stats)
 
@@ -99,6 +129,7 @@ class FlatIndex:
         queries: list[MultiVector],
         k: int,
         weights: Weights | None = None,
+        refine: int | None = None,
     ) -> list[SearchResult]:
         """Exact top-*k* for a whole batch — one GEMM for the wave.
 
@@ -108,12 +139,19 @@ class FlatIndex:
         scan's per-modality float64 accumulation) and can diverge by
         ~1e-7; objects whose joint similarities are closer than that may
         swap ranks between the two paths.  See :func:`batch_score_all`.
+        ``refine`` applies the same two-stage rerank per query.
         """
+        require(refine is None or refine >= 1, "refine must be >= 1")
         all_sims, all_stats = batch_score_all(
             self.space, queries, weights=weights
         )
         out = []
-        for sims, stats in zip(all_sims, all_stats):
+        for query, sims, stats in zip(queries, all_sims, all_stats):
+            if refine is not None:
+                out.append(
+                    self._refined(query, sims, k, refine, weights, stats)
+                )
+                continue
             local = self._rank(sims, k)
             out.append(self._result(local, sims, stats))
         return out

@@ -11,6 +11,14 @@ scoring branches.  This module is now their single home:
 * **Per-modality fallback** — when the fast path is impossible (the query
   needs a modality whose index weight is zero), similarities accumulate
   modality by modality via :meth:`JointSpace.query_ids`.
+* **Asymmetric store kernels** — on a compressed
+  :class:`~repro.store.VectorStore` the concat path is unavailable by
+  design (materialising it would undo the compression); the scorer holds
+  one per-modality kernel per query, so PQ lookup tables and
+  scalar-quant rescales are built once and reused across every frontier
+  wave.  :func:`rerank_exact` is the second stage of the ``refine=``
+  pipeline: full-precision re-scoring of the compressed search's top
+  survivors against the store's cold exact tier.
 * **Lemma-4 pruned evaluation** — with ``early_termination`` the
   incremental multi-vector computation drops an object the moment its
   partial-IP upper bound falls to the pruning threshold
@@ -39,7 +47,7 @@ from repro.core.results import SearchStats
 from repro.core.space import JointSpace
 from repro.core.weights import Weights
 
-__all__ = ["MatrixScorer", "Scorer", "batch_score_all"]
+__all__ = ["MatrixScorer", "Scorer", "batch_score_all", "rerank_exact"]
 
 
 class MatrixScorer:
@@ -108,6 +116,17 @@ class Scorer:
         )
         self._concat = space.concatenated if self._qcat is not None else None
         self._active = sum(1 for q in query.vectors if q is not None)
+        # Compressed store, no concat path: hold the per-modality
+        # asymmetric kernels for the whole search, so per-query
+        # preprocessing (PQ ADC tables, scalar-quant rescale) is paid
+        # once, not per frontier wave.  The Lemma-4 path reuses them via
+        # the ``kernels=`` hook; the deterministic scan never touches
+        # them (it scores through the float64 row-stable route).
+        self._kernels = (
+            space.query_kernels(query, weights)
+            if space.is_compressed and not self.deterministic
+            else None
+        )
 
     @property
     def has_fast_path(self) -> bool:
@@ -123,12 +142,24 @@ class Scorer:
     # Scoring routes
     # ------------------------------------------------------------------
     def score_ids(self, ids: np.ndarray) -> np.ndarray:
-        """Exact joint similarities of the objects in *ids* (no pruning)."""
+        """Joint similarities of the objects in *ids* (no pruning).
+
+        Exact on dense stores; the store's asymmetric approximation on
+        compressed ones (identical values to :meth:`JointSpace.query_ids`
+        on the same store).
+        """
         if self._qcat is not None:
             sims = (self._concat[ids] @ self._qcat).astype(np.float64)
             self.stats.joint_evals += int(ids.size)
             self.stats.modality_evals += int(ids.size) * self._active
             return sims
+        if self._kernels is not None:
+            out = np.zeros(ids.shape[0], dtype=np.float64)
+            for _, w2_i, kernel in self._kernels:
+                out += w2_i * kernel.ids(ids).astype(np.float64)
+            self.stats.joint_evals += int(ids.size)
+            self.stats.modality_evals += int(ids.size) * len(self._kernels)
+            return out
         return self.space.query_ids(
             self.query, ids, weights=self.weights, stats=self.stats
         )
@@ -147,6 +178,11 @@ class Scorer:
             sims, exact = self.space.query_ids_early_stop(
                 self.query, ids, threshold, weights=self.weights,
                 stats=self.stats,
+                kernels=(
+                    {i: kern for i, _, kern in self._kernels}
+                    if self._kernels is not None
+                    else None
+                ),
             )
             return sims, exact & (sims > threshold)
         sims = self.score_ids(ids)
@@ -157,6 +193,10 @@ class Scorer:
         n = self.space.n
         if self.deterministic:
             sims = self.space.query_ids_stable(self.query, weights=self.weights)
+        elif self._kernels is not None:
+            sims = np.zeros(n, dtype=np.float64)
+            for _, w2_i, kernel in self._kernels:
+                sims += w2_i * kernel.all().astype(np.float64)
         else:
             sims = self.space.query_all(self.query, weights=self.weights)
         self.stats.joint_evals += n
@@ -190,6 +230,9 @@ def batch_score_all(
     sims_out: list[np.ndarray | None] = [None] * n
     stats_out: list[SearchStats] = [SearchStats() for _ in range(n)]
 
+    if space.is_compressed:
+        return _batch_score_compressed(space, queries, weights, stats_out)
+
     stacked: list[np.ndarray] = []
     fast_rows: list[int] = []
     for row, query in enumerate(queries):
@@ -215,3 +258,75 @@ def batch_score_all(
             stats.modality_evals += space.n * active
             stats.visited_vertices += space.n
     return sims_out, stats_out
+
+
+def _batch_score_compressed(
+    space: JointSpace,
+    queries: list[MultiVector],
+    weights: Weights | None,
+    stats_out: list[SearchStats],
+) -> tuple[list[np.ndarray], list[SearchStats]]:
+    """Batched asymmetric scan: one store GEMM/ADC wave per modality.
+
+    The compressed counterpart of the stacked-concat GEMM: for each
+    modality, every query carrying it contributes one column to a stacked
+    query matrix scored by :meth:`~repro.store.VectorStore.batch_scores`
+    (dense-ish backends run one GEMM; PQ gathers one LUT block).  The
+    per-query float64 weighting happens outside the float32 wave — same
+    ~1e-7 numerics caveat as the dense batch path.
+    """
+    n_obj = space.n
+    store = space.store
+    sims_out: list[np.ndarray] = [
+        np.zeros(n_obj, dtype=np.float64) for _ in queries
+    ]
+    w2_rows = [
+        space.effective_squared_weights(q, weights) for q in queries
+    ]
+    for i in range(space.num_modalities):
+        cols = [
+            row
+            for row, q in enumerate(queries)
+            if q.vectors[i] is not None and w2_rows[row][i] > 0.0
+        ]
+        if not cols:
+            continue
+        stacked = np.stack(
+            [queries[row].vectors[i].astype(np.float32) for row in cols]
+        )
+        block = store.batch_scores(i, stacked)  # (n_obj, b_i)
+        for col, row in enumerate(cols):
+            sims_out[row] += w2_rows[row][i] * block[:, col].astype(np.float64)
+    for row, query in enumerate(queries):
+        stats = stats_out[row]
+        active = sum(1 for q in query.vectors if q is not None)
+        stats.joint_evals += n_obj
+        stats.modality_evals += n_obj * active
+        stats.visited_vertices += n_obj
+    return sims_out, stats_out
+
+
+def rerank_exact(
+    space: JointSpace,
+    query: MultiVector,
+    ids: np.ndarray,
+    k: int,
+    weights: Weights | None = None,
+    stats: SearchStats | None = None,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Stage two of the ``refine=`` pipeline: full-precision top-*k*.
+
+    Re-scores the candidate *ids* (local row numbers) against the
+    store's cold exact tier and returns the best *k* ordered by
+    ``(-similarity, id)``.  With a dense store this is an exact
+    re-evaluation (same values, fresh float64 accumulation); with a
+    compressed store it removes the quantisation error from the final
+    ranking — recall can only improve over returning the approximate
+    order, since the candidate set is unchanged.
+    """
+    ids = np.asarray(ids, dtype=np.int64)
+    if ids.size == 0:
+        return ids, np.zeros(0, dtype=np.float64)
+    sims = space.query_ids_exact(query, ids, weights=weights, stats=stats)
+    order = np.lexsort((ids, -sims))[:k]
+    return ids[order], sims[order]

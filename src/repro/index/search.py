@@ -39,7 +39,7 @@ from repro.core.multivector import MultiVector
 from repro.core.results import SearchResult
 from repro.core.weights import Weights
 from repro.index.base import GraphIndex
-from repro.index.scoring import MatrixScorer, Scorer
+from repro.index.scoring import MatrixScorer, Scorer, rerank_exact
 from repro.utils.rng import make_rng
 from repro.utils.validation import require
 
@@ -56,6 +56,7 @@ def joint_search(
     engine: str = "heap",
     rng: np.random.Generator | int | None = 0,
     check_monotone: bool = False,
+    refine: int | None = None,
 ) -> SearchResult:
     """Approximate top-*k* joint search (Algorithm 2).
 
@@ -66,17 +67,34 @@ def joint_search(
     the *wall-clock* win of the optimisation is muted by interpreter
     overhead, so it is off by default and its effect is reported in
     saved modality evaluations (see benchmarks/bench_fig10c).
+
+    ``refine=r`` enables the two-stage rerank pipeline (for compressed
+    vector stores): the routing phase collects the top ``r·k``
+    candidates by hot-tier (possibly quantised) similarity, then
+    re-scores exactly those survivors at full precision against the
+    store's exact tier and returns the best *k*.  ``l`` is raised to at
+    least ``r·k`` so the result set can hold the candidates.
     """
     require(k >= 1, "k must be positive")
     require(l >= k, f"result set size l={l} must be at least k={k}")
     require(engine in ("heap", "paper"), "engine must be 'heap' or 'paper'")
-    if engine == "heap":
-        return _heap_search(
-            index, query, k, l, weights, early_termination, rng, check_monotone
-        )
-    return _paper_search(
-        index, query, k, l, weights, early_termination, rng, check_monotone
+    require(refine is None or refine >= 1, "refine must be >= 1")
+    k_inner, l_inner = k, l
+    if refine is not None:
+        k_inner = k * refine
+        l_inner = max(l, k_inner)
+    search_fn = _heap_search if engine == "heap" else _paper_search
+    result = search_fn(
+        index, query, k_inner, l_inner, weights, early_termination, rng,
+        check_monotone,
     )
+    if refine is None:
+        return result
+    ids, sims = rerank_exact(
+        index.space, query, result.ids, k, weights=weights,
+        stats=result.stats,
+    )
+    return SearchResult(ids=ids, similarities=sims, stats=result.stats)
 
 
 def _init_result_set(

@@ -18,7 +18,13 @@ segmented index, the architecture streaming vector stores use:
   into an immutable graph at a size threshold, and the whole index is
   rebuilt over the surviving objects — the §IX "periodic reconstruction"
   made automatic — when the tombstone fraction or the segment count
-  crosses configurable ratios.
+  crosses configurable ratios;
+* a **compressed serving tier**: with ``compression=`` every sealed
+  segment's vectors live in a :mod:`repro.store` backend (float16 /
+  int8-SQ / PQ) encoded at seal/compact time, while the delta stays
+  dense float32 for incremental insertion; manifests persist store kind
+  + codebooks per segment (``format_version`` 2) and compaction rebuilds
+  from the exact cold tier so quantisation error never accumulates.
 
 Cross-segment search asks every segment for its top-``l`` candidates
 through the unified scorer stack (:func:`~repro.index.search.joint_search`
@@ -46,19 +52,31 @@ from repro.core.multivector import MultiVector, MultiVectorSet
 from repro.core.results import SearchResult, SearchStats
 from repro.core.space import JointSpace
 from repro.core.weights import Weights
-from repro.index.base import GraphIndex
+from repro.index.base import GraphIndex, reseat_on_store
 from repro.index.flat import FlatIndex
 from repro.index.graphs.hnsw import HNSWBuilder, HNSWGraph
 from repro.index.pipeline import FusedIndexBuilder
+from repro.index.scoring import rerank_exact
 from repro.index.search import joint_search
+from repro.store import STORE_KINDS, store_from_arrays
 from repro.utils.io import load_arrays, pack_adjacency, save_arrays
 from repro.utils.rng import spawn, spawn_seed_sequences
 from repro.utils.validation import require
 
-__all__ = ["SegmentPolicy", "Segment", "SegmentedIndex", "MANIFEST_NAME"]
+__all__ = [
+    "SegmentPolicy",
+    "Segment",
+    "SegmentedIndex",
+    "MANIFEST_NAME",
+    "FORMAT_VERSION",
+]
 
 MANIFEST_NAME = "manifest.json"
-_FORMAT = "must-segments-v1"
+#: current manifest format; v1 archives (pre-store, implicitly dense
+#: float32) are still readable.
+_FORMAT_V1 = "must-segments-v1"
+_FORMAT = "must-segments-v2"
+FORMAT_VERSION = 2
 
 
 @dataclass
@@ -243,7 +261,14 @@ class SegmentedIndex:
         policy: SegmentPolicy | None = None,
         hnsw: HNSWBuilder | None = None,
         seed: int = 0,
+        compression: str = "none",
+        store_options: dict | None = None,
     ):
+        require(
+            compression in STORE_KINDS,
+            f"unknown compression {compression!r}; supported: "
+            f"{sorted(STORE_KINDS)}",
+        )
         self.weights = weights
         self.builder = builder if builder is not None else FusedIndexBuilder()
         self.policy = policy if policy is not None else SegmentPolicy()
@@ -251,6 +276,12 @@ class SegmentedIndex:
             m=8, ef_construction=48, name="delta"
         )
         self.seed = int(seed)
+        #: vector-store backend for sealed segments; the mutable delta
+        #: always stays dense float32 (incremental insertion needs the
+        #: exact vectors), compression is applied at seal/compact time —
+        #: the LSM moment the slice becomes immutable.
+        self.compression = compression
+        self.store_options = dict(store_options or {})
         self.sealed: list[Segment] = []
         self.delta = _DeltaSegment(weights)
         self._next_ext = 0
@@ -268,15 +299,34 @@ class SegmentedIndex:
         policy: SegmentPolicy | None = None,
         hnsw: HNSWBuilder | None = None,
         seed: int = 0,
+        compression: str = "none",
+        store_options: dict | None = None,
     ) -> "SegmentedIndex":
-        """Wrap a built single-graph index as the first sealed segment."""
+        """Wrap a built single-graph index as the first sealed segment.
+
+        The index's space is taken as-is — if its vectors already sit in
+        a compressed store (``MUST.build`` with ``compression=``), the
+        segment serves from those codes.
+        """
         seg = cls(index.space.weights, builder=builder, policy=policy,
-                  hnsw=hnsw, seed=seed)
+                  hnsw=hnsw, seed=seed, compression=compression,
+                  store_options=store_options)
         seg.sealed.append(
             Segment(index, np.arange(index.n, dtype=np.int64))
         )
         seg._next_ext = index.n
         return seg
+
+    def _compress_sealed(self, index: GraphIndex) -> GraphIndex:
+        """Re-seat a freshly built (dense) segment graph on the
+        configured store — called at seal/compact, after seed fixing.
+
+        The graph was built over full-precision vectors; only the
+        serving representation changes.  The original float32 matrices
+        become the store's cold exact tier (rerank + future compaction),
+        unless ``store_options['keep_exact']`` says otherwise.
+        """
+        return reseat_on_store(index, self.compression, self.store_options)
 
     # ------------------------------------------------------------------
     # Introspection
@@ -426,6 +476,7 @@ class SegmentedIndex:
         if bool(self.delta.deleted.any()):
             index.deleted = self.delta.deleted.copy()
             self._reseat_seed(index)
+        index = self._compress_sealed(index)
         seg = Segment(index, self.delta.ext_ids.copy())
         self.sealed.append(seg)
         self.delta.reset()
@@ -453,14 +504,18 @@ class SegmentedIndex:
                 continue
             ext_parts.append(seg.ext_ids[alive])
             for i in range(num_modalities):
-                mat_parts[i].append(seg.space.vectors.modality(i)[alive])
+                # Rebuild from the exact cold tier, not the hot codes —
+                # compaction must never accumulate quantisation error.
+                mat_parts[i].append(
+                    seg.space.vectors.exact_modality(i)[alive]
+                )
         ext = np.concatenate(ext_parts)
         order = np.argsort(ext)
         objects = MultiVectorSet(
             [np.concatenate(parts)[order] for parts in mat_parts]
         )
         space = JointSpace(objects, self.weights)
-        index = self.builder.build(space)
+        index = self._compress_sealed(self.builder.build(space))
         self.sealed = [Segment(index, ext[order])]
         self.delta.reset()
         self.num_compactions += 1
@@ -521,11 +576,19 @@ class SegmentedIndex:
         early_termination: bool = False,
         engine: str = "heap",
         rng: np.random.Generator | np.random.SeedSequence | int | None = 0,
+        refine: int | None = None,
         **search_kwargs,
     ) -> SearchResult:
         """Cross-segment graph search: per-segment top-``l`` candidates
         through :func:`joint_search`, merged by ``(similarity, id)``.
-        Result ids are external ids."""
+        Result ids are external ids.
+
+        ``refine=r`` runs the two-stage rerank per segment: each
+        segment's top ``min(r·k, |candidates|)`` hot-tier survivors are
+        re-scored at full precision before the cross-segment merge, so
+        the merged ranking is by exact similarity.
+        """
+        require(refine is None or refine >= 1, "refine must be >= 1")
         segs = self.searchable_segments()
         rngs = self._segment_rngs(rng, len(segs))
         parts: list[tuple[np.ndarray, np.ndarray]] = []
@@ -545,7 +608,15 @@ class SegmentedIndex:
                 **search_kwargs,
             )
             res.stats.segments_probed = 1
-            parts.append((seg.ext_ids[res.ids], res.similarities))
+            if refine is not None:
+                keep = min(refine * k, res.ids.size)
+                local, exact = rerank_exact(
+                    seg.space, query, res.ids[:keep], keep,
+                    weights=weights, stats=res.stats,
+                )
+                parts.append((seg.ext_ids[local], exact))
+            else:
+                parts.append((seg.ext_ids[res.ids], res.similarities))
             stats_parts.append(res.stats)
         ids, sims = _merge_candidates(parts, k)
         return SearchResult(ids, sims, SearchStats.aggregate(stats_parts))
@@ -555,6 +626,7 @@ class SegmentedIndex:
         query: MultiVector,
         k: int = 10,
         weights: Weights | None = None,
+        refine: int | None = None,
     ) -> SearchResult:
         """Exact cross-segment top-*k* (the MUST-- path over segments).
 
@@ -562,7 +634,9 @@ class SegmentedIndex:
         and similarities are bit-identical to one brute-force scan over
         the concatenation of all live objects — regardless of the segment
         layout.  (With exactly tied similarities straddling the cut-off
-        the tie is broken by external id.)
+        the tie is broken by external id.)  On compressed segments the
+        scan covers the *decoded* hot tier; ``refine=r`` re-scores each
+        segment's top ``r·k`` against the exact cold tier.
         """
         parts: list[tuple[np.ndarray, np.ndarray]] = []
         stats_parts: list[SearchStats] = []
@@ -575,7 +649,7 @@ class SegmentedIndex:
                 ids=seg.ext_ids,
                 deterministic=True,
             )
-            res = flat.search(query, k, weights=weights)
+            res = flat.search(query, k, weights=weights, refine=refine)
             res.stats.segments_probed = 1
             parts.append((res.ids, res.similarities))
             stats_parts.append(res.stats)
@@ -587,13 +661,15 @@ class SegmentedIndex:
         queries: list[MultiVector],
         k: int,
         weights: Weights | None = None,
+        refine: int | None = None,
     ) -> list[SearchResult]:
         """Exact batch: one GEMM wave per segment, merged per query.
 
         Throughput path — same numerics caveat as
         :meth:`FlatIndex.batch_search`: the stacked GEMM can diverge from
         the single-query kernel by ~1e-7, so ranks (not bits) are the
-        contract here.
+        contract here.  ``refine`` reranks per segment as in
+        :meth:`exact_search`.
         """
         queries = list(queries)
         per_query: list[list[tuple[np.ndarray, np.ndarray]]] = [
@@ -606,7 +682,9 @@ class SegmentedIndex:
             flat = FlatIndex(
                 seg.space, deleted=seg.index.deleted, ids=seg.ext_ids
             )
-            for j, res in enumerate(flat.batch_search(queries, k, weights)):
+            for j, res in enumerate(
+                flat.batch_search(queries, k, weights, refine=refine)
+            ):
                 res.stats.segments_probed = 1
                 per_query[j].append((res.ids, res.similarities))
                 per_stats[j].append(res.stats)
@@ -621,9 +699,12 @@ class SegmentedIndex:
     def prepare_search(self) -> None:
         """Materialise every lazy artifact (delta graph, per-segment
         concatenated matrices) so thread-pool workers never race to
-        build them."""
+        build them.  Compressed segments have no concat matrix to build
+        — materialising one would undo the compression — and their
+        per-query kernels are thread-local by construction."""
         for seg in self.searchable_segments():
-            seg.space.concatenated
+            if not seg.space.is_compressed:
+                seg.space.concatenated
 
     # ------------------------------------------------------------------
     # Persistence
@@ -649,6 +730,13 @@ class SegmentedIndex:
             )
         manifest = {
             "format": _FORMAT,
+            "format_version": FORMAT_VERSION,
+            "compression": self.compression,
+            "store_options": {
+                k: v
+                for k, v in self.store_options.items()
+                if isinstance(v, (str, int, float, bool))
+            },
             "squared_weights": [float(x) for x in self.weights.squared],
             "next_ext_id": int(self._next_ext),
             "seed": self.seed,
@@ -676,13 +764,16 @@ class SegmentedIndex:
         arrays = {"flat": flat, "offsets": offsets, "ext_ids": ext_ids}
         if index.deleted is not None:
             arrays["deleted"] = index.deleted
-        for i in range(index.space.num_modalities):
-            arrays[f"mod_{i}"] = index.space.vectors.modality(i)
+        store = index.space.vectors.store
+        arrays.update(store.to_arrays())
         metadata = {
             "name": index.name,
             "seed_vertex": int(index.seed_vertex),
             "build_seconds": float(index.build_seconds),
             "num_modalities": index.space.num_modalities,
+            # kind + dtype + codebook shape info; validated on load so an
+            # unknown store fails fast with an actionable error.
+            "store": store.store_meta(),
         }
         return metadata, arrays
 
@@ -726,9 +817,16 @@ class SegmentedIndex:
                 f"index directory"
             )
         manifest = json.loads(manifest_file.read_text())
-        require(manifest.get("format") == _FORMAT,
-                f"unsupported segment manifest format "
-                f"{manifest.get('format')!r}")
+        fmt = manifest.get("format")
+        if fmt not in (_FORMAT_V1, _FORMAT):
+            raise ValueError(
+                f"unsupported segment manifest format {fmt!r} "
+                f"(format_version {manifest.get('format_version')!r}) at "
+                f"{manifest_file} — this build reads "
+                f"{_FORMAT_V1!r}/{_FORMAT!r} (format_version ≤ "
+                f"{FORMAT_VERSION}); the index was written by a newer "
+                f"library version, upgrade it or re-save the index"
+            )
         weights = Weights(manifest["squared_weights"])
         hnsw_cfg = manifest["hnsw"]
         seg_index = cls(
@@ -742,6 +840,8 @@ class SegmentedIndex:
                 name=hnsw_cfg.get("name", "delta"),
             ),
             seed=int(manifest["seed"]),
+            compression=manifest.get("compression", "none"),
+            store_options=manifest.get("store_options"),
         )
         seg_index._next_ext = int(manifest["next_ext_id"])
         counters = manifest.get("counters", {})
@@ -756,19 +856,37 @@ class SegmentedIndex:
                     f"directory is incomplete"
                 )
             metadata, arrays = load_arrays(file)
-            mats = [
-                arrays[f"mod_{i}"]
-                for i in range(int(metadata["num_modalities"]))
-            ]
-            space = JointSpace(MultiVectorSet(mats), weights)
+            vectors = cls._load_vectors(metadata, arrays)
+            space = JointSpace(vectors, weights)
             if entry["kind"] == "sealed":
                 index = GraphIndex.from_arrays(metadata, arrays, space)
                 seg_index.sealed.append(
                     Segment(index, arrays["ext_ids"].astype(np.int64))
                 )
             else:
-                seg_index._load_delta(metadata, arrays, mats)
+                require(
+                    not vectors.is_compressed,
+                    "delta segment must be stored dense — the archive is "
+                    "corrupt or from an incompatible writer",
+                )
+                seg_index._load_delta(metadata, arrays, list(vectors.matrices))
         return seg_index
+
+    @staticmethod
+    def _load_vectors(metadata: dict, arrays: dict) -> MultiVectorSet:
+        """Segment vectors from an archive: store-aware (v2) or the v1
+        dense ``mod_{i}`` layout.  Unknown store kinds/dtypes raise the
+        actionable error from :func:`~repro.store.store_from_arrays`."""
+        store_meta = metadata.get("store")
+        if store_meta is not None:
+            return MultiVectorSet.from_store(
+                store_from_arrays(store_meta, arrays)
+            )
+        mats = [
+            arrays[f"mod_{i}"]
+            for i in range(int(metadata["num_modalities"]))
+        ]
+        return MultiVectorSet(mats)
 
     def _load_delta(
         self, metadata: dict, arrays: dict, mats: list[np.ndarray]

@@ -1,0 +1,235 @@
+"""Pluggable compressed vector-store layer — the backing seam of
+:class:`~repro.core.multivector.MultiVectorSet`.
+
+At production scale the corpus no longer fits hot in RAM as float32 and
+memory bandwidth — not FLOPs — bounds QPS.  A :class:`VectorStore` owns
+the **hot** per-modality representation every scan and frontier wave
+reads (float32, float16, int8 scalar-quantised codes, or PQ codes) and
+exposes **asymmetric distance kernels**: the query stays full-precision
+float32 while the corpus side is decoded implicitly inside the kernel
+(affine rescale for scalar quantisation, ADC lookup tables for PQ).
+
+Two-tier layout (the DiskANN serving model): compressed codes are the
+*hot* tier that every traversal touches; the original float32 vectors
+are an optional *cold* tier — conceptually disk/secondary storage —
+consulted only by the two-stage rerank pipeline (``search(...,
+refine=r)``) for the handful of survivors per query, and by compaction
+so rebuilt segments never accumulate quantisation error.
+:meth:`VectorStore.hot_bytes` is therefore the resident-memory figure
+benchmarks report.
+
+Backends register themselves in :data:`STORE_KINDS`; the segment
+manifest persists ``kind`` + ``dtype`` per segment and
+:func:`store_from_arrays` refuses unknown ones with an actionable error
+instead of failing deep inside ``.npz`` parsing.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Sequence
+
+import numpy as np
+
+from repro.utils.validation import require
+
+__all__ = [
+    "ModalityKernel",
+    "VectorStore",
+    "STORE_KINDS",
+    "register_store",
+    "make_store",
+    "store_from_arrays",
+]
+
+
+class ModalityKernel(abc.ABC):
+    """Asymmetric scoring kernel: one float32 query vs one hot modality.
+
+    Built once per (query, modality) — :class:`~repro.index.scoring.Scorer`
+    holds its kernels for the whole search, so per-query preprocessing
+    (the PQ ADC lookup table, the scalar-quant affine rescale) is paid
+    once, not per frontier wave.
+    """
+
+    @abc.abstractmethod
+    def all(self) -> np.ndarray:
+        """Inner products of the query against every row, shape ``(n,)``."""
+
+    @abc.abstractmethod
+    def ids(self, ids: np.ndarray) -> np.ndarray:
+        """Inner products against the rows in *ids* only."""
+
+
+class VectorStore(abc.ABC):
+    """Per-modality column store behind a :class:`MultiVectorSet`.
+
+    Subclasses own the hot representation; the interface keeps every
+    consumer (scorers, graph search, segment persistence, compaction)
+    representation-agnostic.
+    """
+
+    #: registry key, also persisted in segment manifests.
+    kind: str = "abstract"
+    #: storage dtype of the hot tier, persisted for format validation.
+    dtype: str = "abstract"
+
+    # ------------------------------------------------------------------
+    # Shape
+    # ------------------------------------------------------------------
+    @property
+    @abc.abstractmethod
+    def n(self) -> int:
+        """Number of objects."""
+
+    @property
+    @abc.abstractmethod
+    def dims(self) -> tuple[int, ...]:
+        """Per-modality vector dimensionality."""
+
+    @property
+    def num_modalities(self) -> int:
+        return len(self.dims)
+
+    # ------------------------------------------------------------------
+    # Decoding (reconstruction) — cold paths
+    # ------------------------------------------------------------------
+    @abc.abstractmethod
+    def modality(self, i: int) -> np.ndarray:
+        """Decoded float32 ``(n, d_i)`` matrix of modality *i*.
+
+        Exact for :class:`DenseStore`; a reconstruction elsewhere.  This
+        materialises the full matrix — scan/frontier paths must use
+        :meth:`query_kernel` instead.
+        """
+
+    def rows(self, i: int, ids: np.ndarray) -> np.ndarray:
+        """Decoded float32 rows *ids* of modality *i*."""
+        return self.modality(i)[np.asarray(ids)]
+
+    # ------------------------------------------------------------------
+    # Exact (cold) tier — rerank + compaction
+    # ------------------------------------------------------------------
+    @property
+    def has_exact(self) -> bool:
+        """True when a full-precision cold tier is attached."""
+        return False
+
+    def exact_modality(self, i: int) -> np.ndarray:
+        """Full-precision matrix of modality *i* (cold tier).
+
+        Falls back to the decoded reconstruction when the store was
+        built with ``keep_exact=False`` — rerank then degrades to a
+        no-op and compaction rebuilds from reconstructions.
+        """
+        return self.modality(i)
+
+    def exact_rows(self, i: int, ids: np.ndarray) -> np.ndarray:
+        """Full-precision rows for the two-stage rerank pipeline."""
+        return self.exact_modality(i)[np.asarray(ids)]
+
+    # ------------------------------------------------------------------
+    # Asymmetric scoring
+    # ------------------------------------------------------------------
+    @abc.abstractmethod
+    def query_kernel(self, i: int, query: np.ndarray) -> ModalityKernel:
+        """Kernel scoring float32 *query* against hot modality *i*."""
+
+    def batch_scores(self, i: int, queries: np.ndarray) -> np.ndarray:
+        """Inner products of a ``(b, d_i)`` query stack, shape ``(n, b)``.
+
+        Default loops per-query kernels; dense-ish backends override
+        with one GEMM per modality (the executor's exact batch wave).
+        """
+        queries = np.ascontiguousarray(queries, dtype=np.float32)
+        out = np.empty((self.n, queries.shape[0]), dtype=np.float32)
+        for col in range(queries.shape[0]):
+            out[:, col] = self.query_kernel(i, queries[col]).all()
+        return out
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    @abc.abstractmethod
+    def subset(self, ids: np.ndarray) -> "VectorStore":
+        """New store over the rows in *ids* (codebooks/scales shared)."""
+
+    @abc.abstractmethod
+    def hot_bytes(self) -> int:
+        """Resident bytes of the hot tier (codes + codebooks/scales)."""
+
+    def cold_bytes(self) -> int:
+        """Bytes of the cold exact tier (0 when not kept)."""
+        return 0
+
+    # ------------------------------------------------------------------
+    # Persistence
+    # ------------------------------------------------------------------
+    @abc.abstractmethod
+    def store_meta(self) -> dict:
+        """JSON-safe descriptor: at least ``kind`` and ``dtype``."""
+
+    @abc.abstractmethod
+    def to_arrays(self) -> dict[str, np.ndarray]:
+        """Array payload for a ``.npz`` segment archive."""
+
+    @classmethod
+    @abc.abstractmethod
+    def from_arrays(cls, meta: dict, arrays: dict) -> "VectorStore":
+        """Inverse of :meth:`to_arrays` + :meth:`store_meta`."""
+
+    @classmethod
+    @abc.abstractmethod
+    def from_matrices(
+        cls, matrices: Sequence[np.ndarray], **options
+    ) -> "VectorStore":
+        """Encode full-precision per-modality matrices (trains codebooks
+        where the backend has any)."""
+
+
+#: kind → store class; populated by :func:`register_store` at import time.
+STORE_KINDS: dict[str, type[VectorStore]] = {}
+
+
+def register_store(cls: type[VectorStore]) -> type[VectorStore]:
+    """Class decorator adding a backend to :data:`STORE_KINDS`."""
+    STORE_KINDS[cls.kind] = cls
+    return cls
+
+
+def make_store(
+    kind: str, matrices: Sequence[np.ndarray], **options
+) -> VectorStore:
+    """Encode *matrices* with the backend registered under *kind*."""
+    require(
+        kind in STORE_KINDS,
+        f"unknown vector-store kind {kind!r}; supported: "
+        f"{sorted(STORE_KINDS)}",
+    )
+    return STORE_KINDS[kind].from_matrices(matrices, **options)
+
+
+def store_from_arrays(meta: dict, arrays: dict) -> VectorStore:
+    """Rebuild a persisted store, validating kind and dtype first.
+
+    Raises a clear, actionable error for stores written by a newer (or
+    corrupted) format instead of failing deep inside array parsing.
+    """
+    kind = meta.get("kind")
+    if kind not in STORE_KINDS:
+        raise ValueError(
+            f"segment declares vector-store kind {kind!r} but this build "
+            f"only supports {sorted(STORE_KINDS)} — the index was written "
+            f"by a newer version; upgrade the library or re-save the index "
+            f"with a supported compression setting"
+        )
+    cls = STORE_KINDS[kind]
+    dtype = meta.get("dtype")
+    if dtype != cls.dtype:
+        raise ValueError(
+            f"segment store kind {kind!r} declares dtype {dtype!r} but "
+            f"this build stores it as {cls.dtype!r} — the archive is from "
+            f"an incompatible format version; re-save the index with this "
+            f"library version"
+        )
+    return cls.from_arrays(meta, arrays)

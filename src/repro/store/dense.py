@@ -1,0 +1,217 @@
+"""Uncompressed and half-precision vector stores.
+
+:class:`DenseStore` is today's behaviour made explicit: the hot tier *is*
+the float32 corpus, kernels are plain BLAS products, and every result is
+bit-identical to the historical in-matrix layout.
+
+:class:`HalfStore` halves resident bytes by keeping the hot tier in
+float16; kernels up-cast to float32 inside the product (float16 storage,
+float32 accumulate), so scores equal the decoded reconstruction's exact
+inner products.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.store.base import ModalityKernel, VectorStore, register_store
+from repro.utils.validation import require
+
+__all__ = ["DenseStore", "HalfStore"]
+
+
+class _MatKernel(ModalityKernel):
+    """Gather + GEMV over one stored matrix (float32 or float16)."""
+
+    __slots__ = ("mat", "q")
+
+    def __init__(self, mat: np.ndarray, q: np.ndarray):
+        self.mat = mat
+        self.q = np.ascontiguousarray(q, dtype=np.float32)
+
+    def all(self) -> np.ndarray:
+        return self.mat @ self.q
+
+    def ids(self, ids: np.ndarray) -> np.ndarray:
+        return self.mat[np.asarray(ids)] @ self.q
+
+
+def _check_matrices(matrices: Sequence[np.ndarray], dtype) -> tuple[np.ndarray, ...]:
+    mats = tuple(np.ascontiguousarray(m, dtype=dtype) for m in matrices)
+    require(len(mats) >= 1, "at least one modality matrix required")
+    n = mats[0].shape[0]
+    for i, m in enumerate(mats):
+        require(m.ndim == 2, f"modality {i} must be 2-D")
+        require(m.shape[0] == n, f"modality {i} has {m.shape[0]} rows, expected {n}")
+    return mats
+
+
+@register_store
+class DenseStore(VectorStore):
+    """Float32 hot tier — the exact, bit-identical reference backend."""
+
+    kind = "none"
+    dtype = "float32"
+
+    def __init__(self, matrices: Sequence[np.ndarray]):
+        self._mats = _check_matrices(matrices, np.float32)
+
+    # -- shape ----------------------------------------------------------
+    @property
+    def n(self) -> int:
+        return self._mats[0].shape[0]
+
+    @property
+    def dims(self) -> tuple[int, ...]:
+        return tuple(m.shape[1] for m in self._mats)
+
+    # -- decode / exact -------------------------------------------------
+    def modality(self, i: int) -> np.ndarray:
+        return self._mats[i]
+
+    @property
+    def has_exact(self) -> bool:
+        return True
+
+    # -- scoring --------------------------------------------------------
+    def query_kernel(self, i: int, query: np.ndarray) -> ModalityKernel:
+        return _MatKernel(self._mats[i], query)
+
+    def batch_scores(self, i: int, queries: np.ndarray) -> np.ndarray:
+        q = np.ascontiguousarray(queries, dtype=np.float32)
+        return self._mats[i] @ q.T
+
+    # -- lifecycle ------------------------------------------------------
+    def subset(self, ids: np.ndarray) -> "DenseStore":
+        ids = np.asarray(ids)
+        return DenseStore([m[ids] for m in self._mats])
+
+    def hot_bytes(self) -> int:
+        return int(sum(m.nbytes for m in self._mats))
+
+    # -- persistence ----------------------------------------------------
+    def store_meta(self) -> dict:
+        return {"kind": self.kind, "dtype": self.dtype,
+                "num_modalities": self.num_modalities}
+
+    def to_arrays(self) -> dict[str, np.ndarray]:
+        # Keys match the v1 segment layout, so dense archives stay
+        # readable by (and from) the pre-store format.
+        return {f"mod_{i}": m for i, m in enumerate(self._mats)}
+
+    @classmethod
+    def from_arrays(cls, meta: dict, arrays: dict) -> "DenseStore":
+        m = int(meta["num_modalities"])
+        return cls([arrays[f"mod_{i}"] for i in range(m)])
+
+    @classmethod
+    def from_matrices(cls, matrices: Sequence[np.ndarray], **options) -> "DenseStore":
+        require(not options, f"DenseStore takes no options, got {sorted(options)}")
+        return cls(matrices)
+
+
+@register_store
+class HalfStore(VectorStore):
+    """Float16 hot tier, float32 accumulate — 2× fewer resident bytes.
+
+    ``keep_exact`` (default True) retains the original float32 matrices
+    as the cold tier for ``refine=`` rerank and lossless compaction.
+    """
+
+    kind = "float16"
+    dtype = "float16"
+
+    def __init__(
+        self,
+        half: Sequence[np.ndarray],
+        exact: Sequence[np.ndarray] | None = None,
+    ):
+        self._half = _check_matrices(half, np.float16)
+        self._exact = None if exact is None else _check_matrices(exact, np.float32)
+        if self._exact is not None:
+            require(
+                tuple(m.shape for m in self._exact)
+                == tuple(m.shape for m in self._half),
+                "cold tier shape mismatch",
+            )
+
+    # -- shape ----------------------------------------------------------
+    @property
+    def n(self) -> int:
+        return self._half[0].shape[0]
+
+    @property
+    def dims(self) -> tuple[int, ...]:
+        return tuple(m.shape[1] for m in self._half)
+
+    # -- decode / exact -------------------------------------------------
+    def modality(self, i: int) -> np.ndarray:
+        return self._half[i].astype(np.float32)
+
+    def rows(self, i: int, ids: np.ndarray) -> np.ndarray:
+        return self._half[i][np.asarray(ids)].astype(np.float32)
+
+    @property
+    def has_exact(self) -> bool:
+        return self._exact is not None
+
+    def exact_modality(self, i: int) -> np.ndarray:
+        if self._exact is not None:
+            return self._exact[i]
+        return self.modality(i)
+
+    # -- scoring --------------------------------------------------------
+    def query_kernel(self, i: int, query: np.ndarray) -> ModalityKernel:
+        # float16 @ float32 promotes to a float32 product (the up-cast
+        # happens inside NumPy; storage stays half precision).
+        return _MatKernel(self._half[i], query)
+
+    def batch_scores(self, i: int, queries: np.ndarray) -> np.ndarray:
+        q = np.ascontiguousarray(queries, dtype=np.float32)
+        return self._half[i] @ q.T
+
+    # -- lifecycle ------------------------------------------------------
+    def subset(self, ids: np.ndarray) -> "HalfStore":
+        ids = np.asarray(ids)
+        exact = None if self._exact is None else [m[ids] for m in self._exact]
+        return HalfStore([m[ids] for m in self._half], exact)
+
+    def hot_bytes(self) -> int:
+        return int(sum(m.nbytes for m in self._half))
+
+    def cold_bytes(self) -> int:
+        if self._exact is None:
+            return 0
+        return int(sum(m.nbytes for m in self._exact))
+
+    # -- persistence ----------------------------------------------------
+    def store_meta(self) -> dict:
+        return {"kind": self.kind, "dtype": self.dtype,
+                "num_modalities": self.num_modalities,
+                "keep_exact": self.has_exact}
+
+    def to_arrays(self) -> dict[str, np.ndarray]:
+        out = {f"half_{i}": m for i, m in enumerate(self._half)}
+        if self._exact is not None:
+            out.update({f"exact_{i}": m for i, m in enumerate(self._exact)})
+        return out
+
+    @classmethod
+    def from_arrays(cls, meta: dict, arrays: dict) -> "HalfStore":
+        m = int(meta["num_modalities"])
+        half = [arrays[f"half_{i}"] for i in range(m)]
+        exact = None
+        if meta.get("keep_exact") and f"exact_0" in arrays:
+            exact = [arrays[f"exact_{i}"] for i in range(m)]
+        return cls(half, exact)
+
+    @classmethod
+    def from_matrices(
+        cls, matrices: Sequence[np.ndarray], keep_exact: bool = True, **options
+    ) -> "HalfStore":
+        require(not options, f"HalfStore options: keep_exact; got {sorted(options)}")
+        mats = _check_matrices(matrices, np.float32)
+        return cls([m.astype(np.float16) for m in mats],
+                   mats if keep_exact else None)
