@@ -9,6 +9,7 @@ pytest like the other bench files.
 from __future__ import annotations
 
 import json
+import sys
 from pathlib import Path
 
 from repro.bench import cache
@@ -45,7 +46,18 @@ def test_batch_qps(benchmark, capsys):
     benchmark(lambda: must.batch_search(queries, k=10, l=80, n_jobs=4))
 
 
-if __name__ == "__main__":
+def main() -> int:
+    """Standalone entry point; non-zero exit on a broken/empty harness
+    so the CI bench-smoke job cannot green-wash a failed run."""
     out = run()
-    print(json.dumps(out["modes"], indent=2))
+    modes = out.get("modes", {})
+    if not modes or not all(m.get("qps", 0.0) > 0.0 for m in modes.values()):
+        print("bench_batch_qps: empty or zero-QPS payload", file=sys.stderr)
+        return 1
+    print(json.dumps(modes, indent=2))
     print(f"wrote {ARTIFACT}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -14,6 +14,7 @@ and ``REPRO_LARGESCALE_QUERIES``.
 from __future__ import annotations
 
 import json
+import sys
 from pathlib import Path
 
 from repro.bench.efficiency import compression_tradeoff
@@ -67,15 +68,30 @@ def test_compression_tradeoff(benchmark, capsys):
     benchmark(lambda: must.batch_search(queries, k=10, l=100, refine=4))
 
 
-if __name__ == "__main__":
+def main() -> int:
+    """Standalone entry point; non-zero exit on a broken/empty harness
+    so the CI bench-smoke job cannot green-wash a failed run."""
     out = run()
+    backends = out.get("backends", {})
+    if not backends or not all(
+        v.get("qps", 0.0) > 0.0 and "recall_at_10" in v
+        for v in backends.values()
+    ):
+        print("bench_compression: empty or zero-QPS payload",
+              file=sys.stderr)
+        return 1
     summary = {
         kind: {
             "compression_ratio": round(v["compression_ratio"], 2),
             "recall_at_10": round(v["recall_at_10"], 4),
             "qps": round(v["qps"], 1),
         }
-        for kind, v in out["backends"].items()
+        for kind, v in backends.items()
     }
     print(json.dumps(summary, indent=2))
     print(f"wrote {ARTIFACT}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -13,6 +13,7 @@ and ``REPRO_LARGESCALE_QUERIES``.
 from __future__ import annotations
 
 import json
+import sys
 from pathlib import Path
 
 from repro.bench.efficiency import dynamic_throughput
@@ -65,8 +66,23 @@ def test_dynamic_qps(benchmark, capsys):
     benchmark(lambda: must.batch_search(queries, k=10, l=80))
 
 
-if __name__ == "__main__":
+def main() -> int:
+    """Standalone entry point; non-zero exit on a broken/empty harness
+    so the CI bench-smoke job cannot green-wash a failed run."""
     out = run()
+    required = ("insert_qps", "interleaved_search_qps", "steady_qps",
+                "steady_recall")
+    if not out.get("lifecycle") or any(
+        out.get(key, 0.0) <= 0.0 for key in required
+    ):
+        print("bench_dynamic_updates: empty or zero-QPS payload",
+              file=sys.stderr)
+        return 1
     print(json.dumps({k: v for k, v in out.items() if k != "lifecycle"},
                      indent=2))
     print(f"wrote {ARTIFACT}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

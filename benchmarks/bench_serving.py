@@ -1,0 +1,89 @@
+"""Serving-layer throughput — coalesced micro-batches vs per-query dispatch.
+
+Closed-loop N-client load against :class:`~repro.service.MustService`
+(exact and graph modes, with and without concurrent writers) compared to
+the sequential ``MUST.search`` loop.  Writes the ``BENCH_serving_qps.json``
+perf-trajectory artifact at the repo root.  Runnable standalone
+(``PYTHONPATH=src python benchmarks/bench_serving.py``) or through pytest
+like the other bench files.  Scale via ``REPRO_SERVING_N`` and
+``REPRO_SERVING_CLIENTS``.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+from pathlib import Path
+
+from repro.bench.efficiency import serving_throughput
+from repro.bench.harness import format_table, save_table
+
+ARTIFACT = Path(__file__).resolve().parents[1] / "BENCH_serving_qps.json"
+
+
+def run(kind: str = "image") -> dict:
+    """Run the experiment and write the JSON artifact."""
+    table, payload = serving_throughput(kind)
+    save_table(table, "serving_qps")
+    print(format_table(table))
+    ARTIFACT.write_text(json.dumps(payload, indent=2) + "\n")
+    return payload
+
+
+def test_serving_qps(benchmark, capsys):
+    from benchmarks.conftest import emit
+
+    table, payload = serving_throughput("image")
+    emit(table, "serving_qps", capsys)
+    ARTIFACT.write_text(json.dumps(payload, indent=2) + "\n")
+    # Acceptance guards: every request answered, responses bit-identical
+    # to MUST.search on the same snapshot, and coalesced exact serving
+    # ≥1.5× the per-query sequential dispatch at N concurrent clients.
+    modes = payload["modes"]
+    assert payload["parity_bitwise"]
+    assert modes["exact/served"]["answered"] == payload["total_requests"]
+    assert modes["exact/served+writers"]["answered"] == (
+        payload["total_requests"]
+    )
+    assert payload["coalescing_speedup_exact"] >= 1.5
+    assert modes["exact/served+writers"]["qps"] > 0
+
+    from repro.bench import cache
+
+    enc = cache.largescale_encoded("image", cache.SERVING_N)
+    queries = list(enc.queries[:16])
+    from repro.core.framework import MUST
+    from repro.core.weights import Weights
+
+    must = MUST(
+        enc.objects, weights=Weights.uniform(enc.objects.num_modalities)
+    ).build()
+    service = must.serve(max_batch=16, max_wait_ms=1.0)
+    try:
+        benchmark(
+            lambda: [f.result() for f in
+                     [service.submit(q, k=10, exact=True) for q in queries]]
+        )
+    finally:
+        service.close()
+
+
+def main() -> int:
+    out = run()
+    modes = out.get("modes", {})
+    if not modes or not all(
+        m.get("qps", 0.0) > 0.0 for m in modes.values()
+    ):
+        print("bench_serving: empty or zero-QPS payload", file=sys.stderr)
+        return 1
+    if not out.get("parity_bitwise", False):
+        print("bench_serving: served results diverged from MUST.search",
+              file=sys.stderr)
+        return 1
+    print(json.dumps(modes, indent=2))
+    print(f"wrote {ARTIFACT}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,199 @@
+"""CI perf-regression gate: compare fresh BENCH artifacts to baselines.
+
+Every bench-smoke run writes ``BENCH_*.json`` perf-trajectory artifacts
+at the repo root; until now CI uploaded them and compared them to
+nothing, so a QPS regression shipped silently.  This script closes the
+gap: it walks each artifact against its committed baseline under
+``benchmarks/baselines/`` and fails (exit 1) when
+
+* any throughput-like metric (key containing ``qps``, ``speedup``, or
+  ``ratio``/``_vs_``) drops more than ``--qps-tolerance`` (default 30%,
+  env ``REPRO_QPS_TOLERANCE``; CI uses a looser band because hosted
+  runners vary run to run), or
+* any recall-like metric (key containing ``recall``) drops more than
+  ``--recall-tolerance`` (default 0.005 absolute, env
+  ``REPRO_RECALL_TOLERANCE``), or
+* a metric present in the baseline is missing from the fresh artifact
+  (the artifact shape changed — re-baseline deliberately).
+
+Higher-than-baseline values never fail; new keys in fresh artifacts are
+ignored until baselined.  Non-numeric leaves and keys matching neither
+rule (latencies, build times, counters) are out of scope by design —
+the gate guards throughput and accuracy, not wall-clock noise.
+
+Re-baselining
+-------------
+After an intentional perf change, regenerate the artifacts at the CI
+scale and commit the refreshed baselines::
+
+    REPRO_LARGESCALE_N=2500 REPRO_LARGESCALE_QUERIES=16 \
+    REPRO_DYNAMIC_N=2500 REPRO_COMPRESSION_N=2500 REPRO_SERVING_N=2500 \
+    REPRO_WEIGHT_EPOCHS=60 PYTHONPATH=src sh -c '
+        python benchmarks/bench_batch_qps.py &&
+        python benchmarks/bench_dynamic_updates.py &&
+        python -m pytest benchmarks/bench_compression.py -q &&
+        python benchmarks/bench_serving.py'
+    PYTHONPATH=src python benchmarks/check_regression.py --update
+    git add benchmarks/baselines/ && git commit
+
+Baselines record the *reference machine's* numbers; the tolerance band
+absorbs machine-to-machine variance, and ``--update`` is the explicit
+escape hatch when hardware or algorithms legitimately change.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import shutil
+import sys
+from pathlib import Path
+
+ROOT = Path(__file__).resolve().parents[1]
+BASELINE_DIR = Path(__file__).resolve().parent / "baselines"
+
+#: artifact (repo root) → committed baseline (benchmarks/baselines/).
+ARTIFACTS = {
+    "BENCH_batch_qps.json": "batch_qps.json",
+    "BENCH_dynamic_qps.json": "dynamic_qps.json",
+    "BENCH_compression.json": "compression.json",
+    "BENCH_serving_qps.json": "serving_qps.json",
+}
+
+_THROUGHPUT_MARKERS = ("qps", "speedup", "ratio", "_vs_")
+
+
+def _rule_for(key: str) -> str | None:
+    """Which tolerance rule applies to a metric name, if any."""
+    lowered = key.lower()
+    if "recall" in lowered:
+        return "recall"
+    if any(marker in lowered for marker in _THROUGHPUT_MARKERS):
+        return "throughput"
+    return None
+
+
+def _numeric_leaves(node, prefix: str = "") -> dict[str, float]:
+    """Flatten a JSON tree to ``dotted.path → float`` for gated metrics."""
+    out: dict[str, float] = {}
+    if isinstance(node, dict):
+        for key, value in node.items():
+            path = f"{prefix}.{key}" if prefix else str(key)
+            out.update(_numeric_leaves(value, path))
+        return out
+    if isinstance(node, bool) or not isinstance(node, (int, float)):
+        return out
+    leaf = prefix.rsplit(".", 1)[-1]
+    if _rule_for(leaf) is not None:
+        out[prefix] = float(node)
+    return out
+
+
+def compare(
+    baseline: dict,
+    current: dict,
+    qps_tolerance: float,
+    recall_tolerance: float,
+) -> list[str]:
+    """Return human-readable failures of *current* against *baseline*."""
+    failures: list[str] = []
+    base_leaves = _numeric_leaves(baseline)
+    cur_leaves = _numeric_leaves(current)
+    for path, base in sorted(base_leaves.items()):
+        rule = _rule_for(path.rsplit(".", 1)[-1])
+        if path not in cur_leaves:
+            failures.append(
+                f"{path}: present in baseline but missing from the fresh "
+                f"artifact — re-baseline if the shape change is intentional"
+            )
+            continue
+        cur = cur_leaves[path]
+        if rule == "recall":
+            floor = base - recall_tolerance
+            if cur < floor:
+                failures.append(
+                    f"{path}: recall {cur:.4f} < baseline {base:.4f} − "
+                    f"{recall_tolerance} tolerance"
+                )
+        else:
+            floor = base * (1.0 - qps_tolerance)
+            if cur < floor:
+                drop = 1.0 - cur / base if base else float("inf")
+                failures.append(
+                    f"{path}: {cur:.2f} is {drop:.0%} below baseline "
+                    f"{base:.2f} (tolerance {qps_tolerance:.0%})"
+                )
+    return failures
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        description="Gate BENCH_*.json artifacts against committed baselines."
+    )
+    parser.add_argument(
+        "--update",
+        action="store_true",
+        help="copy the fresh artifacts over the committed baselines",
+    )
+    parser.add_argument(
+        "--qps-tolerance",
+        type=float,
+        default=float(os.environ.get("REPRO_QPS_TOLERANCE", "0.30")),
+        help="max relative drop for throughput metrics (default 0.30)",
+    )
+    parser.add_argument(
+        "--recall-tolerance",
+        type=float,
+        default=float(os.environ.get("REPRO_RECALL_TOLERANCE", "0.005")),
+        help="max absolute drop for recall metrics (default 0.005)",
+    )
+    args = parser.parse_args(argv)
+
+    exit_code = 0
+    checked = 0
+    for artifact_name, baseline_name in ARTIFACTS.items():
+        artifact = ROOT / artifact_name
+        baseline = BASELINE_DIR / baseline_name
+        if not artifact.exists():
+            print(f"FAIL {artifact_name}: artifact not found at {artifact} — "
+                  f"did the bench run?")
+            exit_code = 1
+            continue
+        if args.update:
+            BASELINE_DIR.mkdir(parents=True, exist_ok=True)
+            shutil.copyfile(artifact, baseline)
+            print(f"BASELINED {artifact_name} -> {baseline}")
+            continue
+        if not baseline.exists():
+            print(f"FAIL {artifact_name}: no baseline at {baseline} — run "
+                  f"check_regression.py --update and commit it")
+            exit_code = 1
+            continue
+        failures = compare(
+            json.loads(baseline.read_text()),
+            json.loads(artifact.read_text()),
+            args.qps_tolerance,
+            args.recall_tolerance,
+        )
+        gated = len(_numeric_leaves(json.loads(baseline.read_text())))
+        checked += gated
+        if failures:
+            print(f"FAIL {artifact_name} ({len(failures)} of {gated} gated "
+                  f"metrics):")
+            for failure in failures:
+                print(f"  - {failure}")
+            exit_code = 1
+        else:
+            print(f"OK   {artifact_name} ({gated} gated metrics within "
+                  f"tolerance)")
+    if not args.update:
+        verdict = "PASS" if exit_code == 0 else "FAIL"
+        print(f"{verdict}: {checked} metrics checked, qps tolerance "
+              f"{args.qps_tolerance:.0%}, recall tolerance "
+              f"{args.recall_tolerance}")
+    return exit_code
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,8 +1,9 @@
-"""Legacy setup shim.
+"""Legacy setup shim — all metadata lives in ``pyproject.toml``.
 
 ``pip install -e .`` needs the ``wheel`` package under old setuptools;
 on minimal environments without it, ``python setup.py develop`` provides
-the same editable install through this shim.
+the same editable install through this shim (setuptools reads the
+project table from ``pyproject.toml`` either way).
 """
 
 from setuptools import setup

@@ -56,6 +56,9 @@ WEIGHT_LR = 0.2
 DYNAMIC_N = _int_knob("REPRO_DYNAMIC_N", 6_000)
 #: Corpus size for the vector-store compression benchmark.
 COMPRESSION_N = _int_knob("REPRO_COMPRESSION_N", 6_000)
+#: Corpus size and closed-loop client count for the serving benchmark.
+SERVING_N = _int_knob("REPRO_SERVING_N", 6_000)
+SERVING_CLIENTS = _int_knob("REPRO_SERVING_CLIENTS", 32)
 
 
 @lru_cache(maxsize=None)

@@ -320,6 +320,45 @@ class MUST:
         )
 
     # ------------------------------------------------------------------
+    # Serving (snapshot reads + micro-batch coalescing)
+    # ------------------------------------------------------------------
+    def snapshot(self):
+        """A frozen, searchable view of the current index state.
+
+        Returns an :class:`~repro.service.IndexSnapshot`: later
+        :meth:`insert` / :meth:`mark_deleted` / :meth:`compact` calls
+        never change what it answers, and its ``search`` mirrors
+        :meth:`search` bit for bit at capture time.  Capturing is cheap
+        (no vector data is copied).  When other threads may be mutating
+        this instance, serialise the capture with them — or use
+        :meth:`serve`, which does.
+        """
+        from repro.service.snapshot import IndexSnapshot
+
+        return IndexSnapshot.of(self)
+
+    def serve(self, config=None, **config_kwargs):
+        """Wrap this built instance in a concurrent serving front-end.
+
+        Returns a started :class:`~repro.service.MustService`: client
+        threads call ``service.search`` concurrently, the dispatcher
+        coalesces them into batched waves over snapshots, and writes
+        routed through the service proceed without blocking reads.
+        Pass a :class:`~repro.service.ServiceConfig` or its fields as
+        keyword arguments (``max_batch=64, max_wait_ms=1.0, ...``).
+        """
+        from repro.service.service import MustService, ServiceConfig
+
+        if config is None:
+            config = ServiceConfig(**config_kwargs)
+        else:
+            require(
+                not config_kwargs,
+                "pass either a ServiceConfig or its fields, not both",
+            )
+        return MustService(self, config)
+
+    # ------------------------------------------------------------------
     # Dynamic updates (paper §IX, segmented subsystem)
     # ------------------------------------------------------------------
     def insert(self, objects: MultiVectorSet | MultiVector) -> np.ndarray:

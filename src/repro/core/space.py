@@ -113,10 +113,18 @@ class JointSpace:
     # ------------------------------------------------------------------
     @property
     def concatenated(self) -> np.ndarray:
-        """The ω-scaled concatenated matrix; one dot product = Lemma 1."""
-        if self._concat is None:
-            self._concat = self._vectors.concatenated(self._weights.omegas)
-        return self._concat
+        """The ω-scaled concatenated matrix; one dot product = Lemma 1.
+
+        Reads the cache slot once into a local so lock-free readers (the
+        serving layer's snapshot waves) stay safe against a concurrent
+        :meth:`drop_caches`: they either see the old matrix — same
+        values, the vectors never change — or rebuild it, never ``None``.
+        """
+        cached = self._concat
+        if cached is None:
+            cached = self._vectors.concatenated(self._weights.omegas)
+            self._concat = cached
+        return cached
 
     def pair(self, i: int, j: int) -> float:
         """Joint similarity of objects *i* and *j*."""
@@ -321,8 +329,9 @@ class JointSpace:
         additionally materialise their reconstruction) recompute per
         call instead of silently pinning the bytes.
         """
-        if self._f64 is not None:
-            return self._f64
+        cached = self._f64  # single read: safe vs concurrent drop_caches
+        if cached is not None:
+            return cached
         mats = [m.astype(np.float64) for m in self._vectors.matrices]
         if (
             not self.is_compressed

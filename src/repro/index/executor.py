@@ -135,7 +135,9 @@ class BatchExecutor:
         refine: int | None = None,
         **search_kwargs,
     ) -> BatchResult:
-        """Batch over a :class:`~repro.index.segments.SegmentedIndex`.
+        """Batch over a :class:`~repro.index.segments.SegmentedIndex`
+        (or any :class:`~repro.index.segments.SegmentView`, e.g. a
+        frozen serving snapshot — both expose the same search surface).
 
         The graph path pools cross-segment searches exactly like
         :meth:`run_graph` — each query gets its own SeedSequence child,
@@ -172,6 +174,33 @@ class BatchExecutor:
             )
 
         results = thread_map(one, zip(queries, seeds), n_jobs=self.n_jobs)
+        return BatchResult(
+            results, SearchStats.aggregate(r.stats for r in results)
+        )
+
+    def run_exact_wave(
+        self,
+        view,
+        queries: list[MultiVector],
+        k: int,
+        weights: Weights | None = None,
+        refine: int | None = None,
+        margin: float = 1e-4,
+    ) -> BatchResult:
+        """Coalesced exact batch over a segment view, bit-identical to
+        the per-query exact path.
+
+        The serving layer's exact wave
+        (:meth:`~repro.index.segments.SegmentView.exact_wave`): a
+        float32 GEMM prefilter per segment plus a float64
+        layout-independent rerank within ``margin`` of each cut-off —
+        batched-GEMM throughput with single-query bit parity, unlike
+        :meth:`run_segmented` with ``exact=True`` whose stacked GEMM
+        carries the ~1e-7 similarity caveat.
+        """
+        results = view.exact_wave(
+            list(queries), k, weights=weights, refine=refine, margin=margin
+        )
         return BatchResult(
             results, SearchStats.aggregate(r.stats for r in results)
         )

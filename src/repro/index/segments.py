@@ -26,6 +26,17 @@ segmented index, the architecture streaming vector stores use:
   + codebooks per segment (``format_version`` 2) and compaction rebuilds
   from the exact cold tier so quantisation error never accumulates.
 
+All cross-segment searching lives in :class:`SegmentView`, a fixed
+list of segments: :class:`SegmentedIndex` delegates its search entry
+points to a live view, and :meth:`SegmentedIndex.snapshot` returns a
+**frozen** view (copied bitsets, detached containers) whose answers
+later inserts/deletes/compactions can never change — the snapshot
+primitive the serving layer (:mod:`repro.service`) batches against.
+:meth:`SegmentView.exact_wave` is the serving layer's coalesced exact
+batch: a float32 GEMM prefilter per segment plus a float64 rerank
+through the layout-independent kernel, bit-identical to per-query
+:meth:`SegmentView.exact_search`.
+
 Cross-segment search asks every segment for its top-``l`` candidates
 through the unified scorer stack (:func:`~repro.index.search.joint_search`
 per sealed/delta graph, :class:`~repro.index.flat.FlatIndex` for exact
@@ -42,8 +53,9 @@ bit-identical for any thread count.
 
 from __future__ import annotations
 
+import dataclasses
 import json
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from pathlib import Path
 
 import numpy as np
@@ -56,7 +68,7 @@ from repro.index.base import GraphIndex, reseat_on_store
 from repro.index.flat import FlatIndex
 from repro.index.graphs.hnsw import HNSWBuilder, HNSWGraph
 from repro.index.pipeline import FusedIndexBuilder
-from repro.index.scoring import rerank_exact
+from repro.index.scoring import batch_score_all, rerank_exact
 from repro.index.search import joint_search
 from repro.store import STORE_KINDS, store_from_arrays
 from repro.utils.io import load_arrays, pack_adjacency, save_arrays
@@ -66,6 +78,7 @@ from repro.utils.validation import require
 __all__ = [
     "SegmentPolicy",
     "Segment",
+    "SegmentView",
     "SegmentedIndex",
     "MANIFEST_NAME",
     "FORMAT_VERSION",
@@ -242,6 +255,294 @@ def _merge_candidates(
     return ids[order], sims[order]
 
 
+def _segment_rngs(rng, count: int) -> list:
+    """One init-draw source per segment, deterministic per query.
+
+    A :class:`~numpy.random.SeedSequence` (or an int/None seed)
+    spawns independent children — the property that makes batch
+    results identical for any thread count; a live Generator is
+    shared sequentially (legacy single-query behaviour)."""
+    if isinstance(rng, np.random.Generator):
+        return [rng] * count
+    if not isinstance(rng, np.random.SeedSequence):
+        rng = np.random.SeedSequence(rng)
+    return [np.random.default_rng(s) for s in spawn_seed_sequences(rng, count)]
+
+
+class SegmentView:
+    """A fixed list of searchable segments — the cross-segment read path.
+
+    :class:`SegmentedIndex` delegates every search entry point to a view
+    over its current segments, and :meth:`SegmentedIndex.snapshot`
+    returns a **frozen** view (copied deletion bitsets, detached index
+    containers) that later inserts/deletes/compactions can never touch —
+    the snapshot-isolation primitive the serving layer
+    (:class:`~repro.service.MustService`) builds on.  A view never
+    mutates: it has no insert/seal/compact machinery, only searches.
+
+    Search semantics are identical whether a view is live or frozen; a
+    frozen view simply keeps answering from the state it captured.
+    """
+
+    def __init__(self, segments: list[Segment]):
+        self.segments = list(segments)
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    def searchable_segments(self) -> list[Segment]:
+        return self.segments
+
+    @property
+    def num_segments(self) -> int:
+        return len(self.segments)
+
+    @property
+    def num_total(self) -> int:
+        """Objects including tombstones."""
+        return sum(seg.n for seg in self.segments)
+
+    @property
+    def num_active(self) -> int:
+        return sum(seg.num_active for seg in self.segments)
+
+    def active_ext_ids(self) -> np.ndarray:
+        """External ids of all live objects, ascending."""
+        parts = []
+        for seg in self.segments:
+            if seg.index.deleted is None:
+                parts.append(seg.ext_ids)
+            else:
+                parts.append(seg.ext_ids[~seg.index.deleted])
+        if not parts:
+            return np.zeros(0, dtype=np.int64)
+        return np.sort(np.concatenate(parts))
+
+    def prepare_search(self) -> None:
+        """Materialise every lazy artifact (per-segment concatenated
+        matrices) so thread-pool workers never race to build them.
+        Compressed segments have no concat matrix to build — materialising
+        one would undo the compression — and their per-query kernels are
+        thread-local by construction."""
+        for seg in self.segments:
+            if not seg.space.is_compressed:
+                seg.space.concatenated
+
+    # ------------------------------------------------------------------
+    # Searching
+    # ------------------------------------------------------------------
+    def search(
+        self,
+        query: MultiVector,
+        k: int = 10,
+        l: int = 100,
+        weights: Weights | None = None,
+        early_termination: bool = False,
+        engine: str = "heap",
+        rng: np.random.Generator | np.random.SeedSequence | int | None = 0,
+        refine: int | None = None,
+        **search_kwargs,
+    ) -> SearchResult:
+        """Cross-segment graph search: per-segment top-``l`` candidates
+        through :func:`joint_search`, merged by ``(similarity, id)``.
+        Result ids are external ids.
+
+        ``refine=r`` runs the two-stage rerank per segment: each
+        segment's top ``min(r·k, |candidates|)`` hot-tier survivors are
+        re-scored at full precision before the cross-segment merge, so
+        the merged ranking is by exact similarity.
+        """
+        require(refine is None or refine >= 1, "refine must be >= 1")
+        segs = self.segments
+        rngs = _segment_rngs(rng, len(segs))
+        parts: list[tuple[np.ndarray, np.ndarray]] = []
+        stats_parts: list[SearchStats] = []
+        for seg, seg_rng in zip(segs, rngs):
+            if seg.num_active == 0:
+                continue
+            res = joint_search(
+                seg.index,
+                query,
+                k=min(l, seg.num_active),
+                l=min(l, seg.n),
+                weights=weights,
+                early_termination=early_termination,
+                engine=engine,
+                rng=seg_rng,
+                **search_kwargs,
+            )
+            res.stats.segments_probed = 1
+            if refine is not None:
+                keep = min(refine * k, res.ids.size)
+                local, exact = rerank_exact(
+                    seg.space, query, res.ids[:keep], keep,
+                    weights=weights, stats=res.stats,
+                )
+                parts.append((seg.ext_ids[local], exact))
+            else:
+                parts.append((seg.ext_ids[res.ids], res.similarities))
+            stats_parts.append(res.stats)
+        ids, sims = _merge_candidates(parts, k)
+        return SearchResult(ids, sims, SearchStats.aggregate(stats_parts))
+
+    def exact_search(
+        self,
+        query: MultiVector,
+        k: int = 10,
+        weights: Weights | None = None,
+        refine: int | None = None,
+    ) -> SearchResult:
+        """Exact cross-segment top-*k* (the MUST-- path over segments).
+
+        Scores through the layout-independent kernel, so the returned ids
+        and similarities are bit-identical to one brute-force scan over
+        the concatenation of all live objects — regardless of the segment
+        layout.  (With exactly tied similarities straddling the cut-off
+        the tie is broken by external id.)  On compressed segments the
+        scan covers the *decoded* hot tier; ``refine=r`` re-scores each
+        segment's top ``r·k`` against the exact cold tier.
+        """
+        parts: list[tuple[np.ndarray, np.ndarray]] = []
+        stats_parts: list[SearchStats] = []
+        for seg in self.segments:
+            if seg.num_active == 0:
+                continue
+            flat = FlatIndex(
+                seg.space,
+                deleted=seg.index.deleted,
+                ids=seg.ext_ids,
+                deterministic=True,
+            )
+            res = flat.search(query, k, weights=weights, refine=refine)
+            res.stats.segments_probed = 1
+            parts.append((res.ids, res.similarities))
+            stats_parts.append(res.stats)
+        ids, sims = _merge_candidates(parts, k)
+        return SearchResult(ids, sims, SearchStats.aggregate(stats_parts))
+
+    def exact_batch(
+        self,
+        queries: list[MultiVector],
+        k: int,
+        weights: Weights | None = None,
+        refine: int | None = None,
+    ) -> list[SearchResult]:
+        """Exact batch: one GEMM wave per segment, merged per query.
+
+        Throughput path — same numerics caveat as
+        :meth:`FlatIndex.batch_search`: the stacked GEMM can diverge from
+        the single-query kernel by ~1e-7, so ranks (not bits) are the
+        contract here.  ``refine`` reranks per segment as in
+        :meth:`exact_search`.  For a coalesced wave that reproduces
+        :meth:`exact_search` bit for bit, use :meth:`exact_wave`.
+        """
+        queries = list(queries)
+        per_query: list[list[tuple[np.ndarray, np.ndarray]]] = [
+            [] for _ in queries
+        ]
+        per_stats: list[list[SearchStats]] = [[] for _ in queries]
+        for seg in self.segments:
+            if seg.num_active == 0:
+                continue
+            flat = FlatIndex(
+                seg.space, deleted=seg.index.deleted, ids=seg.ext_ids
+            )
+            for j, res in enumerate(
+                flat.batch_search(queries, k, weights, refine=refine)
+            ):
+                res.stats.segments_probed = 1
+                per_query[j].append((res.ids, res.similarities))
+                per_stats[j].append(res.stats)
+        out = []
+        for parts, stats_parts in zip(per_query, per_stats):
+            ids, sims = _merge_candidates(parts, k)
+            out.append(
+                SearchResult(ids, sims, SearchStats.aggregate(stats_parts))
+            )
+        return out
+
+    def exact_wave(
+        self,
+        queries: list[MultiVector],
+        k: int,
+        weights: Weights | None = None,
+        refine: int | None = None,
+        margin: float = 1e-4,
+    ) -> list[SearchResult]:
+        """Coalesced exact batch, bit-identical to :meth:`exact_search`.
+
+        The serving layer's exact path: one **float32 GEMM prefilter**
+        per segment scores the whole wave at BLAS-batch throughput, then
+        each query re-scores only the rows within ``margin`` of its
+        per-segment cut-off through the layout-independent float64
+        kernel (:meth:`~repro.core.space.JointSpace.query_ids_stable`) —
+        the same kernel :meth:`exact_search` scans with.  Because that
+        kernel is row-independent, the reranked shortlist carries the
+        *identical* similarities a full single-query scan would produce,
+        so the merged result equals ``[exact_search(q, k) for q in
+        queries]`` bit for bit whenever the shortlist contains the true
+        top candidates — guaranteed when ``margin`` exceeds twice the
+        prefilter's absolute error (float32 GEMM vs the float64 scan,
+        observed ≤ ~1e-5 on unit-norm data; the default leaves a 10×
+        cushion).  Exactly tied similarities straddling a cut-off remain
+        the one caveat, as in :meth:`exact_search` itself.
+
+        ``refine=r`` feeds the same top ``r·k`` per-segment shortlist to
+        :func:`rerank_exact` that the single-query path would, preserving
+        bit-identity through the two-stage pipeline.
+        """
+        require(k >= 1, "k must be positive")
+        require(refine is None or refine >= 1, "refine must be >= 1")
+        require(margin >= 0.0, "margin must be non-negative")
+        queries = list(queries)
+        per_query: list[list[tuple[np.ndarray, np.ndarray]]] = [
+            [] for _ in queries
+        ]
+        per_stats: list[list[SearchStats]] = [[] for _ in queries]
+        p = k if refine is None else refine * k
+        for seg in self.segments:
+            if seg.num_active == 0:
+                continue
+            sims_list, stats_list = batch_score_all(
+                seg.space, queries, weights=weights
+            )
+            deleted = seg.index.deleted
+            for j, query in enumerate(queries):
+                sims, stats = sims_list[j], stats_list[j]
+                if deleted is not None:
+                    sims = np.where(deleted, -np.inf, sims)
+                if p >= seg.num_active:
+                    shortlist = np.flatnonzero(np.isfinite(sims))
+                else:
+                    kth = np.partition(sims, seg.n - p)[seg.n - p]
+                    shortlist = np.flatnonzero(sims >= kth - margin)
+                stable = seg.space.query_ids_stable(
+                    query, shortlist, weights=weights, stats=stats
+                )
+                order = np.lexsort((shortlist, -stable))
+                if refine is None:
+                    top = order[:k]
+                    ids = seg.ext_ids[shortlist[top]]
+                    exact = stable[top]
+                else:
+                    cand = shortlist[order[:p]]
+                    local, exact = rerank_exact(
+                        seg.space, query, cand, k,
+                        weights=weights, stats=stats,
+                    )
+                    ids = seg.ext_ids[local]
+                stats.segments_probed = 1
+                per_query[j].append((ids, exact))
+                per_stats[j].append(stats)
+        out = []
+        for parts, stats_parts in zip(per_query, per_stats):
+            ids, sims = _merge_candidates(parts, k)
+            out.append(
+                SearchResult(ids, sims, SearchStats.aggregate(stats_parts))
+            )
+        return out
+
+
 class SegmentedIndex:
     """Streaming-updatable index: sealed graph segments + a mutable delta.
 
@@ -358,17 +659,53 @@ class SegmentedIndex:
             segs.append(self.delta.as_segment(self.hnsw))
         return segs
 
+    def view(self) -> SegmentView:
+        """A live :class:`SegmentView` over the current segments.
+
+        Shares the underlying index containers and bitsets, so it sees
+        (and races with) later mutations — use :meth:`snapshot` for an
+        isolated view.
+        """
+        return SegmentView(self.searchable_segments())
+
+    def snapshot(self) -> SegmentView:
+        """A frozen :class:`SegmentView` of the current state.
+
+        Searches against the snapshot are unaffected by any later
+        :meth:`insert` / :meth:`mark_deleted` / :meth:`seal_delta` /
+        :meth:`compact` on this index:
+
+        * sealed segment graphs and vectors are immutable already — only
+          their §IX deletion bitsets mutate in place, so each segment is
+          re-wrapped around a **copy** of its bitset;
+        * the delta's matrices, id map, and HNSW base layer are
+          materialised copy-on-write (``append`` replaces the arrays it
+          grows and invalidates the materialised graph rather than
+          mutating them), so the snapshot pins the pre-append arrays;
+        * the segment *list* itself is copied, so seals and compactions
+          swap segments under the live index without touching the view.
+
+        Taking a snapshot is cheap: no vector data is copied, only the
+        bitsets and the container dataclasses.  Callers interleaving
+        snapshots with mutations from other threads must serialise the
+        two (the serving layer holds its write lock across both).
+        """
+        frozen: list[Segment] = []
+        for seg in self.searchable_segments():
+            index = dataclasses.replace(
+                seg.index,
+                deleted=(
+                    None
+                    if seg.index.deleted is None
+                    else seg.index.deleted.copy()
+                ),
+            )
+            frozen.append(Segment(index, seg.ext_ids, kind=seg.kind))
+        return SegmentView(frozen)
+
     def active_ext_ids(self) -> np.ndarray:
         """External ids of all live objects, ascending."""
-        parts = []
-        for seg in self.searchable_segments():
-            if seg.index.deleted is None:
-                parts.append(seg.ext_ids)
-            else:
-                parts.append(seg.ext_ids[~seg.index.deleted])
-        if not parts:
-            return np.zeros(0, dtype=np.int64)
-        return np.sort(np.concatenate(parts))
+        return self.view().active_ext_ids()
 
     def describe(self) -> dict:
         """JSON-ready summary (used by the manifest and the benchmarks)."""
@@ -552,21 +889,8 @@ class SegmentedIndex:
         index.seed_vertex = int(alive[np.argmax(c[alive] @ centroid)])
 
     # ------------------------------------------------------------------
-    # Searching
+    # Searching (delegated to a live SegmentView over the segments)
     # ------------------------------------------------------------------
-    def _segment_rngs(self, rng, count: int) -> list:
-        """One init-draw source per segment, deterministic per query.
-
-        A :class:`~numpy.random.SeedSequence` (or an int/None seed)
-        spawns independent children — the property that makes batch
-        results identical for any thread count; a live Generator is
-        shared sequentially (legacy single-query behaviour)."""
-        if isinstance(rng, np.random.Generator):
-            return [rng] * count
-        if not isinstance(rng, np.random.SeedSequence):
-            rng = np.random.SeedSequence(rng)
-        return [np.random.default_rng(s) for s in spawn_seed_sequences(rng, count)]
-
     def search(
         self,
         query: MultiVector,
@@ -579,47 +903,18 @@ class SegmentedIndex:
         refine: int | None = None,
         **search_kwargs,
     ) -> SearchResult:
-        """Cross-segment graph search: per-segment top-``l`` candidates
-        through :func:`joint_search`, merged by ``(similarity, id)``.
-        Result ids are external ids.
-
-        ``refine=r`` runs the two-stage rerank per segment: each
-        segment's top ``min(r·k, |candidates|)`` hot-tier survivors are
-        re-scored at full precision before the cross-segment merge, so
-        the merged ranking is by exact similarity.
-        """
-        require(refine is None or refine >= 1, "refine must be >= 1")
-        segs = self.searchable_segments()
-        rngs = self._segment_rngs(rng, len(segs))
-        parts: list[tuple[np.ndarray, np.ndarray]] = []
-        stats_parts: list[SearchStats] = []
-        for seg, seg_rng in zip(segs, rngs):
-            if seg.num_active == 0:
-                continue
-            res = joint_search(
-                seg.index,
-                query,
-                k=min(l, seg.num_active),
-                l=min(l, seg.n),
-                weights=weights,
-                early_termination=early_termination,
-                engine=engine,
-                rng=seg_rng,
-                **search_kwargs,
-            )
-            res.stats.segments_probed = 1
-            if refine is not None:
-                keep = min(refine * k, res.ids.size)
-                local, exact = rerank_exact(
-                    seg.space, query, res.ids[:keep], keep,
-                    weights=weights, stats=res.stats,
-                )
-                parts.append((seg.ext_ids[local], exact))
-            else:
-                parts.append((seg.ext_ids[res.ids], res.similarities))
-            stats_parts.append(res.stats)
-        ids, sims = _merge_candidates(parts, k)
-        return SearchResult(ids, sims, SearchStats.aggregate(stats_parts))
+        """Cross-segment graph search — see :meth:`SegmentView.search`."""
+        return self.view().search(
+            query,
+            k=k,
+            l=l,
+            weights=weights,
+            early_termination=early_termination,
+            engine=engine,
+            rng=rng,
+            refine=refine,
+            **search_kwargs,
+        )
 
     def exact_search(
         self,
@@ -628,33 +923,9 @@ class SegmentedIndex:
         weights: Weights | None = None,
         refine: int | None = None,
     ) -> SearchResult:
-        """Exact cross-segment top-*k* (the MUST-- path over segments).
-
-        Scores through the layout-independent kernel, so the returned ids
-        and similarities are bit-identical to one brute-force scan over
-        the concatenation of all live objects — regardless of the segment
-        layout.  (With exactly tied similarities straddling the cut-off
-        the tie is broken by external id.)  On compressed segments the
-        scan covers the *decoded* hot tier; ``refine=r`` re-scores each
-        segment's top ``r·k`` against the exact cold tier.
-        """
-        parts: list[tuple[np.ndarray, np.ndarray]] = []
-        stats_parts: list[SearchStats] = []
-        for seg in self.searchable_segments():
-            if seg.num_active == 0:
-                continue
-            flat = FlatIndex(
-                seg.space,
-                deleted=seg.index.deleted,
-                ids=seg.ext_ids,
-                deterministic=True,
-            )
-            res = flat.search(query, k, weights=weights, refine=refine)
-            res.stats.segments_probed = 1
-            parts.append((res.ids, res.similarities))
-            stats_parts.append(res.stats)
-        ids, sims = _merge_candidates(parts, k)
-        return SearchResult(ids, sims, SearchStats.aggregate(stats_parts))
+        """Exact cross-segment top-*k* — see :meth:`SegmentView.exact_search`."""
+        return self.view().exact_search(query, k, weights=weights,
+                                        refine=refine)
 
     def exact_batch(
         self,
@@ -663,48 +934,15 @@ class SegmentedIndex:
         weights: Weights | None = None,
         refine: int | None = None,
     ) -> list[SearchResult]:
-        """Exact batch: one GEMM wave per segment, merged per query.
-
-        Throughput path — same numerics caveat as
-        :meth:`FlatIndex.batch_search`: the stacked GEMM can diverge from
-        the single-query kernel by ~1e-7, so ranks (not bits) are the
-        contract here.  ``refine`` reranks per segment as in
-        :meth:`exact_search`.
-        """
-        queries = list(queries)
-        per_query: list[list[tuple[np.ndarray, np.ndarray]]] = [
-            [] for _ in queries
-        ]
-        per_stats: list[list[SearchStats]] = [[] for _ in queries]
-        for seg in self.searchable_segments():
-            if seg.num_active == 0:
-                continue
-            flat = FlatIndex(
-                seg.space, deleted=seg.index.deleted, ids=seg.ext_ids
-            )
-            for j, res in enumerate(
-                flat.batch_search(queries, k, weights, refine=refine)
-            ):
-                res.stats.segments_probed = 1
-                per_query[j].append((res.ids, res.similarities))
-                per_stats[j].append(res.stats)
-        out = []
-        for parts, stats_parts in zip(per_query, per_stats):
-            ids, sims = _merge_candidates(parts, k)
-            out.append(
-                SearchResult(ids, sims, SearchStats.aggregate(stats_parts))
-            )
-        return out
+        """Exact GEMM-wave batch — see :meth:`SegmentView.exact_batch`."""
+        return self.view().exact_batch(queries, k, weights=weights,
+                                       refine=refine)
 
     def prepare_search(self) -> None:
         """Materialise every lazy artifact (delta graph, per-segment
         concatenated matrices) so thread-pool workers never race to
-        build them.  Compressed segments have no concat matrix to build
-        — materialising one would undo the compression — and their
-        per-query kernels are thread-local by construction."""
-        for seg in self.searchable_segments():
-            if not seg.space.is_compressed:
-                seg.space.concatenated
+        build them — see :meth:`SegmentView.prepare_search`."""
+        self.view().prepare_search()
 
     # ------------------------------------------------------------------
     # Persistence

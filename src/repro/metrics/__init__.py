@@ -9,9 +9,15 @@ from repro.metrics.recall import (
     recall_at_k,
     sme,
 )
-from repro.metrics.timing import TimedRun, measure_batch_qps, measure_qps
+from repro.metrics.timing import (
+    PercentileTracker,
+    TimedRun,
+    measure_batch_qps,
+    measure_qps,
+)
 
 __all__ = [
+    "PercentileTracker",
     "exact_top_k",
     "exact_top_k_batch",
     "hit_rate_at_k",

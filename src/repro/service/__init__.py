@@ -1,0 +1,27 @@
+"""Concurrent serving layer: micro-batch coalescing + snapshot reads.
+
+The production front-end over :class:`~repro.core.framework.MUST`:
+many independent callers submit single queries, a dispatcher thread
+coalesces them into batched GEMM waves against immutable index
+snapshots, and writers stream inserts/deletes/compactions concurrently
+without ever locking the read path.  See
+:class:`~repro.service.service.MustService` for the full model.
+"""
+
+from repro.service.service import (
+    MustService,
+    ServiceClosed,
+    ServiceConfig,
+    ServiceOverloaded,
+)
+from repro.service.snapshot import IndexSnapshot
+from repro.service.stats import ServiceStats
+
+__all__ = [
+    "MustService",
+    "ServiceConfig",
+    "ServiceClosed",
+    "ServiceOverloaded",
+    "IndexSnapshot",
+    "ServiceStats",
+]

@@ -1,0 +1,497 @@
+"""In-process serving front-end: micro-batch coalescing over snapshots.
+
+:class:`MustService` turns many independent callers into efficient
+batched waves — the shift a serving deployment makes over raw index
+code.  Three mechanisms, each visible in :class:`ServiceStats`:
+
+* **Micro-batch coalescing** — client threads submit single queries
+  into a bounded queue; a dispatcher thread drains up to
+  ``max_batch`` requests (waiting at most ``max_wait_ms`` for
+  stragglers) and executes them as one wave.  Exact requests with the
+  same plan share per-segment GEMM prefilters
+  (:meth:`IndexSnapshot.exact_wave`), so 32 concurrent exact callers
+  cost a few GEMMs instead of 32 full scans; graph requests run their
+  usual per-query searchers (thread-pooled when ``n_jobs > 1`` —
+  useful on multicore, a no-op on one core).
+* **Snapshot-isolated reads** — each wave runs against an immutable
+  :class:`~repro.service.snapshot.IndexSnapshot` captured under the
+  write lock, so :meth:`insert` / :meth:`mark_deleted` /
+  :meth:`compact` proceed concurrently without any lock on the read
+  path.  Every response equals what ``MUST.search`` would have
+  answered at its wave's capture time — a search overlapping a
+  compaction returns the pre- or post-compaction answer, never a
+  torn hybrid.
+* **Admission control** — the queue is bounded (``max_queue``);
+  beyond it, submits either block (``backpressure="block"``, up to
+  ``submit_timeout_s``) or fail fast (``"reject"``), both surfacing
+  :class:`ServiceOverloaded` rather than unbounded memory growth.
+
+Determinism: a request's graph-path init draws come from its own
+``rng`` argument (default 0, like :meth:`MUST.search`), never from
+batch composition — so the answer to a request does not depend on
+which other requests happened to share its wave.
+"""
+
+from __future__ import annotations
+
+import queue
+import threading
+import time
+from concurrent.futures import Future
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.multivector import MultiVector
+from repro.core.results import SearchResult
+from repro.core.weights import Weights
+from repro.service.snapshot import IndexSnapshot
+from repro.service.stats import ServiceStats
+from repro.utils.parallel import thread_map
+from repro.utils.validation import require
+
+__all__ = [
+    "ServiceConfig",
+    "MustService",
+    "ServiceClosed",
+    "ServiceOverloaded",
+]
+
+
+class ServiceClosed(RuntimeError):
+    """Raised on submits to (and pending requests of) a closed service."""
+
+
+class ServiceOverloaded(RuntimeError):
+    """Raised when admission control drops a request (queue full)."""
+
+
+@dataclass
+class ServiceConfig:
+    """Coalescing, backpressure, and execution knobs for one service.
+
+    ``max_batch``/``max_wait_ms`` trade latency for batching: the
+    dispatcher ships a wave as soon as it holds ``max_batch`` requests
+    or the oldest one has waited ``max_wait_ms``.  ``max_queue`` bounds
+    accepted-but-undispatched requests; ``backpressure`` picks what a
+    full queue does to ``submit`` (``"block"`` waits up to
+    ``submit_timeout_s``, ``"reject"`` raises immediately).  ``n_jobs``
+    sizes the graph-path thread pool per wave.  ``exact_margin`` is the
+    prefilter safety band of the coalesced exact wave (see
+    :meth:`~repro.index.segments.SegmentView.exact_wave`).
+    """
+
+    max_batch: int = 32
+    max_wait_ms: float = 2.0
+    max_queue: int = 256
+    backpressure: str = "block"
+    submit_timeout_s: float | None = 30.0
+    n_jobs: int = 1
+    exact_margin: float = 1e-4
+    latency_window: int = 10_000
+
+    def __post_init__(self) -> None:
+        require(self.max_batch >= 1, "max_batch must be positive")
+        require(self.max_wait_ms >= 0.0, "max_wait_ms must be non-negative")
+        require(self.max_queue >= 1, "max_queue must be positive")
+        require(
+            self.backpressure in ("block", "reject"),
+            "backpressure must be 'block' or 'reject'",
+        )
+        require(
+            self.submit_timeout_s is None or self.submit_timeout_s >= 0.0,
+            "submit_timeout_s must be non-negative or None",
+        )
+        require(self.exact_margin >= 0.0, "exact_margin must be non-negative")
+        require(self.latency_window >= 1, "latency_window must be positive")
+
+
+@dataclass
+class _Request:
+    """One queued search: the query, its plan, and the client's future."""
+
+    query: MultiVector
+    kwargs: dict
+    future: Future = field(default_factory=Future)
+    submitted: float = field(default_factory=time.perf_counter)
+
+
+_STOP = object()  # queue sentinel: drain everything before it, then exit
+
+
+class MustService:
+    """Concurrent serving wrapper around one built :class:`MUST`.
+
+    Reads (:meth:`search` / :meth:`submit`) go through the coalescing
+    dispatcher; writes (:meth:`insert` / :meth:`mark_deleted` /
+    :meth:`compact`) mutate the wrapped instance under the service's
+    write lock and advance the snapshot epoch, so the next wave serves
+    the new state while in-flight waves finish on the old one.  Do not
+    mutate the wrapped instance directly while the service is running —
+    route writes through the service so they serialise with snapshot
+    capture.
+
+    Parity: a response is bit-identical to ``MUST.search`` with the
+    same arguments against the request's snapshot — on every path of a
+    segmented instance, and on the graph path of a single-graph
+    instance; single-graph *exact* requests coalesce through the legacy
+    GEMM batch (same ranks, similarities within ~1e-7 — see
+    :meth:`IndexSnapshot.exact_wave`).
+
+    Use as a context manager or call :meth:`close` to stop the
+    dispatcher; ``start=False`` defers the dispatcher thread (requests
+    queue up until :meth:`start`), which tests use to exercise
+    admission control deterministically.
+    """
+
+    def __init__(
+        self,
+        must,
+        config: ServiceConfig | None = None,
+        start: bool = True,
+    ):
+        require(
+            must.is_built,
+            "MustService needs a built index — call MUST.build() first",
+        )
+        self.must = must
+        self.config = config or ServiceConfig()
+        self.stats = ServiceStats(self.config.latency_window)
+        self._queue: queue.Queue = queue.Queue(maxsize=self.config.max_queue)
+        #: serialises the closing-flag check with queue puts, so a racing
+        #: submit can never slip a request in after close()'s final drain
+        #: (which would leave its future unresolved forever).
+        self._admit_lock = threading.Lock()
+        self._write_lock = threading.RLock()
+        self._epoch = 0
+        self._snap: IndexSnapshot | None = None
+        self._snap_epoch = -1
+        self._closing = False
+        self._thread: threading.Thread | None = None
+        if start:
+            self.start()
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    def start(self) -> "MustService":
+        """Start the dispatcher thread (idempotent)."""
+        require(not self._closing, "service is closed")
+        if self._thread is None:
+            self._thread = threading.Thread(
+                target=self._dispatch_loop,
+                name="must-service-dispatcher",
+                daemon=True,
+            )
+            self._thread.start()
+        return self
+
+    def close(self, timeout: float | None = 30.0) -> None:
+        """Stop accepting requests, drain the queue, stop the dispatcher.
+
+        Requests already accepted are still answered (the queue is FIFO
+        and the stop sentinel goes in last); requests submitted after
+        ``close`` raises :class:`ServiceClosed`.  Idempotent.
+        """
+        with self._admit_lock:
+            already_closing = self._closing
+            self._closing = True
+        if already_closing:
+            if self._thread is not None:
+                self._thread.join(timeout)
+            return
+        if self._thread is None:
+            # Never started: nothing will drain the queue — fail pending.
+            self._fail_queued(ServiceClosed("service closed before start"))
+            return
+        self._queue.put(_STOP)
+        self._thread.join(timeout)
+
+    def _fail_queued(self, exc: Exception) -> None:
+        while True:
+            try:
+                req = self._queue.get_nowait()
+            except queue.Empty:
+                return
+            if req is _STOP:
+                continue
+            req.future.set_exception(exc)
+            self.stats.record_done(time.perf_counter() - req.submitted, ok=False)
+
+    def __enter__(self) -> "MustService":
+        return self.start()
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------
+    # Read path
+    # ------------------------------------------------------------------
+    def submit(
+        self,
+        query: MultiVector,
+        k: int = 10,
+        l: int = 100,
+        weights: Weights | None = None,
+        early_termination: bool = False,
+        exact: bool = False,
+        engine: str = "heap",
+        refine: int | None = None,
+        rng: int | np.random.SeedSequence | None = 0,
+    ) -> Future:
+        """Enqueue one search; returns a future resolving to its
+        :class:`~repro.core.results.SearchResult`.
+
+        Arguments mirror :meth:`MUST.search`; ``rng`` seeds this
+        request's graph-path init draws (exact requests ignore it).
+        Raises :class:`ServiceOverloaded` when admission control drops
+        the request and :class:`ServiceClosed` after :meth:`close`.
+        """
+        req = _Request(
+            query=query,
+            kwargs={
+                "k": k,
+                "l": l,
+                "weights": weights,
+                "early_termination": early_termination,
+                "exact": exact,
+                "engine": engine,
+                "refine": refine,
+                "rng": rng,
+            },
+        )
+        self._admit(req)  # counts the submit inside its critical section
+        return req.future
+
+    def _admit(self, req: _Request) -> None:
+        """Place *req* in the queue, or raise — never both.
+
+        Every put happens under :attr:`_admit_lock` with the closing
+        flag checked in the same critical section; :meth:`close` flips
+        the flag under the same lock before its final drain, so a
+        request can never be enqueued after the last consumer is gone.
+        The ``"block"`` path waits for queue space in short slices
+        outside the lock (overload is the slow path already), re-checking
+        the flag each round.
+        """
+        if self.config.backpressure == "reject":
+            with self._admit_lock:
+                if self._closing:
+                    raise ServiceClosed("service is closed")
+                try:
+                    self._queue.put_nowait(req)
+                    self.stats.record_submitted()
+                    return
+                except queue.Full:
+                    pass
+            self.stats.record_rejected()
+            raise self._overloaded()
+        timeout = self.config.submit_timeout_s
+        deadline = None if timeout is None else time.perf_counter() + timeout
+        while True:
+            with self._admit_lock:
+                if self._closing:
+                    raise ServiceClosed("service is closed")
+                try:
+                    self._queue.put_nowait(req)
+                    self.stats.record_submitted()
+                    return
+                except queue.Full:
+                    pass
+            if deadline is not None and time.perf_counter() >= deadline:
+                self.stats.record_rejected()
+                raise self._overloaded()
+            time.sleep(0.002)
+
+    def _overloaded(self) -> ServiceOverloaded:
+        return ServiceOverloaded(
+            f"request queue full ({self.config.max_queue} pending); "
+            f"backpressure={self.config.backpressure!r}"
+        )
+
+    def search(self, query: MultiVector, **params) -> SearchResult:
+        """Blocking single search — :meth:`submit` + ``result()``.
+
+        This is the call each concurrent client thread makes; the
+        dispatcher coalesces whatever is waiting into one wave.
+        """
+        return self.submit(query, **params).result()
+
+    def snapshot(self) -> IndexSnapshot:
+        """The snapshot serving the next wave (captured lazily per epoch)."""
+        with self._write_lock:
+            if self._snap is None or self._snap_epoch != self._epoch:
+                snap = IndexSnapshot.of(self.must)
+                snap.prepare()
+                self._snap = snap
+                self._snap_epoch = self._epoch
+            return self._snap
+
+    def active_ids(self) -> np.ndarray:
+        """Ids of all live objects, read under the write lock.
+
+        The convenience read for writers picking deletion targets:
+        inspecting ``service.must`` directly from another thread would
+        race the dispatcher's snapshot capture on the delta segment's
+        lazily materialised graph, which the lock serialises.
+        """
+        with self._write_lock:
+            if self.must.is_segmented:
+                return self.must.segments.active_ext_ids()
+            return self.must.index.active_ids()
+
+    # ------------------------------------------------------------------
+    # Write path — serialised with snapshot capture, never with reads
+    # ------------------------------------------------------------------
+    def insert(self, objects) -> np.ndarray:
+        """Stream objects into the live index; returns their stable ids."""
+        with self._write_lock:
+            out = self.must.insert(objects)
+            self._epoch += 1
+            return out
+
+    def mark_deleted(self, object_ids: np.ndarray) -> None:
+        """Soft-delete objects from the live index."""
+        with self._write_lock:
+            self.must.mark_deleted(object_ids)
+            self._epoch += 1
+
+    def compact(self) -> tuple:
+        """Rebuild over the live objects (see :meth:`MUST.compact`).
+
+        On a segmented instance the rebuild is in place; on a
+        single-graph instance the service re-binds itself to the fresh
+        framework ``MUST.compact`` returns (external ids then remap per
+        the returned ``active_ids``, exactly as for a direct call).
+        In-flight waves keep answering from their pre-compaction
+        snapshot either way.
+        """
+        with self._write_lock:
+            fresh, active = self.must.compact()
+            self.must = fresh
+            self._epoch += 1
+            return fresh, active
+
+    # ------------------------------------------------------------------
+    # Dispatcher
+    # ------------------------------------------------------------------
+    def _dispatch_loop(self) -> None:
+        cfg = self.config
+        try:
+            while True:
+                first = self._queue.get()
+                if first is _STOP:
+                    break
+                batch = [first]
+                stop = False
+                deadline = time.perf_counter() + cfg.max_wait_ms / 1e3
+                while len(batch) < cfg.max_batch:
+                    remaining = deadline - time.perf_counter()
+                    try:
+                        item = (
+                            self._queue.get_nowait()
+                            if remaining <= 0.0
+                            else self._queue.get(timeout=remaining)
+                        )
+                    except queue.Empty:
+                        break
+                    if item is _STOP:
+                        stop = True
+                        break
+                    batch.append(item)
+                self._execute(batch)
+                if stop:
+                    break
+        finally:
+            # However the loop exits — drained sentinel or an unexpected
+            # dispatcher error — stop admitting and fail whatever is
+            # still queued, so no client ever blocks on a future that
+            # nothing will resolve.
+            with self._admit_lock:
+                self._closing = True
+            self._fail_queued(ServiceClosed("service is closed"))
+
+    def _execute(self, batch: list[_Request]) -> None:
+        try:
+            snap = self.snapshot()
+            self.stats.record_batch(len(batch), self._queue.qsize())
+            dispatched = time.perf_counter()
+            for req in batch:
+                self.stats.record_wait(dispatched - req.submitted)
+
+            graph_reqs = [r for r in batch if not r.kwargs["exact"]]
+            exact_reqs = [r for r in batch if r.kwargs["exact"]]
+            if graph_reqs:
+                self._run_graph(snap, graph_reqs)
+            for group in self._exact_groups(exact_reqs):
+                self._run_exact(snap, group)
+        except Exception as exc:
+            # Wave-level failure (snapshot capture, plan grouping, …):
+            # fail the batch's unresolved requests instead of letting the
+            # exception kill the dispatcher and strand every caller.
+            for req in batch:
+                if not req.future.done():
+                    self._resolve(req, exc)
+
+    def _run_graph(self, snap: IndexSnapshot, reqs: list[_Request]) -> None:
+        """Per-query searchers over the shared snapshot, thread-pooled.
+
+        Each request keeps its own kwargs (including ``rng``), so the
+        wave is arithmetic-identical to dispatching the requests one by
+        one — pooling only overlaps them.
+        """
+
+        def one(req: _Request):
+            try:
+                kwargs = {
+                    key: value
+                    for key, value in req.kwargs.items()
+                    if key != "exact"
+                }
+                return snap.search(req.query, **kwargs)
+            except Exception as exc:  # propagate per request, not per wave
+                return exc
+
+        outcomes = thread_map(one, reqs, n_jobs=self.config.n_jobs)
+        for req, outcome in zip(reqs, outcomes):
+            self._resolve(req, outcome)
+
+    def _exact_groups(self, reqs: list[_Request]) -> list[list[_Request]]:
+        """Group exact requests sharing one wave plan (k, weights, refine)."""
+        groups: dict[tuple, list[_Request]] = {}
+        for req in reqs:
+            weights = req.kwargs["weights"]
+            weights_key = (
+                None
+                if weights is None
+                else tuple(float(x) for x in weights.squared)
+            )
+            key = (req.kwargs["k"], req.kwargs["refine"], weights_key)
+            groups.setdefault(key, []).append(req)
+        return list(groups.values())
+
+    def _run_exact(self, snap: IndexSnapshot, reqs: list[_Request]) -> None:
+        kwargs = reqs[0].kwargs
+        try:
+            results = snap.exact_wave(
+                [r.query for r in reqs],
+                kwargs["k"],
+                weights=kwargs["weights"],
+                refine=kwargs["refine"],
+                margin=self.config.exact_margin,
+            )
+        except Exception as exc:
+            for req in reqs:
+                self._resolve(req, exc)
+            return
+        for req, res in zip(reqs, results):
+            self._resolve(req, res)
+
+    def _resolve(self, req: _Request, outcome) -> None:
+        latency = time.perf_counter() - req.submitted
+        if isinstance(outcome, Exception):
+            self.stats.record_done(latency, ok=False)
+            req.future.set_exception(outcome)
+        else:
+            self.stats.record_done(latency, ok=True)
+            req.future.set_result(outcome)

@@ -1,0 +1,201 @@
+"""Immutable read views of a :class:`~repro.core.framework.MUST` index.
+
+:class:`IndexSnapshot` is the unit of snapshot isolation in the serving
+layer: the dispatcher captures one at the head of every wave, and every
+search in that wave runs against it lock-free while inserts, deletes,
+and compactions keep mutating the live index.  Two flavours, matching
+the two states a framework instance can be in:
+
+* **segmented** — wraps :meth:`SegmentedIndex.snapshot`, a frozen
+  :class:`~repro.index.segments.SegmentView` (copied §IX bitsets,
+  detached containers; vectors shared copy-on-write).  Searches are
+  bit-identical to what ``MUST.search`` answered at capture time, on
+  both the graph and the exact path.
+* **single-graph** — a not-yet-segmented instance.  The built graph is
+  immutable apart from its deletion bitset, so the snapshot re-wraps it
+  around a copy; the exact path keeps the legacy full-precision scan
+  over ``MUST.space`` (compression never touches it), again matching
+  ``MUST.search`` bit for bit.
+
+Snapshots are cheap (no vector data is copied) and plain objects —
+holding one pins the captured arrays in memory but costs nothing else.
+Capturing must be serialised with writers (the service takes its write
+lock); once captured, a snapshot is safe to read from any number of
+threads.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+from repro.core.multivector import MultiVector
+from repro.core.results import SearchResult
+from repro.core.space import JointSpace
+from repro.core.weights import Weights
+from repro.index.base import GraphIndex
+from repro.index.flat import FlatIndex
+from repro.index.search import joint_search
+from repro.index.segments import SegmentView
+from repro.utils.validation import require
+
+__all__ = ["IndexSnapshot"]
+
+
+class IndexSnapshot:
+    """One frozen, searchable state of a framework instance.
+
+    Construct via :meth:`of` (or :meth:`MUST.snapshot`).  The search
+    API mirrors :meth:`MUST.search`, so for any request the snapshot
+    answers exactly what the live instance would have answered at
+    capture time — the parity contract the serving layer's tests pin
+    down bit for bit.
+    """
+
+    def __init__(
+        self,
+        view: SegmentView | None = None,
+        graph: GraphIndex | None = None,
+        exact_space: JointSpace | None = None,
+    ):
+        require(
+            (view is None) != (graph is None),
+            "a snapshot wraps either a segment view or a single graph",
+        )
+        require(
+            graph is None or exact_space is not None,
+            "single-graph snapshots need the exact-scan space",
+        )
+        self.view = view
+        self.graph = graph
+        self.exact_space = exact_space
+
+    @classmethod
+    def of(cls, must) -> "IndexSnapshot":
+        """Capture the current state of *must* (which must be built)."""
+        require(
+            must.is_built,
+            "cannot snapshot an unbuilt index — call build() first",
+        )
+        if must.is_segmented:
+            return cls(view=must.segments.snapshot())
+        index = must.index
+        frozen = dataclasses.replace(
+            index,
+            deleted=None if index.deleted is None else index.deleted.copy(),
+        )
+        return cls(graph=frozen, exact_space=must.space)
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def is_segmented(self) -> bool:
+        return self.view is not None
+
+    @property
+    def num_active(self) -> int:
+        if self.view is not None:
+            return self.view.num_active
+        return self.graph.num_active
+
+    @property
+    def n(self) -> int:
+        if self.view is not None:
+            return self.view.num_total
+        return self.graph.n
+
+    def prepare(self) -> None:
+        """Materialise lazy per-space artifacts (concat matrices) so a
+        thread pool reading this snapshot never races to build them."""
+        if self.view is not None:
+            self.view.prepare_search()
+            return
+        if not self.graph.space.is_compressed:
+            self.graph.space.concatenated
+        if not self.exact_space.is_compressed:
+            self.exact_space.concatenated
+
+    # ------------------------------------------------------------------
+    # Searching — mirrors MUST.search argument for argument
+    # ------------------------------------------------------------------
+    def search(
+        self,
+        query: MultiVector,
+        k: int = 10,
+        l: int = 100,
+        weights: Weights | None = None,
+        early_termination: bool = False,
+        exact: bool = False,
+        refine: int | None = None,
+        **search_kwargs,
+    ) -> SearchResult:
+        """Joint top-*k* against the captured state.
+
+        Same signature and same arithmetic as :meth:`MUST.search` —
+        including the graph path's ``rng`` handling via
+        ``search_kwargs`` — so results are bit-identical to the live
+        instance at capture time.
+        """
+        if self.view is not None:
+            if exact:
+                return self.view.exact_search(query, k, weights=weights, refine=refine)
+            return self.view.search(
+                query,
+                k=k,
+                l=l,
+                weights=weights,
+                early_termination=early_termination,
+                refine=refine,
+                **search_kwargs,
+            )
+        if exact:
+            return self._flat().search(query, k, weights=weights, refine=refine)
+        return joint_search(
+            self.graph,
+            query,
+            k=k,
+            l=min(l, self.graph.n),
+            weights=weights,
+            early_termination=early_termination,
+            refine=refine,
+            **search_kwargs,
+        )
+
+    def _flat(self) -> FlatIndex:
+        """The legacy exact scanner over the frozen bitset."""
+        return FlatIndex(self.exact_space, deleted=self.graph.deleted)
+
+    def exact_wave(
+        self,
+        queries: list[MultiVector],
+        k: int,
+        weights: Weights | None = None,
+        refine: int | None = None,
+        margin: float = 1e-4,
+    ) -> list[SearchResult]:
+        """Coalesced exact batch — the serving layer's GEMM fast path.
+
+        On a segmented snapshot this is
+        :meth:`~repro.index.segments.SegmentView.exact_wave`:
+        bit-identical to per-query :meth:`search` with ``exact=True``
+        (float32 GEMM prefilter + layout-independent float64 rerank
+        within ``margin`` of each cut-off).  On a single-graph snapshot
+        the legacy exact scan is a full-matrix float32 GEMV whose values
+        cannot be reproduced on row subsets, so the wave falls back to
+        :meth:`FlatIndex.batch_search` — same ranks on non-degenerate
+        data, similarities within ~1e-7 (see its docstring).
+        """
+        if self.view is not None:
+            return self.view.exact_wave(
+                queries,
+                k,
+                weights=weights,
+                refine=refine,
+                margin=margin,
+            )
+        return self._flat().batch_search(
+            list(queries),
+            k,
+            weights=weights,
+            refine=refine,
+        )

@@ -10,6 +10,7 @@ from hypothesis import strategies as st
 from repro.core.space import JointSpace
 from repro.core.weights import Weights
 from repro.metrics import (
+    PercentileTracker,
     TimedRun,
     exact_top_k,
     exact_top_k_batch,
@@ -146,3 +147,62 @@ class TestTiming:
     def test_zero_elapsed_guard(self):
         run = TimedRun(results=[], elapsed=0.0, num_queries=1)
         assert run.qps == float("inf")
+
+
+class TestPercentileTracker:
+    def test_percentiles_match_numpy(self):
+        rng = np.random.default_rng(0)
+        samples = rng.exponential(size=500)
+        tracker = PercentileTracker()
+        for x in samples:
+            tracker.record(x)
+        for q in (50, 95, 99):
+            assert tracker.percentile(q) == pytest.approx(
+                np.percentile(samples, q)
+            )
+        assert tracker.p50 <= tracker.p95 <= tracker.p99 <= tracker.max
+        assert tracker.count == 500
+        assert tracker.mean == pytest.approx(samples.mean())
+
+    def test_empty_tracker_is_nan(self):
+        tracker = PercentileTracker()
+        assert np.isnan(tracker.p50)
+        assert np.isnan(tracker.mean)
+        assert np.isnan(tracker.max)
+        assert tracker.summary() == {"count": 0}
+        assert len(tracker) == 0
+
+    def test_window_keeps_recent_but_counts_all(self):
+        tracker = PercentileTracker(max_samples=10)
+        for x in range(100):
+            tracker.record(float(x))
+        assert len(tracker) == 10
+        assert tracker.count == 100
+        # Percentiles reflect the sliding window (the last 10 values).
+        assert tracker.percentile(0) == 90.0
+        # Mean and max reflect everything ever recorded.
+        assert tracker.mean == pytest.approx(np.mean(np.arange(100.0)))
+        assert tracker.max == 99.0
+
+    def test_merge_folds_samples_and_totals(self):
+        a, b = PercentileTracker(), PercentileTracker()
+        for x in (1.0, 2.0):
+            a.record(x)
+        for x in (3.0, 4.0):
+            b.record(x)
+        a.merge(b)
+        assert a.count == 4
+        assert a.max == 4.0
+        assert a.mean == pytest.approx(2.5)
+        assert a.percentile(100) == 4.0
+
+    def test_summary_scale(self):
+        tracker = PercentileTracker()
+        tracker.record(0.5)
+        summary = tracker.summary(scale=1e3)
+        assert summary["p50"] == pytest.approx(500.0)
+        assert summary["count"] == 1
+
+    def test_invalid_window_rejected(self):
+        with pytest.raises(ValueError):
+            PercentileTracker(max_samples=0)
