@@ -15,6 +15,7 @@ from pathlib import Path
 from repro.bench import cache
 from repro.bench.efficiency import batch_throughput
 from repro.bench.harness import format_table, save_table
+from repro.core.query import Query, SearchOptions
 
 ARTIFACT = Path(__file__).resolve().parents[1] / "BENCH_batch_qps.json"
 
@@ -43,7 +44,11 @@ def test_batch_qps(benchmark, capsys):
     )
     enc, must = cache.largescale_must("image")
     queries = list(enc.queries[:16])
-    benchmark(lambda: must.batch_search(queries, k=10, l=80, n_jobs=4))
+    benchmark(
+        lambda: must.query(
+            [Query(q) for q in queries], SearchOptions(k=10, l=80, n_jobs=4)
+        )
+    )
 
 
 def main() -> int:

@@ -19,6 +19,7 @@ from pathlib import Path
 
 from repro.bench.efficiency import compression_tradeoff
 from repro.bench.harness import format_table, save_table
+from repro.core.query import Query, SearchOptions
 
 ARTIFACT = Path(__file__).resolve().parents[1] / "BENCH_compression.json"
 
@@ -65,7 +66,11 @@ def test_compression_tradeoff(benchmark, capsys):
         weights=Weights.uniform(enc.objects.num_modalities),
         compression="int8",
     ).build()
-    benchmark(lambda: must.batch_search(queries, k=10, l=100, refine=4))
+    benchmark(
+        lambda: must.query(
+            [Query(q) for q in queries], SearchOptions(k=10, l=100, refine=4)
+        )
+    )
 
 
 def main() -> int:

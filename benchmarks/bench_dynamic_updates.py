@@ -18,6 +18,7 @@ from pathlib import Path
 
 from repro.bench.efficiency import dynamic_throughput
 from repro.bench.harness import format_table, save_table
+from repro.core.query import Query, SearchOptions
 
 ARTIFACT = Path(__file__).resolve().parents[1] / "BENCH_dynamic_qps.json"
 
@@ -63,7 +64,9 @@ def test_dynamic_qps(benchmark, capsys):
     must.insert(enc.objects.subset(
         np.arange(enc.objects.n // 2, enc.objects.n // 2 + 64)
     ))
-    benchmark(lambda: must.batch_search(queries, k=10, l=80))
+    benchmark(
+        lambda: must.query([Query(q) for q in queries], SearchOptions(k=10, l=80))
+    )
 
 
 def main() -> int:

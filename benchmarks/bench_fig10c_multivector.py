@@ -3,6 +3,8 @@
 from repro.bench import cache
 from repro.bench.efficiency import fig10c_multivector
 
+from repro.core.query import Query, SearchOptions
+
 from benchmarks.conftest import emit
 
 
@@ -11,4 +13,8 @@ def test_fig10c_multivector(benchmark, capsys):
     emit(table, "fig10c_multivector", capsys)
     enc, must = cache.largescale_must("image")
     query = enc.queries[0]
-    benchmark(lambda: must.search(query, k=10, l=80, early_termination=True))
+    benchmark(
+        lambda: must.query(
+            Query(query), SearchOptions(k=10, l=80, early_termination=True)
+        )
+    )

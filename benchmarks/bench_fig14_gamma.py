@@ -3,6 +3,8 @@
 from repro.bench import cache
 from repro.bench.ablations import fig14_gamma
 
+from repro.core.query import Query, SearchOptions
+
 from benchmarks.conftest import emit
 
 
@@ -11,4 +13,4 @@ def test_fig14_gamma(benchmark, capsys):
     emit(table, "fig14_gamma", capsys)
     enc, must = cache.largescale_must("image", 8_000)
     query = enc.queries[0]
-    benchmark(lambda: must.search(query, k=10, l=80))
+    benchmark(lambda: must.query(Query(query), SearchOptions(k=10, l=80)))

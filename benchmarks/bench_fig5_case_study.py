@@ -3,6 +3,8 @@
 from repro.bench import cache
 from repro.bench.case_study import fig5_case_study, fig11_neighbors
 
+from repro.core.query import Query, SearchOptions
+
 from benchmarks.conftest import emit
 
 
@@ -11,7 +13,7 @@ def test_fig5_case_study(benchmark, capsys):
     emit(table, "fig5_case_study", capsys)
     enc, must, test = cache.trained_must("mitstates", "resnet50", ("lstm",))
     query = enc.queries[test[0]]
-    benchmark(lambda: must.search(query, k=5, l=128))
+    benchmark(lambda: must.query(Query(query), SearchOptions(k=5, l=128)))
 
 
 def test_fig11_neighbors(benchmark, capsys):

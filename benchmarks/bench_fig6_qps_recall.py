@@ -5,6 +5,8 @@ import pytest
 from repro.bench import cache
 from repro.bench.efficiency import fig6_qps_recall
 
+from repro.core.query import Query, SearchOptions
+
 from benchmarks.conftest import emit
 
 
@@ -14,4 +16,4 @@ def test_fig6_qps_recall(benchmark, capsys, kind):
     emit(table, f"fig6_{kind}text", capsys)
     enc, must = cache.largescale_must(kind)
     query = enc.queries[0]
-    benchmark(lambda: must.search(query, k=10, l=80))
+    benchmark(lambda: must.query(Query(query), SearchOptions(k=10, l=80)))

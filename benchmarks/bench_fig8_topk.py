@@ -3,6 +3,8 @@
 from repro.bench import cache
 from repro.bench.efficiency import fig8_topk
 
+from repro.core.query import Query, SearchOptions
+
 from benchmarks.conftest import emit
 
 
@@ -11,4 +13,4 @@ def test_fig8_topk(benchmark, capsys):
     emit(table, "fig8_topk", capsys)
     enc, must = cache.largescale_must("image")
     query = enc.queries[0]
-    benchmark(lambda: must.search(query, k=100, l=400))
+    benchmark(lambda: must.query(Query(query), SearchOptions(k=100, l=400)))

@@ -1,0 +1,99 @@
+"""Filtered-search throughput — attribute-filter pushdown vs post-filter.
+
+Writes the ``BENCH_filtered_qps.json`` perf-trajectory artifact at the
+repo root so CI can track the typed Query API's filter pushdown over
+time (gated by ``check_regression.py`` on qps/speedup/recall keys).
+Runnable standalone (``PYTHONPATH=src python
+benchmarks/bench_filtered_qps.py``) or through pytest like the other
+bench files; ``REPRO_FILTERED_N`` scales the corpus for smoke runs.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+from pathlib import Path
+
+from repro.bench.efficiency import filtered_throughput
+from repro.bench.harness import format_table, save_table
+
+ARTIFACT = Path(__file__).resolve().parents[1] / "BENCH_filtered_qps.json"
+
+#: the filtered graph path must stay this close to the exact oracle.
+MIN_GRAPH_RECALL = 0.9
+
+
+def run(kind: str = "image") -> dict:
+    """Run the experiment and write the JSON artifact."""
+    table, payload = filtered_throughput(kind)
+    save_table(table, "filtered_qps")
+    print(format_table(table))
+    ARTIFACT.write_text(json.dumps(payload, indent=2) + "\n")
+    return payload
+
+
+def _check(payload: dict) -> list[str]:
+    """Acceptance guards shared by the pytest and standalone entries."""
+    problems = []
+    modes = payload.get("modes", {})
+    if not modes:
+        problems.append("empty payload")
+        return problems
+    for name, mode in modes.items():
+        if not mode.get("qps", 0.0) > 0.0:
+            problems.append(f"{name}: zero/missing qps")
+    recall = modes.get("graph/filtered", {}).get("recall_vs_oracle", 0.0)
+    if recall < MIN_GRAPH_RECALL:
+        problems.append(
+            f"graph/filtered recall {recall:.3f} < {MIN_GRAPH_RECALL}"
+        )
+    # Structural guard (stable across noisy runners): pushdown costs
+    # about one unfiltered scan — it must never degrade to a multiple of
+    # it.  Run-to-run speedup drift vs the naive post-filter loop is
+    # gated against the committed baseline by check_regression.py.
+    pushdown = modes.get("exact/filtered_pushdown", {}).get("qps", 0.0)
+    unfiltered = modes.get("exact/unfiltered", {}).get("qps", 0.0)
+    if pushdown < 0.5 * unfiltered:
+        problems.append(
+            f"filter pushdown QPS {pushdown:.0f} fell below half the "
+            f"unfiltered scan ({unfiltered:.0f}) — the mask is no longer "
+            f"intersected inside the scan"
+        )
+    return problems
+
+
+def test_filtered_qps(benchmark, capsys):
+    from benchmarks.conftest import emit
+
+    table, payload = filtered_throughput("image")
+    emit(table, "filtered_qps", capsys)
+    ARTIFACT.write_text(json.dumps(payload, indent=2) + "\n")
+    problems = _check(payload)
+    assert not problems, problems
+    from repro.bench import cache
+    from repro.core.query import Eq, Query, Range, SearchOptions
+
+    enc, must = cache.largescale_must("image", cache.FILTERED_N)
+    flt = Eq("category", "alpha") & Range("price", high=70.0)
+    queries = [Query(q, filter=flt) for q in enc.queries[:16]]
+    benchmark(
+        lambda: must.query(queries, SearchOptions(k=10, exact=True))
+    )
+
+
+def main() -> int:
+    """Standalone entry point; non-zero exit on a broken/empty payload
+    so the CI bench-smoke job cannot green-wash a failed run."""
+    out = run()
+    problems = _check(out)
+    if problems:
+        for problem in problems:
+            print(f"bench_filtered_qps: {problem}", file=sys.stderr)
+        return 1
+    print(json.dumps(out["modes"], indent=2))
+    print(f"wrote {ARTIFACT}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

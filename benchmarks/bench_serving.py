@@ -17,6 +17,7 @@ from pathlib import Path
 
 from repro.bench.efficiency import serving_throughput
 from repro.bench.harness import format_table, save_table
+from repro.core.query import Query, SearchOptions
 
 ARTIFACT = Path(__file__).resolve().parents[1] / "BENCH_serving_qps.json"
 
@@ -62,7 +63,12 @@ def test_serving_qps(benchmark, capsys):
     try:
         benchmark(
             lambda: [f.result() for f in
-                     [service.submit(q, k=10, exact=True) for q in queries]]
+                     [
+                         service.submit(
+                             Query(q), SearchOptions(k=10, exact=True)
+                         )
+                         for q in queries
+                     ]]
         )
     finally:
         service.close()

@@ -3,6 +3,8 @@
 from repro.bench import cache
 from repro.bench.accuracy import tab10_single_modality
 
+from repro.core.query import Query, SearchOptions
+
 from benchmarks.conftest import emit
 
 
@@ -11,4 +13,4 @@ def test_tab10_single_modality(benchmark, capsys):
     emit(table, "tab10_single_modality", capsys)
     enc, must, test = cache.trained_must("mitstates", "resnet50", ("lstm",))
     query = enc.queries_single_modality(1)[test[0]]
-    benchmark(lambda: must.search(query, k=10, l=128))
+    benchmark(lambda: must.query(Query(query), SearchOptions(k=10, l=128)))

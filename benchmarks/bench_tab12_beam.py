@@ -3,6 +3,8 @@
 from repro.bench import cache
 from repro.bench.efficiency import tab12_beam_width
 
+from repro.core.query import Query, SearchOptions
+
 from benchmarks.conftest import emit
 
 
@@ -11,4 +13,4 @@ def test_tab12_beam_width(benchmark, capsys):
     emit(table, "tab12_beam_width", capsys)
     enc, must = cache.largescale_must("image")
     query = enc.queries[0]
-    benchmark(lambda: must.search(query, k=10, l=320))
+    benchmark(lambda: must.query(Query(query), SearchOptions(k=10, l=320)))

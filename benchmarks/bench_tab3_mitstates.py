@@ -3,6 +3,8 @@
 from repro.bench import cache
 from repro.bench.accuracy import tab3_mitstates
 
+from repro.core.query import Query, SearchOptions
+
 from benchmarks.conftest import emit
 
 
@@ -12,4 +14,4 @@ def test_tab3_mitstates(benchmark, capsys):
     # Representative op: one MUST joint search on the best combo.
     enc, must, test = cache.trained_must("mitstates", "resnet50", ("lstm",))
     query = enc.queries[test[0]]
-    benchmark(lambda: must.search(query, k=10, l=128))
+    benchmark(lambda: must.query(Query(query), SearchOptions(k=10, l=128)))

@@ -3,6 +3,8 @@
 from repro.bench import cache
 from repro.bench.accuracy import tab4_celeba
 
+from repro.core.query import Query, SearchOptions
+
 from benchmarks.conftest import emit
 
 
@@ -11,4 +13,4 @@ def test_tab4_celeba(benchmark, capsys):
     emit(table, "tab4_celeba", capsys)
     enc, must, test = cache.trained_must("celeba", "clip", ("encoding",))
     query = enc.queries[test[0]]
-    benchmark(lambda: must.search(query, k=10, l=128))
+    benchmark(lambda: must.query(Query(query), SearchOptions(k=10, l=128)))

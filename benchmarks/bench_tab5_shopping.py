@@ -3,6 +3,8 @@
 from repro.bench import cache
 from repro.bench.accuracy import tab5_shopping_tshirt, tab21_shopping_bottoms
 
+from repro.core.query import Query, SearchOptions
+
 from benchmarks.conftest import emit
 
 
@@ -13,7 +15,7 @@ def test_tab5_shopping_tshirt(benchmark, capsys):
         "shopping_tshirt", "tirg", ("encoding",)
     )
     query = enc.queries[test[0]]
-    benchmark(lambda: must.search(query, k=10, l=128))
+    benchmark(lambda: must.query(Query(query), SearchOptions(k=10, l=128)))
 
 
 def test_tab21_shopping_bottoms(benchmark, capsys):
@@ -23,4 +25,4 @@ def test_tab21_shopping_bottoms(benchmark, capsys):
         "shopping_bottoms", "tirg", ("encoding",)
     )
     query = enc.queries[test[0]]
-    benchmark(lambda: must.search(query, k=10, l=128))
+    benchmark(lambda: must.query(Query(query), SearchOptions(k=10, l=128)))

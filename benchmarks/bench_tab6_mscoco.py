@@ -3,6 +3,8 @@
 from repro.bench import cache
 from repro.bench.accuracy import tab6_mscoco
 
+from repro.core.query import Query, SearchOptions
+
 from benchmarks.conftest import emit
 
 
@@ -11,4 +13,4 @@ def test_tab6_mscoco(benchmark, capsys):
     emit(table, "tab6_mscoco", capsys)
     enc, must, test = cache.trained_must("mscoco", "resnet50", ("resnet50", "gru"))
     query = enc.queries[test[0]]
-    benchmark(lambda: must.search(query, k=100, l=256))
+    benchmark(lambda: must.query(Query(query), SearchOptions(k=100, l=256)))

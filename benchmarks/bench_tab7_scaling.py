@@ -3,6 +3,8 @@
 from repro.bench import cache
 from repro.bench.efficiency import tab7_data_volume
 
+from repro.core.query import Query, SearchOptions
+
 from benchmarks.conftest import emit
 
 
@@ -11,4 +13,4 @@ def test_tab7_data_volume(benchmark, capsys):
     emit(table, "tab7_data_volume", capsys)
     enc, must = cache.largescale_must("image", 40_000)
     query = enc.queries[0]
-    benchmark(lambda: must.search(query, k=10, l=200))
+    benchmark(lambda: must.query(Query(query), SearchOptions(k=10, l=200)))

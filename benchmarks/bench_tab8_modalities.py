@@ -3,6 +3,8 @@
 from repro.bench import cache
 from repro.bench.accuracy import tab8_modalities
 
+from repro.core.query import Query, SearchOptions
+
 from benchmarks.conftest import emit
 
 
@@ -13,4 +15,4 @@ def test_tab8_modalities(benchmark, capsys):
         "celeba_plus_m4", "clip", ("encoding", "resnet17", "resnet50")
     )
     query = enc.queries[test[0]]
-    benchmark(lambda: must.search(query, k=10, l=128))
+    benchmark(lambda: must.query(Query(query), SearchOptions(k=10, l=128)))

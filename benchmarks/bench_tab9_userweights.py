@@ -4,6 +4,8 @@ from repro.bench import cache
 from repro.bench.accuracy import tab9_user_weights
 from repro.core.weights import Weights
 
+from repro.core.query import Query, SearchOptions
+
 from benchmarks.conftest import emit
 
 
@@ -13,4 +15,8 @@ def test_tab9_user_weights(benchmark, capsys):
     enc, must, test = cache.trained_must("mitstates", "resnet50", ("lstm",))
     query = enc.queries[test[0]]
     override = Weights([0.8, 0.2])
-    benchmark(lambda: must.search(query, k=10, l=128, weights=override))
+    benchmark(
+        lambda: must.query(
+            Query(query, weights=override), SearchOptions(k=10, l=128)
+        )
+    )

@@ -12,7 +12,7 @@ Run:  python examples/custom_encoder.py
 
 import numpy as np
 
-from repro import MUST
+from repro import MUST, Query, SearchOptions
 from repro.datasets import EncoderCombo, encode_dataset, make_mitstates, split_queries
 from repro.embedding import default_registry
 from repro.metrics import mean_hit_rate
@@ -56,7 +56,10 @@ def main() -> None:
         positives = np.asarray([enc.ground_truth[i][0] for i in train])
         must.fit_weights(anchors, positives, epochs=200, learning_rate=0.2)
         must.build()
-        results = must.batch_search([enc.queries[i] for i in test], k=10, l=100)
+        results = must.query(
+            [Query(enc.queries[i]) for i in test],
+            SearchOptions(k=10, l=100),
+        )
         r10 = mean_hit_rate(
             [r.ids for r in results], [enc.ground_truth[i] for i in test], 10
         )

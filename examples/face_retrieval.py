@@ -12,7 +12,7 @@ Run:  python examples/face_retrieval.py
 
 import numpy as np
 
-from repro import MUST, Weights
+from repro import MUST, Query, SearchOptions, Weights
 from repro.baselines import JointEmbeddingSearch, MultiStreamedRetrieval
 from repro.datasets import EncoderCombo, encode_dataset, make_celeba, split_queries
 from repro.metrics import mean_hit_rate
@@ -35,7 +35,8 @@ def main() -> None:
     queries = [enc.queries[i] for i in test]
     ground_truth = [enc.ground_truth[i] for i in test]
 
-    must_ids = [must.search(q, k=10, l=100).ids for q in queries]
+    top10 = SearchOptions(k=10, l=100)
+    must_ids = [must.query(Query(q), top10).ids for q in queries]
     mr_ids = [mr.search(q, k=10, candidates_per_modality=100).ids for q in queries]
     je_ids = [je.search(q, k=10, l=100).ids for q in queries]
     print("framework comparison (same encoders, same corpus):")
@@ -53,7 +54,7 @@ def main() -> None:
         ("face-heavy (0.9, 0.1)", Weights([0.9, 0.1])),
         ("text-heavy (0.1, 0.9)", Weights([0.1, 0.9])),
     ):
-        top = must.search(query, k=3, l=100, weights=weights)
+        top = must.query(Query(query, weights=weights), SearchOptions(k=3, l=100))
         names = ", ".join(sem.object_labels[i] for i in top.ids)
         print(f"  {label:24s} -> {names}")
 

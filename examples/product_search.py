@@ -12,7 +12,7 @@ Run:  python examples/product_search.py
 
 import numpy as np
 
-from repro import MUST, MultiVector
+from repro import MUST, Query, SearchOptions, MultiVector
 from repro.datasets import EncoderCombo, encode_dataset, make_shopping, split_queries
 from repro.metrics import mean_hit_rate
 
@@ -30,7 +30,7 @@ def main() -> None:
 
     queries = [enc.queries[i] for i in test]
     ground_truth = [enc.ground_truth[i] for i in test]
-    results = must.batch_search(queries, k=10, l=100)
+    results = must.query([Query(q) for q in queries], SearchOptions(k=10, l=100))
     r1 = mean_hit_rate([r.ids for r in results], ground_truth, 1)
     r10 = mean_hit_rate([r.ids for r in results], ground_truth, 10)
     print(f"attribute-replacement search: Recall@1={r1:.3f} Recall@10={r10:.3f}")
@@ -38,7 +38,7 @@ def main() -> None:
     # --- interactive refinement loop (§IX) ------------------------------
     qi = int(test[1])
     print(f"\nstep 1 — query: {sem.query_labels[qi]}")
-    step1 = must.search(enc.queries[qi], k=3, l=100)
+    step1 = must.query(Query(enc.queries[qi]), SearchOptions(k=3, l=100))
     for rank, obj in enumerate(step1.ids, 1):
         print(f"  {rank}. {sem.object_labels[obj]}")
 
@@ -51,7 +51,7 @@ def main() -> None:
         enc.queries[qi].vectors[1],        # the standing text constraint
     ))
     print(f"\nstep 2 — refine from '{sem.object_labels[picked]}'")
-    step2 = must.search(refined, k=3, l=100)
+    step2 = must.query(Query(refined), SearchOptions(k=3, l=100))
     for rank, obj in enumerate(step2.ids, 1):
         print(f"  {rank}. {sem.object_labels[obj]}")
 

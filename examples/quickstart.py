@@ -10,7 +10,7 @@ Run:  python examples/quickstart.py
 
 import numpy as np
 
-from repro import MUST
+from repro import MUST, Query, SearchOptions
 from repro.datasets import EncoderCombo, encode_dataset, make_mitstates, split_queries
 from repro.metrics import mean_hit_rate
 
@@ -39,7 +39,7 @@ def main() -> None:
     # 4. Joint search (Algorithm 2) and evaluation.
     queries = [enc.queries[i] for i in test]
     ground_truth = [enc.ground_truth[i] for i in test]
-    results = must.batch_search(queries, k=10, l=100)
+    results = must.query([Query(q) for q in queries], SearchOptions(k=10, l=100))
     for k in (1, 5, 10):
         r = mean_hit_rate([r.ids for r in results], ground_truth, k)
         print(f"Recall@{k}(1) = {r:.3f}")
@@ -47,7 +47,7 @@ def main() -> None:
     # 5. One query, shown with labels.
     qi = int(test[0])
     print(f"\nquery: {sem.query_labels[qi]}")
-    top = must.search(enc.queries[qi], k=5, l=100)
+    top = must.query(Query(enc.queries[qi]), SearchOptions(k=5, l=100))
     for rank, (obj, sim) in enumerate(zip(top.ids, top.similarities), 1):
         mark = " *" if obj in enc.ground_truth[qi] else ""
         print(f"  {rank}. {sem.object_labels[obj]:24s} joint-sim={sim:.3f}{mark}")

@@ -14,7 +14,7 @@ from pathlib import Path
 
 import numpy as np
 
-from repro import MUST
+from repro import MUST, Query, SearchOptions
 from repro.baselines import BruteForceMUST
 from repro.datasets import make_imagetext
 from repro.datasets.largescale import encode_largescale, exact_ground_truth
@@ -38,8 +38,10 @@ def main() -> None:
         gt = exact_ground_truth(enc, must.weights, k=10)
         flat = BruteForceMUST(enc.objects, must.weights).build()
         flat_run = measure_qps(lambda q: flat.search(q, k=10), enc.queries)
-        graph_run = measure_qps(lambda q: must.search(q, k=10, l=120),
-                                enc.queries)
+        graph_run = measure_qps(
+            lambda q: must.query(Query(q), SearchOptions(k=10, l=120)),
+            enc.queries,
+        )
         recall = mean_recall([r.ids for r in graph_run.results], list(gt), 10)
         evals = np.mean([r.stats.joint_evals for r in graph_run.results])
         print(f"{n:>8,d} {flat_run.mean_latency*1e3:>10.2f} "
@@ -51,8 +53,9 @@ def main() -> None:
         path = Path(tmp) / "imagetext.idx.npz"
         must.save_index(path)
         fresh = MUST.from_dataset(enc).load_index(path)
-        a = must.search(enc.queries[0], k=5, l=80)
-        b = fresh.search(enc.queries[0], k=5, l=80)
+        opts = SearchOptions(k=5, l=80)
+        a = must.query(Query(enc.queries[0]), opts)
+        b = fresh.query(Query(enc.queries[0]), opts)
         assert np.array_equal(a.ids, b.ids)
         print(f"\nindex persisted to {path.name} "
               f"({path.stat().st_size / 2**20:.2f} MB) and reloaded: "

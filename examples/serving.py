@@ -18,7 +18,7 @@ import time
 
 import numpy as np
 
-from repro import MUST
+from repro import MUST, Query, SearchOptions
 from repro.core.multivector import MultiVectorSet, normalize_rows
 from repro.core.weights import Weights
 from repro.index.segments import SegmentPolicy
@@ -31,6 +31,8 @@ DIMS = (96, 32)  # two modalities (e.g. image + text embeddings)
 CORPUS = 2500
 NUM_CLIENTS = 16
 REQUESTS_PER_CLIENT = 8
+#: the one plan every request in this demo shares (typed Query API).
+EXACT10 = SearchOptions(k=10, exact=True)
 
 
 def make_batch(n: int, rng: np.random.Generator) -> MultiVectorSet:
@@ -65,7 +67,7 @@ def main() -> None:
 
     # --- sequential baseline: one caller, one query at a time ---------
     t0 = time.perf_counter()
-    baseline = [must.search(q, k=10, exact=True) for q in queries]
+    baseline = [must.query(Query(q), EXACT10) for q in queries]
     seq_qps = len(queries) / (time.perf_counter() - t0)
     print(f"sequential dispatch        : {seq_qps:7.0f} QPS")
 
@@ -77,7 +79,7 @@ def main() -> None:
         def client(slot: int) -> None:
             for r in range(REQUESTS_PER_CLIENT):
                 service.search(
-                    queries[(slot * 7 + r) % len(queries)], k=10, exact=True
+                    Query(queries[(slot * 7 + r) % len(queries)]), EXACT10
                 )
 
         def run_clients() -> float:
@@ -117,18 +119,18 @@ def main() -> None:
         print(f"served ({NUM_CLIENTS} clients+writer) : {churn_qps:7.0f} QPS"
               f"  ({churn_qps / seq_qps:.2f}x)")
 
-        # Quiesced parity: served answers equal MUST.search bit for bit.
-        res = service.search(queries[0], k=10, exact=True)
-        ref = service.must.search(queries[0], k=10, exact=True)
+        # Quiesced parity: served answers equal MUST.query bit for bit.
+        res = service.search(Query(queries[0]), EXACT10)
+        ref = service.must.query(Query(queries[0]), EXACT10)
         assert np.array_equal(res.ids, ref.ids)
         assert np.array_equal(res.similarities, ref.similarities)
         print("parity vs MUST.search      : bit-identical")
 
         # Snapshot isolation: a pinned snapshot ignores later writes.
         snap = service.snapshot()
-        before = snap.search(queries[1], k=10, exact=True)
+        before = snap.query(Query(queries[1]), EXACT10)
         service.insert(make_batch(32, rng))
-        after = snap.search(queries[1], k=10, exact=True)
+        after = snap.query(Query(queries[1]), EXACT10)
         assert np.array_equal(before.ids, after.ids)
         print("snapshot isolation         : stable under writes")
 

@@ -14,7 +14,7 @@ Run:  python examples/streaming_updates.py
 
 import numpy as np
 
-from repro import MUST
+from repro import MUST, Query, SearchOptions
 from repro.core.multivector import MultiVectorSet, normalize_rows
 from repro.core.weights import Weights
 from repro.index.segments import SegmentPolicy
@@ -59,7 +59,7 @@ def main() -> None:
         ext = must.insert(make_batch(80, rng))
         doomed = rng.choice(must.segments.active_ext_ids(), 40, replace=False)
         must.mark_deleted(doomed)
-        res = must.search(query, k=5, l=100)
+        res = must.query(Query(query), SearchOptions(k=5, l=100))
         print(f"step {step}: inserted ids {ext[0]}–{ext[-1]}, deleted 40 → "
               f"{lifecycle(must)}")
         print(f"         top-5 external ids: {res.ids.tolist()} "
@@ -67,12 +67,12 @@ def main() -> None:
 
     # Exact search agrees with brute force over the live set, bit for bit,
     # regardless of the segment layout above.
-    exact = must.search(query, k=5, exact=True)
+    exact = must.query(Query(query), SearchOptions(k=5, exact=True))
     print("exact top-5:", exact.ids.tolist())
 
     _, active = must.compact()  # force a final §IX reconstruction
     print("after forced compact:", lifecycle(must))
-    exact2 = must.search(query, k=5, exact=True)
+    exact2 = must.query(Query(query), SearchOptions(k=5, exact=True))
     assert np.array_equal(exact.ids, exact2.ids), "compaction changed results!"
     print("exact results unchanged by compaction ✓")
 

@@ -18,15 +18,25 @@ paper-vs-measured record of every table and figure.
 
 from repro.core import (
     MUST,
+    And,
+    AttributeTable,
+    Eq,
+    Filter,
+    In,
     JointSpace,
     MultiVector,
     MultiVectorSet,
+    Not,
+    Or,
+    Query,
+    Range,
+    SearchOptions,
     SearchResult,
     SearchStats,
     Weights,
 )
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "MUST",
@@ -36,5 +46,15 @@ __all__ = [
     "SearchResult",
     "SearchStats",
     "Weights",
+    "AttributeTable",
+    "Query",
+    "SearchOptions",
+    "Filter",
+    "Eq",
+    "In",
+    "Range",
+    "And",
+    "Or",
+    "Not",
     "__version__",
 ]

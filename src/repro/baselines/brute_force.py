@@ -7,6 +7,7 @@ instead of the fused graph — the reference point of Fig. 6 / Tab. VII.
 from __future__ import annotations
 
 from repro.core.multivector import MultiVector, MultiVectorSet
+from repro.core.query import Query
 from repro.core.results import SearchResult
 from repro.core.space import JointSpace
 from repro.core.weights import Weights
@@ -17,7 +18,14 @@ __all__ = ["BruteForceMUST"]
 
 
 class BruteForceMUST:
-    """Exact joint-similarity search (no index)."""
+    """Exact joint-similarity search (no index).
+
+    Accepts typed :class:`~repro.core.query.Query` objects anywhere a
+    :class:`MultiVector` is accepted — per-query weights, attribute
+    filters, and k overrides flow straight through the shared
+    :class:`FlatIndex` scan, so the baseline stays a valid post-filter
+    oracle for the filtered search paths.
+    """
 
     name = "MUST--"
 
@@ -32,7 +40,7 @@ class BruteForceMUST:
 
     def search(
         self,
-        query: MultiVector,
+        query: MultiVector | Query,
         k: int,
         weights: Weights | None = None,
     ) -> SearchResult:
@@ -40,7 +48,7 @@ class BruteForceMUST:
 
     def batch_search(
         self,
-        queries: list[MultiVector],
+        queries: list[MultiVector | Query],
         k: int,
         weights: Weights | None = None,
         n_jobs: int = 1,

@@ -13,6 +13,7 @@ import numpy as np
 
 from repro.bench import cache
 from repro.bench.harness import Table
+from repro.core.query import Query, SearchOptions
 from repro.core.weights import Weights
 from repro.metrics import mean_hit_rate, mean_sme
 
@@ -42,7 +43,8 @@ def _evaluate(name, framework, target, auxiliaries, ks, opt2):
 
     if framework == "MUST":
         _, must, _ = cache.trained_must(name, target, auxiliaries)
-        results = [must.search(q, k=max(ks), l=_SEARCH_L).ids for q in queries]
+        plan = SearchOptions(k=max(ks), l=_SEARCH_L)
+        results = [must.query(Query(q), plan).ids for q in queries]
     elif framework == "MR":
         mr = cache.mr_baseline(name, target, auxiliaries)
         best, best_r = None, -1.0
@@ -171,7 +173,10 @@ def tab8_modalities() -> Table:
         gt = [enc.ground_truth[i] for i in test]
         _, must, _ = cache.trained_must(name, target, aux)
         must_r = mean_hit_rate(
-            [must.search(q, k=10, l=_SEARCH_L).ids for q in queries], gt, 1
+            [
+                must.query(Query(q), SearchOptions(k=10, l=_SEARCH_L)).ids
+                for q in queries
+            ], gt, 1
         )
         mr = cache.mr_baseline(name, target, aux)
         mr_r = max(
@@ -199,7 +204,9 @@ def tab9_user_weights() -> Table:
         weights = Weights([w0, 1.0 - w0])
         ip0, ip1 = [], []
         for q in queries:
-            top = must.search(q, k=1, l=_SEARCH_L, weights=weights)
+            top = must.query(
+                Query(q, weights=weights), SearchOptions(k=1, l=_SEARCH_L)
+            )
             r = int(top.ids[0])
             ip0.append(float(enc.objects.modality(0)[r] @ q.vectors[0]))
             ip1.append(float(enc.objects.modality(1)[r] @ q.vectors[1]))
@@ -233,7 +240,8 @@ def tab10_single_modality() -> Table:
         singles = enc.queries_single_modality(modality)
         queries = [singles[i] for i in test]
         gt = [enc.ground_truth[i] for i in test]
-        results = [must.search(q, k=5, l=_SEARCH_L).ids for q in queries]
+        plan = SearchOptions(k=5, l=_SEARCH_L)
+        results = [must.query(Query(q), plan).ids for q in queries]
         encoder = (enc.combo.label.split("+")[0] if modality == 0
                    else enc.combo.label.split("+")[1])
         rows.append([

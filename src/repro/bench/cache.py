@@ -58,6 +58,8 @@ DYNAMIC_N = _int_knob("REPRO_DYNAMIC_N", 6_000)
 COMPRESSION_N = _int_knob("REPRO_COMPRESSION_N", 6_000)
 #: Corpus size and closed-loop client count for the serving benchmark.
 SERVING_N = _int_knob("REPRO_SERVING_N", 6_000)
+#: Corpus size for the filtered-search (attribute pushdown) benchmark.
+FILTERED_N = _int_knob("REPRO_FILTERED_N", 6_000)
 SERVING_CLIENTS = _int_knob("REPRO_SERVING_CLIENTS", 32)
 
 

@@ -11,6 +11,7 @@ import numpy as np
 
 from repro.bench import cache
 from repro.bench.harness import Table
+from repro.core.query import Query, SearchOptions
 from repro.core.space import JointSpace
 from repro.core.weights import Weights
 
@@ -33,7 +34,9 @@ def fig5_case_study(query_index: int | None = None) -> Table:
         return f"{sem.object_labels[int(obj_id)]}{mark}"
 
     rows = []
-    must_ids = must.search(enc.queries[qi], k=5, l=128).ids
+    must_ids = must.query(
+        Query(enc.queries[qi]), SearchOptions(k=5, l=128)
+    ).ids
     mr_ids = mr.search(enc.queries[qi], k=5, candidates_per_modality=100).ids
     je_ids = je.search(enc_clip.queries_option2[qi], k=5, l=128).ids
     for rank in range(5):

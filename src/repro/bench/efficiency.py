@@ -7,8 +7,8 @@ counts reproduce the paper's work ratios exactly, while QPS shapes match
 once the corpus is large enough that BLAS scans stop being free.
 
 All throughput numbers are measured through the batched
-:class:`~repro.index.executor.BatchExecutor` entry points
-(``batch_search``), i.e. what a serving deployment would actually run;
+:class:`~repro.index.executor.BatchExecutor` entry points (typed
+``MUST.query`` batches), i.e. what a serving deployment would run;
 :func:`batch_throughput` additionally compares the execution strategies
 (single-query loop vs batched vs thread-parallel vs GEMM-batched exact)
 head to head at a fixed operating point.
@@ -24,6 +24,7 @@ from repro.bench import cache
 from repro.bench.harness import Table
 from repro.baselines import BruteForceMUST, MultiStreamedRetrieval
 from repro.core.framework import MUST
+from repro.core.query import Eq, Query, Range, SearchOptions
 from repro.core.weights import Weights
 from repro.datasets.largescale import exact_ground_truth
 from repro.index.segments import SegmentPolicy
@@ -40,10 +41,22 @@ __all__ = [
     "dynamic_throughput",
     "compression_tradeoff",
     "serving_throughput",
+    "filtered_throughput",
 ]
 
 _L_SWEEP = (10, 20, 40, 80, 160, 320)
 _MR_BUDGET_SWEEP = (20, 50, 100, 250, 500, 1000)
+
+
+def _typed_batch(must: MUST, queries, **options):
+    """Typed batch through ``MUST.query`` — the bench-wide shim-free
+    path (bit-identical to the deprecated ``batch_search`` kwargs)."""
+    return must.query([Query(q) for q in queries], SearchOptions(**options))
+
+
+def _typed_one(must: MUST, query, **options):
+    """Typed single query through ``MUST.query``."""
+    return must.query(Query(query), SearchOptions(**options))
 
 
 def _recall_vs_exact(results, gt, k):
@@ -60,7 +73,7 @@ def fig6_qps_recall(kind: str = "image") -> Table:
 
     for l in _L_SWEEP:
         run = measure_batch_qps(
-            lambda qs, l=l: must.batch_search(qs, k=10, l=l), queries
+            lambda qs, l=l: _typed_batch(must, qs, k=10, l=l), queries
         )
         rec = _recall_vs_exact([r.ids for r in run.results], gt, 10)
         evals = np.mean([r.stats.joint_evals for r in run.results])
@@ -117,7 +130,7 @@ def tab7_data_volume(
         # High-accuracy operating point, as in the paper (recall > 0.99
         # at l tuned per scale; a fixed generous l suffices here).
         must_run = measure_batch_qps(
-            lambda qs: must.batch_search(qs, k=10, l=200), queries
+            lambda qs: _typed_batch(must, qs, k=10, l=200), queries
         )
         rec = _recall_vs_exact([r.ids for r in must_run.results], gt, 10)
         evals = float(np.mean(
@@ -177,7 +190,7 @@ def fig8_topk() -> Table:
     for k in (1, 50, 100):
         gt = exact_ground_truth(enc, must.weights, k=k)
         run = measure_batch_qps(
-            lambda qs, k=k: must.batch_search(qs, k=k, l=max(4 * k, 160)),
+            lambda qs, k=k: _typed_batch(must, qs, k=k, l=max(4 * k, 160)),
             queries,
         )
         rec = _recall_vs_exact([r.ids for r in run.results], gt, k)
@@ -206,7 +219,7 @@ def tab12_beam_width() -> Table:
     rows = []
     for l in (20, 40, 80, 160, 320, 640):
         run = measure_batch_qps(
-            lambda qs, l=l: must.batch_search(qs, k=10, l=l), enc.queries
+            lambda qs, l=l: _typed_batch(must, qs, k=10, l=l), enc.queries
         )
         rec = _recall_vs_exact([r.ids for r in run.results], gt, 10)
         evals = np.mean([r.stats.joint_evals for r in run.results])
@@ -226,8 +239,8 @@ def fig10c_multivector() -> Table:
     for l in (20, 80, 320):
         for label, flag in (("w/o optimization", False), ("w. optimization", True)):
             run = measure_batch_qps(
-                lambda qs, l=l, f=flag: must.batch_search(
-                    qs, k=10, l=l, early_termination=f
+                lambda qs, l=l, f=flag: _typed_batch(
+                    must, qs, k=10, l=l, early_termination=f
                 ),
                 enc.queries,
             )
@@ -294,7 +307,7 @@ def dynamic_throughput(
             must.insert(batch)
             insert_s += time.perf_counter() - t0
         t0 = time.perf_counter()
-        must.batch_search(queries, k=k, l=l)
+        _typed_batch(must, queries, k=k, l=l)
         search_s += time.perf_counter() - t0
         searches += len(queries)
         active = must.segments.active_ext_ids()
@@ -322,7 +335,7 @@ def dynamic_throughput(
     # state, turbo) that a sequential best-of cannot.
     def one_round(target: MUST):
         return measure_batch_qps(
-            lambda qs: target.batch_search(qs, k=k, l=l),
+            lambda qs: _typed_batch(target, qs, k=k, l=l),
             queries, warmup=len(queries),
         )
 
@@ -335,7 +348,7 @@ def dynamic_throughput(
         fresh_qps = max(fresh_qps, one_round(fresh).qps)
 
     # Steady-state recall vs the exact segmented scan (external-id space).
-    exact = must.batch_search(queries, k=k, exact=True)
+    exact = _typed_batch(must, queries, k=k, exact=True)
     steady_recall = mean_recall(
         [r.ids for r in steady_results], [r.ids for r in exact], k
     )
@@ -428,23 +441,23 @@ def batch_throughput(
         }
         return run.qps
 
-    single = measure_qps(lambda q: must.search(q, k=k, l=l), queries)
+    single = measure_qps(lambda q: _typed_one(must, q, k=k, l=l), queries)
     base = record("graph", "single-query loop", single, None)
     seq = measure_batch_qps(
-        lambda qs: must.batch_search(qs, k=k, l=l, n_jobs=1), queries
+        lambda qs: _typed_batch(must, qs, k=k, l=l, n_jobs=1), queries
     )
     record("graph", "executor n_jobs=1", seq, base)
     par = measure_batch_qps(
-        lambda qs: must.batch_search(qs, k=k, l=l, n_jobs=n_jobs), queries
+        lambda qs: _typed_batch(must, qs, k=k, l=l, n_jobs=n_jobs), queries
     )
     record("graph", f"executor n_jobs={n_jobs}", par, base)
 
     exact_single = measure_qps(
-        lambda q: must.search(q, k=k, exact=True), queries
+        lambda q: _typed_one(must, q, k=k, exact=True), queries
     )
     exact_base = record("exact", "single-query loop", exact_single, None)
     exact_batch = measure_batch_qps(
-        lambda qs: must.batch_search(qs, k=k, exact=True), queries
+        lambda qs: _typed_batch(must, qs, k=k, exact=True), queries
     )
     record("exact", "executor GEMM batch", exact_batch, exact_base)
 
@@ -462,8 +475,9 @@ def batch_throughput(
 
 def _closed_loop(service, per_client: list[list[tuple]]) -> tuple[list, float]:
     """Run one closed-loop round: each client thread issues its requests
-    back to back through ``service.search``.  Returns the per-client
-    response lists and the wall-clock seconds for the whole round.
+    back to back through ``service.search`` (typed ``SearchOptions``
+    plans).  Returns the per-client response lists and the wall-clock
+    seconds for the whole round.
     A client failure (overload, search error) is re-raised here rather
     than left as a dead thread and an opaque ``None`` downstream."""
     import threading
@@ -475,7 +489,7 @@ def _closed_loop(service, per_client: list[list[tuple]]) -> tuple[list, float]:
         out = []
         try:
             for query, params in per_client[slot]:
-                out.append(service.search(query, **params))
+                out.append(service.search(query, params))
         except Exception as exc:  # surfaced after join
             results[slot] = exc
             return
@@ -552,8 +566,8 @@ def serving_throughput(
 
     total = num_clients * requests_per_client
     plans = {
-        "exact": {"k": k, "exact": True},
-        "graph": {"k": k, "l": l},
+        "exact": SearchOptions(k=k, exact=True),
+        "graph": SearchOptions(k=k, l=l),
     }
 
     def request_stream(mode: str) -> list[tuple]:
@@ -587,7 +601,7 @@ def serving_throughput(
     def sequential_qps(mode: str) -> float:
         reqs = request_stream(mode)
         run = measure_qps(
-            lambda task: must.search(task[0], **task[1]),
+            lambda task: must.query(task[0], task[1]),
             reqs,
             warmup=min(len(queries), total) // 2,
         )
@@ -694,8 +708,9 @@ def serving_throughput(
     try:
         parity = True
         for q in queries[:8]:
-            res = service.search(q, k=k, exact=True)
-            ref = must.search(q, k=k, exact=True)
+            plan = SearchOptions(k=k, exact=True)
+            res = service.search(q, plan)
+            ref = must.query(q, plan)
             if not (
                 np.array_equal(res.ids, ref.ids)
                 and np.array_equal(res.similarities, ref.similarities)
@@ -788,9 +803,9 @@ def compression_tradeoff(
         store = must.index.space.vectors.store
 
         def run(qs, r=backend_refine):
-            return must.batch_search(qs, k=k, l=l, refine=r)
+            return _typed_batch(must, qs, k=k, l=l, refine=r)
 
-        raw = must.batch_search(queries, k=k, l=l)
+        raw = _typed_batch(must, queries, k=k, l=l)
         recall_raw = mean_recall([r.ids for r in raw], gt, k)
         best = None
         for _ in range(3):
@@ -826,5 +841,129 @@ def compression_tradeoff(
               "codes end-to-end; the refine column re-scores the top "
               "refine*k survivors against the full-precision cold tier "
               "(two-stage rerank). QPS is batched search, best of 3.",
+    )
+    return table, payload
+
+
+def filtered_throughput(
+    kind: str = "image",
+    k: int = 10,
+    l: int = 80,
+    rounds: int = 5,
+) -> tuple[Table, dict]:
+    """Per-query attribute filtering: pushdown vs post-filter cost.
+
+    Attaches a synthetic attribute table (3-way categorical + uniform
+    price, selectivity ≈ 0.23 under the benchmark predicate) to the
+    large-scale corpus and compares, over the same queries:
+
+    * the unfiltered exact batch (cost reference);
+    * the **pushdown** filtered exact batch (typed ``Query.filter`` —
+      the mask intersects the deletion bitsets inside the scan);
+    * the naive **post-filter** loop (fetch ``k/selectivity`` unfiltered
+      answers, drop inadmissible rows client-side, refetch-free upper
+      bound on what an application without pushdown must do);
+    * the filtered graph path, with recall measured against the
+      pushdown-exact oracle (masked vertices route but never report).
+
+    Returns the table plus the JSON payload for
+    ``BENCH_filtered_qps.json`` (gated keys: ``qps``, ``speedup``,
+    ``recall``).
+    """
+    enc, must = cache.largescale_must(kind, cache.FILTERED_N)
+    n = int(enc.objects.n)
+    rng = np.random.default_rng(7)
+    must.set_attributes({
+        "category": np.array(["alpha", "beta", "gamma"])[
+            rng.integers(0, 3, n)
+        ],
+        "price": rng.uniform(0.0, 100.0, n),
+    })
+    flt = Eq("category", "alpha") & Range("price", high=70.0)
+    mask = flt.mask(must.objects.attributes)
+    selectivity = float(mask.mean())
+    queries = list(enc.queries)
+    typed = [Query(q, filter=flt) for q in queries]
+
+    def post_filter_batch(qs: list) -> list:
+        """What an application without pushdown runs: over-fetch by
+        1/selectivity (plus slack), then drop inadmissible rows."""
+        fetch = min(n, int(np.ceil(k / max(selectivity, 1e-9) * 2)))
+        out = []
+        for res in must.query(
+            [Query(q) for q in qs], SearchOptions(k=fetch, exact=True)
+        ):
+            keep = mask[res.ids]
+            out.append(res.ids[keep][:k])
+        return out
+
+    # Interleaved rounds, best-of per mode: measuring all four modes
+    # back to back within each round cancels process-level drift (cache
+    # state, turbo) that sequential best-of blocks cannot — the gated
+    # pushdown/post-filter *ratio* is a quotient of two small numbers
+    # and needs the drift cancelled, not just the noise floor raised.
+    contenders = {
+        "unfiltered": lambda qs: must.query(
+            [Query(q) for q in qs], SearchOptions(k=k, exact=True)
+        ),
+        "pushdown": lambda qs: must.query(
+            typed[: len(qs)], SearchOptions(k=k, exact=True)
+        ),
+        "naive": post_filter_batch,
+        "graph": lambda qs: must.query(
+            typed[: len(qs)], SearchOptions(k=k, l=l)
+        ),
+    }
+    best: dict = {}
+    for _ in range(rounds):
+        for name, fn in contenders.items():
+            run = measure_batch_qps(fn, queries)
+            if name not in best or run.qps > best[name].qps:
+                best[name] = run
+    unfiltered, pushdown = best["unfiltered"], best["pushdown"]
+    naive, graph = best["naive"], best["graph"]
+
+    oracle_ids = [r.ids for r in pushdown.results]
+    graph_recall = mean_recall([r.ids for r in graph.results], oracle_ids, k)
+    speedup = pushdown.qps / naive.qps if naive.qps else float("inf")
+
+    headers = ["Mode", "QPS", "Recall vs oracle", "Speedup vs post-filter"]
+    rows = [
+        ["exact unfiltered", unfiltered.qps, "-", "-"],
+        ["exact filtered (pushdown)", pushdown.qps, 1.0, f"{speedup:.2f}x"],
+        ["exact post-filter (naive)", naive.qps, 1.0, "1.00x"],
+        ["graph filtered", graph.qps, graph_recall, "-"],
+    ]
+    payload = {
+        "dataset": enc.name,
+        "n": n,
+        "num_queries": len(queries),
+        "k": k,
+        "l": l,
+        "selectivity": selectivity,
+        "modes": {
+            "exact/unfiltered": {"qps": float(unfiltered.qps)},
+            "exact/filtered_pushdown": {
+                "qps": float(pushdown.qps),
+                "speedup_vs_postfilter": float(speedup),
+            },
+            "exact/postfilter_naive": {"qps": float(naive.qps)},
+            "graph/filtered": {
+                "qps": float(graph.qps),
+                "recall_vs_oracle": float(graph_recall),
+            },
+        },
+    }
+    table = Table(
+        "Filtered QPS",
+        f"Attribute-filter pushdown on {enc.name} "
+        f"(selectivity {selectivity:.2f})",
+        headers,
+        rows,
+        notes="Pushdown intersects the compiled filter mask with the §IX "
+              "deletion bitsets inside each scan, so filtered exact "
+              "search costs one unfiltered scan; the naive client-side "
+              "post-filter must over-fetch by 1/selectivity. Graph "
+              "recall is vs the pushdown-exact oracle.",
     )
     return table, payload

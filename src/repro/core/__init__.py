@@ -1,7 +1,20 @@
-"""Core abstractions: multi-vector objects, weights, joint space, MUST."""
+"""Core abstractions: multi-vector objects, weights, joint space, MUST,
+and the typed query surface (Query / SearchOptions / attribute filters)."""
 
+from repro.core.attributes import AttributeTable
 from repro.core.framework import MUST
 from repro.core.multivector import MultiVector, MultiVectorSet, normalize_rows
+from repro.core.query import (
+    And,
+    Eq,
+    Filter,
+    In,
+    Not,
+    Or,
+    Query,
+    Range,
+    SearchOptions,
+)
 from repro.core.results import SearchResult, SearchStats
 from repro.core.space import JointSpace
 from repro.core.weights import Weights
@@ -15,4 +28,14 @@ __all__ = [
     "SearchStats",
     "JointSpace",
     "Weights",
+    "AttributeTable",
+    "Query",
+    "SearchOptions",
+    "Filter",
+    "Eq",
+    "In",
+    "Range",
+    "And",
+    "Or",
+    "Not",
 ]

@@ -1,0 +1,171 @@
+"""Per-corpus attribute table: the structured metadata behind filters.
+
+Production multimodal search rarely retrieves from the whole corpus —
+queries carry structured constraints ("category is shoes", "price below
+50", "year in 2019..2021") alongside their vectors.  An
+:class:`AttributeTable` holds one value per object per named field,
+aligned row-for-row with the vector matrices of a
+:class:`~repro.core.multivector.MultiVectorSet`, and is the compilation
+target of the :class:`~repro.core.query.Filter` mini-DSL: every filter
+clause reduces to a boolean mask over these columns.
+
+The table follows the corpus everywhere vectors go: ``subset`` slices it
+(segment seal/compact, corpus subsetting), ``concat`` rebuilds it when
+segments merge, and ``to_arrays``/``from_arrays`` persist it inside
+segment ``.npz`` archives — so a filter answers identically before and
+after any seal, compaction, or save/load round-trip.
+
+Columns are plain 1-D numpy arrays; numeric and fixed-width string
+dtypes are both supported (``object`` dtype is rejected — it neither
+persists in ``.npz`` archives nor compares reliably).
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Mapping, Sequence
+
+import numpy as np
+
+from repro.utils.validation import require
+
+__all__ = ["AttributeTable", "ATTRIBUTE_PREFIX"]
+
+#: key prefix under which columns travel inside segment ``.npz`` archives.
+ATTRIBUTE_PREFIX = "attr__"
+
+
+def _as_column(name: str, values: "np.ndarray | Sequence[object]") -> np.ndarray:
+    column = np.asarray(values)
+    require(
+        column.ndim == 1,
+        f"attribute {name!r} must be a 1-D column, got shape {column.shape}",
+    )
+    if column.dtype == np.dtype(object):
+        # A list of python strings lands here only when numpy could not
+        # find a common width/type; retry as str so homogeneous string
+        # data still works.  Truly mixed columns are rejected —
+        # ``astype(str)`` would silently stringify them and break both
+        # comparisons and ``.npz`` persistence.
+        if all(isinstance(v, str) for v in column):
+            column = column.astype(np.str_)
+        else:
+            raise ValueError(
+                f"attribute {name!r} has mixed/object values — use one "
+                f"numeric or string type per column"
+            )
+    return column
+
+
+class AttributeTable:
+    """Named per-object attribute columns, aligned with a vector corpus.
+
+    Construct from a mapping ``{field: values}`` where every column has
+    one entry per object.  The table is immutable after construction
+    (columns are copied and marked read-only) so it can be shared
+    between a live index and its frozen snapshots without copying.
+    """
+
+    def __init__(self, columns: Mapping[str, "np.ndarray | Sequence[object]"]):
+        require(len(columns) >= 1, "attribute table needs at least one column")
+        prepared: dict[str, np.ndarray] = {}
+        n = -1
+        for name, values in columns.items():
+            require(
+                isinstance(name, str) and len(name) > 0,
+                f"attribute field names must be non-empty strings, got {name!r}",
+            )
+            column = _as_column(name, values).copy()
+            column.flags.writeable = False
+            if n < 0:
+                n = int(column.shape[0])
+            require(
+                int(column.shape[0]) == n,
+                f"attribute {name!r} has {column.shape[0]} rows, expected {n} "
+                f"(all columns must align with the corpus)",
+            )
+            prepared[name] = column
+        self._columns = prepared
+        self._n = n
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def n(self) -> int:
+        """Number of objects covered (rows per column)."""
+        return self._n
+
+    @property
+    def fields(self) -> tuple[str, ...]:
+        """Column names, in insertion order."""
+        return tuple(self._columns)
+
+    def __contains__(self, field: str) -> bool:
+        return field in self._columns
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(self._columns)
+
+    def __len__(self) -> int:
+        return len(self._columns)
+
+    def column(self, field: str) -> np.ndarray:
+        """The values of *field* (read-only), or an actionable error."""
+        got = self._columns.get(field)
+        if got is None:
+            raise ValueError(
+                f"unknown attribute field {field!r}; this corpus defines "
+                f"{sorted(self._columns)}"
+            )
+        return got
+
+    # ------------------------------------------------------------------
+    # Corpus lifecycle (subset / merge) — mirrors the vector stores
+    # ------------------------------------------------------------------
+    def subset(self, ids: np.ndarray) -> "AttributeTable":
+        """New table over the rows in *ids* (row order kept)."""
+        idx = np.asarray(ids)
+        return AttributeTable({n: col[idx] for n, col in self._columns.items()})
+
+    @classmethod
+    def concat(cls, tables: Sequence["AttributeTable"]) -> "AttributeTable":
+        """Stack *tables* row-wise; all must define the same fields."""
+        require(len(tables) >= 1, "nothing to concatenate")
+        fields = tables[0].fields
+        for t in tables[1:]:
+            require(
+                t.fields == fields,
+                f"cannot concatenate attribute tables with different "
+                f"fields: {fields} vs {t.fields}",
+            )
+        return cls(
+            {
+                name: np.concatenate([t.column(name) for t in tables])
+                for name in fields
+            }
+        )
+
+    # ------------------------------------------------------------------
+    # Persistence — rides inside segment .npz archives
+    # ------------------------------------------------------------------
+    def to_arrays(self) -> dict[str, np.ndarray]:
+        """Array payload for an ``.npz`` archive (prefixed keys)."""
+        return {ATTRIBUTE_PREFIX + n: col for n, col in self._columns.items()}
+
+    @classmethod
+    def from_arrays(
+        cls, arrays: Mapping[str, np.ndarray]
+    ) -> "AttributeTable | None":
+        """Inverse of :meth:`to_arrays`; None when no columns are present."""
+        columns = {
+            name[len(ATTRIBUTE_PREFIX):]: np.asarray(values)
+            for name, values in arrays.items()
+            if name.startswith(ATTRIBUTE_PREFIX)
+        }
+        if not columns:
+            return None
+        return cls(columns)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        cols = ", ".join(f"{n}:{c.dtype}" for n, c in self._columns.items())
+        return f"AttributeTable(n={self._n}, columns=[{cols}])"

@@ -8,25 +8,32 @@ Ties the pieces together behind one object:
   model on (anchor, positive) pairs and installs the learned weights.
 * **Indexing** — :meth:`MUST.build` constructs the fused proximity graph
   (Algorithm 1) under the current weights.
-* **Searching** — :meth:`MUST.search` runs the joint search
-  (Algorithm 2), optionally with user-defined weight overrides
-  (Fig. 4(g) Option 2) or exact brute force.
+* **Searching** — :meth:`MUST.query` runs the joint search
+  (Algorithm 2) through the typed request surface: per-query weight
+  overrides (Fig. 4(g) Option 2), attribute filters, exact brute
+  force.  The legacy keyword entry points (:meth:`MUST.search` /
+  :meth:`MUST.batch_search`) remain as bit-identical deprecation shims.
 
 Typical usage::
 
     must = MUST.from_dataset(encoded)
     must.fit_weights(train_queries, train_positive_ids)
     must.build()
-    result = must.search(query, k=10, l=100)
+    result = must.query(Query(vector), SearchOptions(k=10, l=100))
 """
 
 from __future__ import annotations
 
+import warnings
+from dataclasses import replace as _dc_replace
 from pathlib import Path
+from typing import Sequence
 
 import numpy as np
 
+from repro.core.attributes import AttributeTable
 from repro.core.multivector import MultiVector, MultiVectorSet
+from repro.core.query import Query, SearchOptions, as_query
 from repro.core.results import SearchResult
 from repro.core.space import JointSpace
 from repro.core.weights import Weights
@@ -154,6 +161,33 @@ class MUST:
         self._space = None  # weights changed → spaces/indexes are stale
         self._index = None
 
+    def set_attributes(self, attributes: AttributeTable | dict) -> "MUST":
+        """Attach the per-corpus attribute table that filters compile
+        against (one value per object per named field).
+
+        Accepts an :class:`~repro.core.attributes.AttributeTable` or a
+        plain ``{field: values}`` mapping.  Attach before going dynamic:
+        once streaming inserts have split the corpus into segments, each
+        segment owns its attribute slice and new attributes arrive on
+        the inserted :class:`MultiVectorSet` itself.
+        """
+        require(
+            self._segments is None,
+            "cannot attach attributes after streaming inserts — each "
+            "segment owns its attribute slice; pass attributes on the "
+            "inserted MultiVectorSet instead",
+        )
+        self.objects.set_attributes(attributes)
+        if (
+            self._index is not None
+            and self._index.space.vectors is not self.objects
+        ):
+            # A compressed build re-seats the graph on a different
+            # MultiVectorSet; mirror the table so filters compile on the
+            # serving store too.
+            self._index.space.vectors.set_attributes(self.objects.attributes)
+        return self
+
     # ------------------------------------------------------------------
     # Stage 3: indexing (§VII-A)
     # ------------------------------------------------------------------
@@ -204,11 +238,146 @@ class MUST:
         return self
 
     # ------------------------------------------------------------------
-    # Stage 4: searching (§VII-B)
+    # Stage 4: searching (§VII-B) — the unified typed entry point
+    # ------------------------------------------------------------------
+    def query(
+        self,
+        queries: "Query | MultiVector | Sequence[Query | MultiVector]",
+        options: SearchOptions | None = None,
+    ) -> SearchResult | BatchResult:
+        """Joint top-*k* search through the typed request surface.
+
+        The single entry point every other search surface now routes
+        through.  *queries* is one :class:`~repro.core.query.Query` (or
+        a raw :class:`MultiVector`) for a single
+        :class:`~repro.core.results.SearchResult`, or a sequence of them
+        for a :class:`~repro.index.executor.BatchResult`; *options* is a
+        validated :class:`~repro.core.query.SearchOptions` plan (default
+        plan when omitted).
+
+        Per-query ``weights`` / ``filter`` / ``k`` ride inside each
+        :class:`Query`; a filter compiles against the corpus attribute
+        table (:meth:`set_attributes`) and is intersected with the §IX
+        deletion bitsets — exact paths are then bit-identical to an
+        unfiltered search over the post-filtered corpus, while graph
+        paths treat masked-out vertices as routable but not reportable.
+
+        Determinism matches the historical entry points: a single query
+        draws init vertices straight from ``options.rng``, a batch
+        spawns one SeedSequence child per query (bit-identical for any
+        ``options.n_jobs``).
+        """
+        opts = options if options is not None else SearchOptions()
+        require(
+            isinstance(opts, SearchOptions),
+            f"options must be a SearchOptions instance, got "
+            f"{type(opts).__name__} — build one with SearchOptions(...)",
+        )
+        self._check_plan(opts)
+        if isinstance(queries, (Query, MultiVector)):
+            return self._query_one(as_query(queries), opts)
+        typed = [as_query(q) for q in queries]
+        executor = BatchExecutor.from_options(opts)
+        if self._segments is not None:
+            opts = opts.resolve(self._segments.num_total)
+            return executor.run_segmented(
+                self._segments,
+                typed,
+                k=opts.k,
+                l=opts.l,
+                early_termination=opts.early_termination,
+                engine=opts.engine,
+                exact=opts.exact,
+                refine=opts.refine,
+                check_monotone=opts.check_monotone,
+            )
+        if opts.exact:
+            return executor.run_flat(
+                self._flat(), typed, opts.k, refine=opts.refine
+            )
+        opts = opts.resolve(self.objects.n)
+        return executor.run_graph(
+            self.index,
+            typed,
+            k=opts.k,
+            l=opts.l,
+            early_termination=opts.early_termination,
+            engine=opts.engine,
+            refine=opts.refine,
+            check_monotone=opts.check_monotone,
+        )
+
+    @staticmethod
+    def _check_plan(opts: SearchOptions) -> None:
+        """Graph-path contract: an explicit ``l`` must hold ``k`` results.
+
+        Checked here (not in ``SearchOptions``) because exact scans
+        ignore ``l`` entirely — and checked *before* ``resolve``, whose
+        ``l`` floor exists only for the corpus-smaller-than-``k``
+        corner, not to silently repair a user's ``l < k``.
+        """
+        require(
+            opts.exact or opts.l >= opts.k,
+            f"result set size l={opts.l} must be at least k={opts.k}",
+        )
+
+    def _query_one(self, q: Query, opts: SearchOptions) -> SearchResult:
+        """One typed query, same arithmetic as the historical ``search``."""
+        self._check_plan(opts)  # legacy shims enter here, not via query()
+        if self._segments is not None:
+            if opts.exact:
+                return self._segments.exact_search(
+                    q, opts.k, refine=opts.refine
+                )
+            opts = opts.resolve(self._segments.num_total)
+            return self._segments.search(
+                q,
+                k=opts.k,
+                l=opts.l,
+                early_termination=opts.early_termination,
+                engine=opts.engine,
+                rng=opts.rng,
+                refine=opts.refine,
+                check_monotone=opts.check_monotone,
+            )
+        if opts.exact:
+            return self._flat().search(q, opts.k, refine=opts.refine)
+        opts = opts.resolve(self.objects.n)
+        return joint_search(
+            self.index,
+            q,
+            k=opts.k,
+            l=opts.l,
+            early_termination=opts.early_termination,
+            engine=opts.engine,
+            rng=opts.rng,
+            refine=opts.refine,
+            check_monotone=opts.check_monotone,
+        )
+
+    @staticmethod
+    def _embed_weights(q: Query, weights: Weights | None) -> Query:
+        """Fold a legacy batch-level ``weights=`` into the typed query."""
+        if weights is None or q.weights is not None:
+            return q
+        return _dc_replace(q, weights=weights)
+
+    @staticmethod
+    def _warn_legacy(name: str) -> None:
+        warnings.warn(
+            f"MUST.{name}(**kwargs) is a deprecated shim; build a typed "
+            f"request instead: must.query(Query(vector, ...), "
+            f"SearchOptions(...)) — see the README 'Query API' section",
+            DeprecationWarning,
+            stacklevel=3,
+        )
+
+    # ------------------------------------------------------------------
+    # Legacy keyword entry points (deprecation shims over MUST.query)
     # ------------------------------------------------------------------
     def search(
         self,
-        query: MultiVector,
+        query: MultiVector | Query,
         k: int = 10,
         l: int = 100,
         weights: Weights | None = None,
@@ -217,7 +386,13 @@ class MUST:
         refine: int | None = None,
         **search_kwargs,
     ) -> SearchResult:
-        """Joint top-*k* search for one multimodal query.
+        """Joint top-*k* search for one multimodal query (legacy shim).
+
+        Deprecated in favour of :meth:`query`; results are bit-identical
+        to the typed path (this method merely builds the
+        :class:`Query`/:class:`SearchOptions` pair and delegates).
+        Unknown keyword arguments raise immediately with a did-you-mean
+        hint — a misspelled option used to be silently swallowed.
 
         ``weights`` overrides the index weights at query time; ``exact``
         bypasses the graph (brute force over the full-precision corpus,
@@ -229,32 +404,17 @@ class MUST:
         stable external ids, and the exact path is layout-independent
         (bit-identical no matter how the corpus is split into segments).
         """
-        if self._segments is not None:
-            if exact:
-                return self._segments.exact_search(
-                    query, k, weights=weights, refine=refine
-                )
-            return self._segments.search(
-                query,
-                k=k,
-                l=l,
-                weights=weights,
-                early_termination=early_termination,
-                refine=refine,
-                **search_kwargs,
-            )
-        if exact:
-            return self._flat().search(query, k, weights=weights,
-                                       refine=refine)
-        return joint_search(
-            self.index,
-            query,
+        self._warn_legacy("search")
+        opts = SearchOptions.from_kwargs(
             k=k,
-            l=min(l, self.objects.n),
-            weights=weights,
-            early_termination=early_termination,
+            l=l,
+            exact=exact,
             refine=refine,
+            early_termination=early_termination,
             **search_kwargs,
+        )
+        return self._query_one(
+            self._embed_weights(as_query(query), weights), opts
         )
 
     def _flat(self) -> FlatIndex:
@@ -264,7 +424,7 @@ class MUST:
 
     def batch_search(
         self,
-        queries: list[MultiVector],
+        queries: "Sequence[MultiVector | Query]",
         k: int = 10,
         l: int = 100,
         weights: Weights | None = None,
@@ -276,7 +436,12 @@ class MUST:
         refine: int | None = None,
         **search_kwargs,
     ) -> BatchResult:
-        """Joint top-*k* search for a batch of queries via the executor.
+        """Joint top-*k* search for a batch of queries (legacy shim).
+
+        Deprecated in favour of :meth:`query` with a sequence of typed
+        queries — this method builds the equivalent request and
+        delegates, so results are bit-identical to the typed path.
+        Unknown keyword arguments raise with a did-you-mean hint.
 
         The exact path scores all queries with a single GEMM per wave;
         the graph path runs stateless per-query searchers, on a thread
@@ -290,34 +455,24 @@ class MUST:
         results and carries the aggregated per-batch
         :class:`~repro.core.results.SearchStats` as ``.stats``.
         """
-        executor = BatchExecutor(n_jobs=n_jobs, rng=rng)
-        if self._segments is not None:
-            return executor.run_segmented(
-                self._segments,
-                queries,
-                k=k,
-                l=l,
-                weights=weights,
-                early_termination=early_termination,
-                engine=engine,
-                exact=exact,
-                refine=refine,
-                **search_kwargs,
-            )
-        if exact:
-            return executor.run_flat(self._flat(), queries, k,
-                                     weights=weights, refine=refine)
-        return executor.run_graph(
-            self.index,
-            queries,
+        self._warn_legacy("batch_search")
+        opts = SearchOptions.from_kwargs(
             k=k,
-            l=min(l, self.objects.n),
-            weights=weights,
+            l=l,
+            exact=exact,
+            refine=refine,
             early_termination=early_termination,
             engine=engine,
-            refine=refine,
+            n_jobs=n_jobs,
+            rng=rng,
             **search_kwargs,
         )
+        typed = [
+            self._embed_weights(as_query(q), weights) for q in queries
+        ]
+        out = self.query(typed, opts)
+        assert isinstance(out, BatchResult)
+        return out
 
     # ------------------------------------------------------------------
     # Serving (snapshot reads + micro-batch coalescing)

@@ -21,6 +21,7 @@ from typing import Iterable, Sequence
 
 import numpy as np
 
+from repro.core.attributes import AttributeTable
 from repro.store import DenseStore, VectorStore
 from repro.utils.validation import as_float_matrix, as_float_vector, require
 
@@ -31,10 +32,14 @@ def normalize_rows(matrix: np.ndarray) -> np.ndarray:
     """Return *matrix* with each row scaled to unit L2 norm.
 
     Zero rows are left untouched (they encode "missing modality" and must
-    keep an inner product of 0 with everything).
+    keep an inner product of 0 with everything).  Norms accumulate in
+    float64 (einsum upcasts per element — no corpus-sized float64 copy):
+    squaring float32 values near the denormal range underflows and
+    produced norms small enough to break idempotency.
     """
     matrix = np.asarray(matrix, dtype=np.float32)
-    norms = np.linalg.norm(matrix, axis=-1, keepdims=True)
+    squares = np.einsum("...i,...i->...", matrix, matrix, dtype=np.float64)
+    norms = np.sqrt(squares)[..., np.newaxis]
     safe = np.where(norms == 0.0, 1.0, norms)
     return (matrix / safe).astype(np.float32)
 
@@ -91,7 +96,12 @@ class MultiVectorSet:
     compressed backend.
     """
 
-    def __init__(self, matrices: Sequence[np.ndarray], normalize: bool = False):
+    def __init__(
+        self,
+        matrices: Sequence[np.ndarray],
+        normalize: bool = False,
+        attributes: AttributeTable | dict | None = None,
+    ):
         require(len(matrices) >= 1, "at least one modality matrix required")
         mats = [as_float_matrix(m, f"modality {i}") for i, m in enumerate(matrices)]
         n = mats[0].shape[0]
@@ -103,12 +113,22 @@ class MultiVectorSet:
         if normalize:
             mats = [normalize_rows(m) for m in mats]
         self._store: VectorStore = DenseStore(mats)
+        self._attributes: AttributeTable | None = None
+        if attributes is not None:
+            self.set_attributes(attributes)
 
     @classmethod
-    def from_store(cls, store: VectorStore) -> "MultiVectorSet":
+    def from_store(
+        cls,
+        store: VectorStore,
+        attributes: AttributeTable | None = None,
+    ) -> "MultiVectorSet":
         """Wrap an existing (possibly compressed) vector store."""
         out = cls.__new__(cls)
         out._store = store
+        out._attributes = None
+        if attributes is not None:
+            out.set_attributes(attributes)
         return out
 
     # ------------------------------------------------------------------
@@ -118,6 +138,33 @@ class MultiVectorSet:
     def store(self) -> VectorStore:
         """The backing store (scoring kernels, byte accounting, codecs)."""
         return self._store
+
+    @property
+    def attributes(self) -> AttributeTable | None:
+        """The per-object attribute table filters compile against."""
+        return self._attributes
+
+    def set_attributes(
+        self, attributes: AttributeTable | dict
+    ) -> "MultiVectorSet":
+        """Attach (or replace) the attribute table; returns ``self``.
+
+        Accepts a ready :class:`~repro.core.attributes.AttributeTable` or
+        a plain ``{field: values}`` mapping; column lengths must match
+        the corpus row count.  Filtered queries
+        (:class:`~repro.core.query.Query` with ``filter=``) require a
+        table — the filter compiler raises an actionable error
+        otherwise.
+        """
+        if not isinstance(attributes, AttributeTable):
+            attributes = AttributeTable(attributes)
+        require(
+            attributes.n == self.n,
+            f"attribute table covers {attributes.n} objects but the corpus "
+            f"has {self.n}",
+        )
+        self._attributes = attributes
+        return self
 
     @property
     def is_compressed(self) -> bool:
@@ -177,9 +224,20 @@ class MultiVectorSet:
         return self._store.exact_modality(i)
 
     def subset(self, ids: np.ndarray) -> "MultiVectorSet":
-        """New set containing only the objects in *ids* (row order kept)."""
+        """New set containing only the objects in *ids* (row order kept).
+
+        The attribute table, when present, is sliced alongside the
+        vectors so filters keep answering correctly on the subset.
+        """
         ids = np.asarray(ids)
-        return MultiVectorSet.from_store(self._store.subset(ids))
+        return MultiVectorSet.from_store(
+            self._store.subset(ids),
+            attributes=(
+                None
+                if self._attributes is None
+                else self._attributes.subset(ids)
+            ),
+        )
 
     def concatenated(self, scales: Sequence[float] | None = None) -> np.ndarray:
         """Horizontal concatenation, optionally scaling each block.

@@ -1,0 +1,453 @@
+"""Typed request surface: queries, search options, and attribute filters.
+
+Every search entry point in the library — ``MUST.search`` /
+``batch_search``, :class:`~repro.index.flat.FlatIndex`,
+:class:`~repro.index.segments.SegmentedIndex`, the
+:class:`~repro.index.executor.BatchExecutor`, and
+:class:`~repro.service.MustService` — used to re-declare the same
+growing keyword sprawl, where a misspelled ``early_terminatoin=`` was
+silently swallowed.  This module replaces that surface with three frozen
+dataclasses:
+
+* :class:`Query` — one request: the multi-vector, plus optional
+  per-query ``weights`` (Fig. 4(g) Option 2), a structured ``filter``,
+  and a per-query ``k`` override.
+* :class:`SearchOptions` — the execution plan shared by a wave of
+  queries (``k``, ``l``, ``exact``, ``refine``, ``early_termination``,
+  ``engine``, ``n_jobs``, ``rng``, ``check_monotone``), validated once
+  at construction with errors that name the offending field.
+  :meth:`SearchOptions.from_kwargs` is the legacy-shim gate: unknown
+  keyword names raise immediately with a did-you-mean suggestion.
+* a :class:`Filter` mini-DSL (:class:`Eq` / :class:`In` /
+  :class:`Range` / :class:`And` / :class:`Or` / :class:`Not`) over the
+  per-corpus :class:`~repro.core.attributes.AttributeTable`, compiling
+  to a boolean candidate mask.  Exact paths intersect the mask into the
+  §IX deletion bitsets (so filtered exact search is bit-identical to an
+  unfiltered search over the post-filtered corpus); graph paths treat
+  masked-out vertices as routable-but-not-reportable — the standard
+  filtered-ANN construction.
+
+Filters compose with ``&``, ``|`` and ``~``::
+
+    flt = (Eq("category", "shoes") & Range("price", high=50.0)) | \
+          In("brand", ("acme", "zenith"))
+    result = must.query(Query(vector, filter=flt), SearchOptions(k=5))
+"""
+
+from __future__ import annotations
+
+import abc
+import difflib
+from dataclasses import dataclass, fields, replace
+from typing import Any, Iterable, Union
+
+import numpy as np
+import numpy.typing as npt
+
+from repro.core.attributes import AttributeTable
+from repro.core.multivector import MultiVector
+from repro.core.weights import Weights
+from repro.utils.validation import require
+
+__all__ = [
+    "Filter",
+    "Eq",
+    "In",
+    "Range",
+    "And",
+    "Or",
+    "Not",
+    "Query",
+    "SearchOptions",
+    "RngLike",
+    "as_query",
+    "compile_filter",
+    "unpack_query",
+]
+
+BoolMask = npt.NDArray[np.bool_]
+#: everything the graph searchers accept as an init-draw seed.
+RngLike = Union[int, None, np.random.SeedSequence, np.random.Generator]
+
+
+# ----------------------------------------------------------------------
+# Filter mini-DSL
+# ----------------------------------------------------------------------
+class Filter(abc.ABC):
+    """A predicate over attribute columns, compiling to a boolean mask.
+
+    ``mask(table)[j]`` is True when object ``j`` is admissible.  Clauses
+    compose structurally (:class:`And` / :class:`Or` / :class:`Not`, or
+    the ``&`` / ``|`` / ``~`` operators); compilation is a handful of
+    vectorised column comparisons, cheap next to any scan or traversal.
+    """
+
+    @abc.abstractmethod
+    def mask(self, table: AttributeTable) -> BoolMask:
+        """Admissibility of every object under this clause."""
+
+    def __and__(self, other: "Filter") -> "And":
+        return And(self, other)
+
+    def __or__(self, other: "Filter") -> "Or":
+        return Or(self, other)
+
+    def __invert__(self) -> "Not":
+        return Not(self)
+
+
+@dataclass(frozen=True)
+class Eq(Filter):
+    """``column == value``."""
+
+    field: str
+    value: object
+
+    def mask(self, table: AttributeTable) -> BoolMask:
+        return np.asarray(table.column(self.field) == self.value, dtype=bool)
+
+
+@dataclass(frozen=True, init=False)
+class In(Filter):
+    """``column ∈ values`` (membership over an explicit set)."""
+
+    field: str
+    values: tuple[object, ...]
+
+    def __init__(self, field: str, values: Iterable[object]) -> None:
+        object.__setattr__(self, "field", field)
+        object.__setattr__(self, "values", tuple(values))
+        require(len(self.values) >= 1, "In() needs at least one value")
+
+    def mask(self, table: AttributeTable) -> BoolMask:
+        return np.asarray(
+            np.isin(table.column(self.field), np.asarray(self.values)),
+            dtype=bool,
+        )
+
+
+@dataclass(frozen=True)
+class Range(Filter):
+    """``low ≤ column ≤ high`` (either bound optional, both inclusive)."""
+
+    field: str
+    low: object = None
+    high: object = None
+
+    def __post_init__(self) -> None:
+        require(
+            self.low is not None or self.high is not None,
+            f"Range({self.field!r}) needs at least one of low=/high=",
+        )
+
+    def mask(self, table: AttributeTable) -> BoolMask:
+        column = table.column(self.field)
+        out = np.ones(column.shape[0], dtype=bool)
+        if self.low is not None:
+            out &= column >= self.low
+        if self.high is not None:
+            out &= column <= self.high
+        return out
+
+
+@dataclass(frozen=True, init=False)
+class And(Filter):
+    """Conjunction of one or more clauses."""
+
+    clauses: tuple[Filter, ...]
+
+    def __init__(self, *clauses: Filter) -> None:
+        object.__setattr__(self, "clauses", tuple(clauses))
+        require(len(self.clauses) >= 1, "And() needs at least one clause")
+
+    def mask(self, table: AttributeTable) -> BoolMask:
+        out = self.clauses[0].mask(table)
+        for clause in self.clauses[1:]:
+            out = out & clause.mask(table)
+        return out
+
+
+@dataclass(frozen=True, init=False)
+class Or(Filter):
+    """Disjunction of one or more clauses."""
+
+    clauses: tuple[Filter, ...]
+
+    def __init__(self, *clauses: Filter) -> None:
+        object.__setattr__(self, "clauses", tuple(clauses))
+        require(len(self.clauses) >= 1, "Or() needs at least one clause")
+
+    def mask(self, table: AttributeTable) -> BoolMask:
+        out = self.clauses[0].mask(table)
+        for clause in self.clauses[1:]:
+            out = out | clause.mask(table)
+        return out
+
+
+@dataclass(frozen=True)
+class Not(Filter):
+    """Negation of a clause."""
+
+    clause: Filter
+
+    def mask(self, table: AttributeTable) -> BoolMask:
+        return ~self.clause.mask(table)
+
+
+#: per-wave filter-compilation cache: (filter id, attribute-table id) →
+#: mask.  Keyed on both identities so one memo can serve every segment
+#: of a cross-segment wave without mask-length collisions.
+FilterMemo = dict[tuple[int, int], BoolMask]
+
+
+def compile_filter(
+    flt: Filter,
+    attributes: "AttributeTable | None",
+    context: str = "corpus",
+    memo: "FilterMemo | None" = None,
+) -> BoolMask:
+    """Compile *flt* against a corpus slice's attribute table.
+
+    Raises an actionable error when the slice carries no attributes at
+    all (the caller names the slice via *context*, e.g. which segment);
+    unknown fields raise from :meth:`AttributeTable.column` with the
+    available field list.
+
+    *memo* lets a batch entry point compile each shared filter once per
+    corpus slice instead of once per query — batches typically reuse
+    one ``Filter`` instance across every request in the wave.  Sharing
+    a memo across pool threads is safe: dict reads/writes are atomic
+    and a race merely recomputes the same mask.
+    """
+    key = (id(flt), id(attributes))
+    if memo is not None:
+        cached = memo.get(key)
+        if cached is not None:
+            return cached
+    if attributes is None:
+        raise ValueError(
+            f"query has a filter but the {context} has no attribute table — "
+            f"attach one with MultiVectorSet.set_attributes(...) (inserted "
+            f"objects must carry the same fields as the corpus)"
+        )
+    mask = flt.mask(attributes)
+    if memo is not None:
+        memo[key] = mask
+    return mask
+
+
+# ----------------------------------------------------------------------
+# Query
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class Query:
+    """One typed search request.
+
+    ``vector`` is the multi-vector (missing modalities allowed, §VII-B);
+    ``weights`` overrides the index weights for this query only;
+    ``filter`` restricts admissible answers via the corpus attribute
+    table; ``k`` overrides the wave-level ``SearchOptions.k`` for this
+    query only.
+    """
+
+    vector: MultiVector
+    weights: "Weights | None" = None
+    filter: "Filter | None" = None
+    k: "int | None" = None
+
+    def __post_init__(self) -> None:
+        require(
+            isinstance(self.vector, MultiVector),
+            f"Query.vector must be a MultiVector, got "
+            f"{type(self.vector).__name__} — wrap per-modality arrays with "
+            f"MultiVector.from_arrays(...)",
+        )
+        require(
+            self.weights is None or isinstance(self.weights, Weights),
+            "Query.weights must be a Weights instance or None",
+        )
+        require(
+            self.filter is None or isinstance(self.filter, Filter),
+            "Query.filter must be a Filter clause or None",
+        )
+        require(
+            self.k is None or (isinstance(self.k, int) and self.k >= 1),
+            f"Query.k must be a positive int or None, got {self.k!r}",
+        )
+
+    def resolve_k(self, default: int) -> int:
+        """This query's effective ``k`` under a wave-level default."""
+        return default if self.k is None else self.k
+
+    def resolve_weights(self, default: "Weights | None") -> "Weights | None":
+        """This query's effective weight override."""
+        return default if self.weights is None else self.weights
+
+
+def as_query(query: "Query | MultiVector") -> Query:
+    """Coerce a raw :class:`MultiVector` into a plain :class:`Query`."""
+    if isinstance(query, Query):
+        return query
+    return Query(vector=query)
+
+
+def unpack_query(
+    query: "Query | MultiVector",
+    k: int,
+    weights: "Weights | None",
+    attributes: "AttributeTable | None",
+    context: str = "corpus",
+    memo: "FilterMemo | None" = None,
+) -> "tuple[MultiVector, int, Weights | None, BoolMask | None]":
+    """Resolve a possibly-typed query against wave-level defaults.
+
+    Returns ``(vector, k, weights, mask)`` where ``mask`` is the
+    compiled filter (None when the query carries no filter).  Raw
+    :class:`MultiVector` inputs pass straight through — the seam that
+    lets every search layer accept both representations with one line.
+    *memo* forwards to :func:`compile_filter` so batch callers compile
+    each shared filter once.
+    """
+    q = as_query(query)
+    if q.filter is None:
+        mask = None
+    else:
+        mask = compile_filter(q.filter, attributes, context, memo=memo)
+    return q.vector, q.resolve_k(k), q.resolve_weights(weights), mask
+
+
+# ----------------------------------------------------------------------
+# SearchOptions
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class SearchOptions:
+    """The validated execution plan for one search or one wave of them.
+
+    Construct directly (field errors name the field) or through
+    :meth:`from_kwargs`, which additionally rejects unknown keyword
+    names — the gate every legacy ``**search_kwargs`` entry point now
+    funnels through, so a typo'd ``early_terminatoin=`` fails loudly
+    instead of being silently dropped.
+    """
+
+    k: int = 10
+    l: int = 100
+    exact: bool = False
+    refine: "int | None" = None
+    early_termination: bool = False
+    engine: str = "heap"
+    n_jobs: int = 1
+    rng: RngLike = 0
+    check_monotone: bool = False
+
+    def __post_init__(self) -> None:
+        require(
+            isinstance(self.k, int) and self.k >= 1,
+            f"SearchOptions.k must be a positive int, got {self.k!r}",
+        )
+        require(
+            isinstance(self.l, int) and self.l >= 1,
+            f"SearchOptions.l must be a positive int, got {self.l!r}",
+        )
+        # l >= k is a *graph-path* contract (exact scans ignore l); the
+        # searcher enforces it, keeping legacy exact calls with k > l
+        # valid.
+        require(
+            isinstance(self.exact, bool),
+            f"SearchOptions.exact must be a bool, got {self.exact!r}",
+        )
+        require(
+            self.refine is None
+            or (isinstance(self.refine, int) and self.refine >= 1),
+            f"SearchOptions.refine must be an int >= 1 or None, got "
+            f"{self.refine!r}",
+        )
+        require(
+            isinstance(self.early_termination, bool),
+            f"SearchOptions.early_termination must be a bool, got "
+            f"{self.early_termination!r}",
+        )
+        require(
+            self.engine in ("heap", "paper"),
+            f"SearchOptions.engine must be 'heap' or 'paper', got "
+            f"{self.engine!r}",
+        )
+        require(
+            isinstance(self.n_jobs, int),
+            f"SearchOptions.n_jobs must be an int (scikit-learn "
+            f"convention: 1 sequential, -1 all cores), got {self.n_jobs!r}",
+        )
+        require(
+            isinstance(self.check_monotone, bool),
+            f"SearchOptions.check_monotone must be a bool, got "
+            f"{self.check_monotone!r}",
+        )
+
+    @classmethod
+    def field_names(cls) -> tuple[str, ...]:
+        return tuple(f.name for f in fields(cls))
+
+    @classmethod
+    def validate_names(cls, names: Iterable[str], extra: tuple[str, ...] = ()) -> None:
+        """Reject unknown option names with a did-you-mean hint.
+
+        *extra* lists additional names a particular entry point accepts
+        (e.g. the legacy ``weights=``, which lives on :class:`Query` in
+        the typed surface).  This is the gate every legacy
+        ``**search_kwargs`` entry point funnels through, so a typo'd
+        ``early_terminatoin=`` fails loudly instead of being swallowed.
+        """
+        known = cls.field_names() + tuple(extra)
+        unknown = [name for name in names if name not in known]
+        if not unknown:
+            return
+        hints = []
+        for name in unknown:
+            close = difflib.get_close_matches(name, known, n=1)
+            if close:
+                hints.append(f"{name!r} (did you mean {close[0]!r}?)")
+            else:
+                hints.append(f"{name!r}")
+        raise TypeError(
+            f"unknown search option{'s' if len(unknown) > 1 else ''} "
+            f"{', '.join(hints)}; valid options: {', '.join(known)}"
+        )
+
+    @classmethod
+    def from_kwargs(cls, **kwargs: Any) -> "SearchOptions":
+        """Build options from loose keywords, rejecting unknown names
+        (see :meth:`validate_names`) and out-of-range values alike."""
+        cls.validate_names(kwargs)
+        return cls(**kwargs)
+
+    def resolve(self, n: int) -> "SearchOptions":
+        """Clamp the result-set size to the corpus: ``l = min(l, n)``.
+
+        The one place the ``l`` clamp now lives — applied to the
+        single-graph *and* the segmented path, which historically
+        disagreed (only the former clamped).  ``l`` never drops below
+        ``k``, so a corpus smaller than ``k`` searches with ``l = k``
+        and simply returns every admissible object (the historical
+        unclamped-``l`` error for that corner is gone).
+        """
+        clamped = max(min(self.l, int(n)), self.k)
+        if clamped == self.l:
+            return self
+        return replace(self, l=clamped)
+
+    def updated(self, **changes: Any) -> "SearchOptions":
+        """A copy with *changes* applied (re-validated)."""
+        return replace(self, **changes)
+
+    def to_kwargs(self, exclude: tuple[str, ...] = ()) -> dict[str, Any]:
+        """Field → value mapping for legacy ``**kwargs`` call sites.
+
+        The one derivation the service plan and the snapshot read path
+        share, so a new field can never be silently dropped by a
+        hand-written copy of the schema.
+        """
+        return {
+            name: getattr(self, name)
+            for name in self.field_names()
+            if name not in exclude
+        }

@@ -35,8 +35,11 @@ def reseat_on_store(
         [vectors.exact_modality(i) for i in range(vectors.num_modalities)],
         **(store_options or {}),
     )
+    # The attribute table rides along: compression changes the vector
+    # representation, never which objects a filter admits.
     index.space = JointSpace(
-        MultiVectorSet.from_store(store), index.space.weights
+        MultiVectorSet.from_store(store, attributes=vectors.attributes),
+        index.space.weights,
     )
     return index
 

@@ -32,6 +32,7 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from repro.core.multivector import MultiVector
+from repro.core.query import Query, SearchOptions
 from repro.core.results import SearchResult, SearchStats
 from repro.core.weights import Weights
 from repro.index.base import GraphIndex
@@ -39,6 +40,10 @@ from repro.utils.parallel import resolve_n_jobs, thread_map
 from repro.utils.rng import spawn_seed_sequences
 
 __all__ = ["BatchResult", "BatchExecutor"]
+
+#: a batch entry: raw multi-vector or typed query (per-query
+#: weights/filter/k ride inside and are unpacked by the search layers).
+QueryLike = MultiVector | Query
 
 
 @dataclass
@@ -75,13 +80,18 @@ class BatchExecutor:
         self.n_jobs = resolve_n_jobs(n_jobs)
         self.rng = rng
 
+    @classmethod
+    def from_options(cls, options: SearchOptions) -> "BatchExecutor":
+        """Executor configured by a typed plan (``n_jobs`` + ``rng``)."""
+        return cls(n_jobs=options.n_jobs, rng=options.rng)
+
     # ------------------------------------------------------------------
     # Graph path
     # ------------------------------------------------------------------
     def run_graph(
         self,
         index: GraphIndex,
-        queries: list[MultiVector],
+        queries: list[QueryLike],
         k: int,
         l: int,
         weights: Weights | None = None,
@@ -99,8 +109,11 @@ class BatchExecutor:
         # per-query kernels are thread-local by construction).
         if not index.space.is_compressed:
             index.space.concatenated
+        # Shared per-wave cache: queries reusing one Filter instance
+        # compile it once, not once per query (safe across pool threads).
+        memo: dict = {}
 
-        def one(task: tuple[MultiVector, np.random.SeedSequence]) -> SearchResult:
+        def one(task: tuple[QueryLike, np.random.SeedSequence]) -> SearchResult:
             query, seed = task
             return joint_search(
                 index,
@@ -111,6 +124,7 @@ class BatchExecutor:
                 early_termination=early_termination,
                 engine=engine,
                 rng=np.random.default_rng(seed),
+                filter_memo=memo,
                 **search_kwargs,
             )
 
@@ -125,7 +139,7 @@ class BatchExecutor:
     def run_segmented(
         self,
         segmented,
-        queries: list[MultiVector],
+        queries: list[QueryLike],
         k: int,
         l: int = 100,
         weights: Weights | None = None,
@@ -158,8 +172,11 @@ class BatchExecutor:
         # Materialise the delta graph + per-segment concat matrices before
         # the pool starts, so workers never race to build them.
         segmented.prepare_search()
+        # Per-wave filter cache, keyed by (filter, segment table) so one
+        # dict serves every segment (rides to joint_search via kwargs).
+        memo: dict = {}
 
-        def one(task: tuple[MultiVector, np.random.SeedSequence]) -> SearchResult:
+        def one(task: tuple[QueryLike, np.random.SeedSequence]) -> SearchResult:
             query, seed = task
             return segmented.search(
                 query,
@@ -170,6 +187,7 @@ class BatchExecutor:
                 engine=engine,
                 rng=seed,
                 refine=refine,
+                filter_memo=memo,
                 **search_kwargs,
             )
 
@@ -181,7 +199,7 @@ class BatchExecutor:
     def run_exact_wave(
         self,
         view,
-        queries: list[MultiVector],
+        queries: list[QueryLike],
         k: int,
         weights: Weights | None = None,
         refine: int | None = None,
@@ -211,7 +229,7 @@ class BatchExecutor:
     def run_flat(
         self,
         flat,
-        queries: list[MultiVector],
+        queries: list[QueryLike],
         k: int,
         weights: Weights | None = None,
         refine: int | None = None,

@@ -10,6 +10,14 @@ The scan itself lives in the shared scoring engine
 the whole wave).  The index is deletion-aware: pass the §IX data-status
 bitset as ``deleted`` and soft-deleted objects are excluded from exact
 results, matching the graph searcher's behaviour.
+
+Queries may be raw :class:`~repro.core.multivector.MultiVector`\\ s or
+typed :class:`~repro.core.query.Query` objects; a query's ``filter``
+compiles to a candidate mask over this space's attribute table, which is
+intersected with the deletion bitset before ranking — so a filtered
+exact search is bit-identical to an unfiltered search over the
+post-filtered corpus (the scan scores every row; masked rows simply
+cannot be answers).
 """
 
 from __future__ import annotations
@@ -17,6 +25,7 @@ from __future__ import annotations
 import numpy as np
 
 from repro.core.multivector import MultiVector
+from repro.core.query import Query, unpack_query
 from repro.core.results import SearchResult
 from repro.core.space import JointSpace
 from repro.core.weights import Weights
@@ -69,13 +78,28 @@ class FlatIndex:
     def n(self) -> int:
         return self.space.n
 
-    def _rank(self, sims: np.ndarray, k: int) -> np.ndarray:
-        """Top-*k* local ids of one scan, with deleted rows masked out."""
+    def _rank(
+        self, sims: np.ndarray, k: int, mask: np.ndarray | None = None
+    ) -> np.ndarray:
+        """Top-*k* local ids of one scan, inadmissible rows masked out.
+
+        With a filter mask the selection runs over the *compacted*
+        admissible rows rather than a ``-inf``-masked full array:
+        identical results (the compaction is order-preserving, so tie
+        order maps straight back), but argpartition keeps its O(n)
+        behaviour instead of degrading on duplicate-heavy ``-inf`` runs.
+        """
         if self.deleted is not None:
             sims = np.where(self.deleted, -np.inf, sims)
-        ids = top_k_sorted(sims, k)
-        # Fewer than k active objects leave -inf (deleted) entries in the
-        # selection; drop them rather than return tombstones.
+        if mask is not None:
+            admissible = np.flatnonzero(mask)
+            local = top_k_sorted(sims[admissible], k)
+            ids = admissible[local]
+        else:
+            ids = top_k_sorted(sims, k)
+        # Fewer than k admissible objects leave -inf (deleted) entries
+        # in the selection; drop them rather than return inadmissible
+        # rows.
         return ids[np.isfinite(sims[ids])]
 
     def _result(self, local: np.ndarray, sims: np.ndarray, stats) -> SearchResult:
@@ -90,10 +114,11 @@ class FlatIndex:
         refine: int,
         weights: Weights | None,
         stats,
+        mask: np.ndarray | None = None,
     ) -> SearchResult:
         """Two-stage rerank: top ``refine·k`` of the scan, re-scored at
         full precision against the store's exact tier, cut to *k*."""
-        shortlist = self._rank(sims, refine * k)
+        shortlist = self._rank(sims, refine * k, mask)
         local, exact = rerank_exact(
             self.space, query, shortlist, k, weights=weights, stats=stats
         )
@@ -102,8 +127,8 @@ class FlatIndex:
 
     def search(
         self,
-        query: MultiVector,
-        k: int,
+        query: MultiVector | Query,
+        k: int = 10,
         weights: Weights | None = None,
         refine: int | None = None,
     ) -> SearchResult:
@@ -111,23 +136,27 @@ class FlatIndex:
 
         On a compressed space the scan scores the hot codes; pass
         ``refine=r`` to re-score the top ``r·k`` survivors at full
-        precision (two-stage rerank) before cutting to *k*.
+        precision (two-stage rerank) before cutting to *k*.  A typed
+        :class:`Query` supplies per-query ``weights``/``filter``/``k``.
         """
         require(refine is None or refine >= 1, "refine must be >= 1")
+        query, k, weights, mask = unpack_query(
+            query, k, weights, self.space.vectors.attributes
+        )
         scorer = Scorer(self.space, query, weights=weights,
                         deterministic=self.deterministic)
         sims = scorer.score_all()
         if refine is not None:
             return self._refined(
-                query, sims, k, refine, weights, scorer.stats
+                query, sims, k, refine, weights, scorer.stats, mask
             )
-        local = self._rank(sims, k)
+        local = self._rank(sims, k, mask)
         return self._result(local, sims, scorer.stats)
 
     def batch_search(
         self,
-        queries: list[MultiVector],
-        k: int,
+        queries: list[MultiVector | Query],
+        k: int = 10,
         weights: Weights | None = None,
         refine: int | None = None,
     ) -> list[SearchResult]:
@@ -139,19 +168,31 @@ class FlatIndex:
         scan's per-modality float64 accumulation) and can diverge by
         ~1e-7; objects whose joint similarities are closer than that may
         swap ranks between the two paths.  See :func:`batch_score_all`.
-        ``refine`` applies the same two-stage rerank per query.
+        ``refine`` applies the same two-stage rerank per query.  Typed
+        queries keep their per-query weights/filters/k inside the shared
+        GEMM wave (each concat column bakes its weights in; masks apply
+        after scoring).
         """
         require(refine is None or refine >= 1, "refine must be >= 1")
+        attributes = self.space.vectors.attributes
+        memo: dict = {}  # shared filters compile once per wave
+        unpacked = [
+            unpack_query(q, k, weights, attributes, memo=memo)
+            for q in queries
+        ]
+        vectors = [u[0] for u in unpacked]
         all_sims, all_stats = batch_score_all(
-            self.space, queries, weights=weights
+            self.space, vectors, weights=[u[2] for u in unpacked]
         )
         out = []
-        for query, sims, stats in zip(queries, all_sims, all_stats):
+        for (query, k_i, w_i, mask), sims, stats in zip(
+            unpacked, all_sims, all_stats
+        ):
             if refine is not None:
                 out.append(
-                    self._refined(query, sims, k, refine, weights, stats)
+                    self._refined(query, sims, k_i, refine, w_i, stats, mask)
                 )
                 continue
-            local = self._rank(sims, k)
+            local = self._rank(sims, k_i, mask)
             out.append(self._result(local, sims, stats))
         return out

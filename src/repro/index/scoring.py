@@ -40,12 +40,36 @@ with a single GEMM, the throughput core of the executor's exact path.
 
 from __future__ import annotations
 
+from typing import Sequence
+
 import numpy as np
 
 from repro.core.multivector import MultiVector
 from repro.core.results import SearchStats
 from repro.core.space import JointSpace
 from repro.core.weights import Weights
+
+
+def _per_query_weights(
+    weights: Weights | Sequence[Weights | None] | None, count: int
+) -> list[Weights | None]:
+    """Normalise a batch's ``weights`` argument to one entry per query.
+
+    A single :class:`Weights` (or None) applies to the whole batch — the
+    historical contract; a sequence supplies per-query overrides, the
+    typed-:class:`~repro.core.query.Query` path.  Per-element arithmetic
+    is identical either way, so a batch with ``[w] * b`` is bit-identical
+    to one with ``weights=w``.
+    """
+    if weights is None or isinstance(weights, Weights):
+        return [weights] * count
+    per_query = list(weights)
+    if len(per_query) != count:
+        raise ValueError(
+            f"per-query weights cover {len(per_query)} queries, batch has "
+            f"{count}"
+        )
+    return per_query
 
 __all__ = ["MatrixScorer", "Scorer", "batch_score_all", "rerank_exact"]
 
@@ -208,7 +232,7 @@ class Scorer:
 def batch_score_all(
     space: JointSpace,
     queries: list[MultiVector],
-    weights: Weights | None = None,
+    weights: Weights | Sequence[Weights | None] | None = None,
 ) -> tuple[list[np.ndarray], list[SearchStats]]:
     """Score many queries against the whole corpus in one GEMM.
 
@@ -217,6 +241,11 @@ def batch_score_all(
     stacked query matrix, and a single ``(n, D) @ (D, b)`` GEMM replaces
     ``b`` separate scans.  Queries without a fast path (zeroed index
     weight) fall back to the per-query :meth:`Scorer.score_all`.
+
+    ``weights`` is either one override for the whole batch or a sequence
+    of per-query overrides (the typed-``Query`` path) — each query's
+    rescaled concat column already bakes its own weights in, so mixed
+    batches still share the one GEMM.
 
     Returns per-query ``(sims, stats)`` aligned with *queries*.  Note the
     numerics: the stacked path scores through the rescaled float32
@@ -229,16 +258,17 @@ def batch_score_all(
     n = len(queries)
     sims_out: list[np.ndarray | None] = [None] * n
     stats_out: list[SearchStats] = [SearchStats() for _ in range(n)]
+    per_query = _per_query_weights(weights, n)
 
     if space.is_compressed:
-        return _batch_score_compressed(space, queries, weights, stats_out)
+        return _batch_score_compressed(space, queries, per_query, stats_out)
 
     stacked: list[np.ndarray] = []
     fast_rows: list[int] = []
     for row, query in enumerate(queries):
-        qcat = space.concat_query(query, weights)
+        qcat = space.concat_query(query, per_query[row])
         if qcat is None:
-            scorer = Scorer(space, query, weights=weights,
+            scorer = Scorer(space, query, weights=per_query[row],
                             stats=stats_out[row])
             sims_out[row] = scorer.score_all()
         else:
@@ -263,7 +293,7 @@ def batch_score_all(
 def _batch_score_compressed(
     space: JointSpace,
     queries: list[MultiVector],
-    weights: Weights | None,
+    weights: list[Weights | None],
     stats_out: list[SearchStats],
 ) -> tuple[list[np.ndarray], list[SearchStats]]:
     """Batched asymmetric scan: one store GEMM/ADC wave per modality.
@@ -281,7 +311,8 @@ def _batch_score_compressed(
         np.zeros(n_obj, dtype=np.float64) for _ in queries
     ]
     w2_rows = [
-        space.effective_squared_weights(q, weights) for q in queries
+        space.effective_squared_weights(q, w)
+        for q, w in zip(queries, weights)
     ]
     for i in range(space.num_modalities):
         cols = [

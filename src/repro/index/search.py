@@ -36,7 +36,8 @@ import heapq
 import numpy as np
 
 from repro.core.multivector import MultiVector
-from repro.core.results import SearchResult
+from repro.core.query import Query, unpack_query
+from repro.core.results import SearchResult, SearchStats
 from repro.core.weights import Weights
 from repro.index.base import GraphIndex
 from repro.index.scoring import MatrixScorer, Scorer, rerank_exact
@@ -48,7 +49,7 @@ __all__ = ["joint_search", "greedy_search_graph"]
 
 def joint_search(
     index: GraphIndex,
-    query: MultiVector,
+    query: MultiVector | Query,
     k: int,
     l: int,
     weights: Weights | None = None,
@@ -57,6 +58,7 @@ def joint_search(
     rng: np.random.Generator | int | None = 0,
     check_monotone: bool = False,
     refine: int | None = None,
+    filter_memo: dict | None = None,
 ) -> SearchResult:
     """Approximate top-*k* joint search (Algorithm 2).
 
@@ -68,17 +70,53 @@ def joint_search(
     overhead, so it is off by default and its effect is reported in
     saved modality evaluations (see benchmarks/bench_fig10c).
 
+    A typed :class:`Query` supplies per-query weights, a per-query ``k``
+    override, and an attribute ``filter``.  The compiled filter mask is
+    handled like the §IX deletion bitset — the standard filtered-ANN
+    construction: inadmissible vertices still *route* (dropping them
+    could disconnect the graph around the answer set) but can never
+    occupy a result slot, so the search converges onto the admissible
+    region instead of terminating on unreachable candidates.
+
     ``refine=r`` enables the two-stage rerank pipeline (for compressed
     vector stores): the routing phase collects the top ``r·k``
     candidates by hot-tier (possibly quantised) similarity, then
     re-scores exactly those survivors at full precision against the
     store's exact tier and returns the best *k*.  ``l`` is raised to at
     least ``r·k`` so the result set can hold the candidates.
+
+    ``filter_memo`` is the batch executor's per-wave filter-compilation
+    cache (:func:`~repro.core.query.compile_filter`): queries sharing
+    one ``Filter`` instance compile it once per corpus slice instead of
+    once per call.
     """
+    query, k_eff, weights, mask = unpack_query(
+        query, k, weights, index.space.vectors.attributes, memo=filter_memo
+    )
+    if k_eff != k:
+        # A per-query Query.k override widens the result set as needed —
+        # the wave-level l was sized for the wave-level k, and the
+        # segmented path gives the override the same treatment.
+        l = max(l, k_eff)
+    k = k_eff
     require(k >= 1, "k must be positive")
     require(l >= k, f"result set size l={l} must be at least k={k}")
     require(engine in ("heap", "paper"), "engine must be 'heap' or 'paper'")
     require(refine is None or refine >= 1, "refine must be >= 1")
+    if mask is None:
+        excluded = index.deleted
+        reportable = index.num_active
+    else:
+        excluded = (
+            ~mask if index.deleted is None else (~mask | index.deleted)
+        )
+        reportable = int(index.n - excluded.sum())
+        if reportable == 0:
+            return SearchResult(
+                ids=np.zeros(0, dtype=np.int64),
+                similarities=np.zeros(0, dtype=np.float64),
+                stats=SearchStats(),
+            )
     k_inner, l_inner = k, l
     if refine is not None:
         k_inner = k * refine
@@ -86,7 +124,7 @@ def joint_search(
     search_fn = _heap_search if engine == "heap" else _paper_search
     result = search_fn(
         index, query, k_inner, l_inner, weights, early_termination, rng,
-        check_monotone,
+        check_monotone, excluded, reportable,
     )
     if refine is None:
         return result
@@ -121,6 +159,8 @@ def _heap_search(
     early_termination: bool,
     rng,
     check_monotone: bool,
+    excluded: np.ndarray | None,
+    reportable: int,
 ) -> SearchResult:
     space = index.space
     n = space.n
@@ -133,9 +173,10 @@ def _heap_search(
     seen[r_ids] = True
     init_sims = scorer.score_ids(r_ids)
 
-    # Soft-deleted vertices (§IX bitset) route but never enter results.
-    deleted = index.deleted
-    cap = min(l, index.num_active)
+    # Excluded vertices — soft-deleted (§IX bitset) or outside the
+    # query's filter mask — route but never enter results.
+    deleted = excluded
+    cap = min(l, reportable)
 
     # results: min-heap of (sim, id) capped at |R|; candidates: max-heap.
     results = [
@@ -204,6 +245,8 @@ def _paper_search(
     early_termination: bool,
     rng,
     check_monotone: bool,
+    excluded: np.ndarray | None,
+    reportable: int,
 ) -> SearchResult:
     space = index.space
     n = space.n
@@ -251,11 +294,11 @@ def _paper_search(
             )
             last_total = total
 
-    if index.deleted is not None:
-        # §IX bitset: soft-deleted vertices participated in routing via R
-        # but are stripped from the answer (the heap engine additionally
-        # keeps them from occupying result slots).
-        keep = ~index.deleted[r_ids]
+    if excluded is not None:
+        # §IX bitset + filter mask: excluded vertices participated in
+        # routing via R but are stripped from the answer (the heap engine
+        # additionally keeps them from occupying result slots).
+        keep = ~excluded[r_ids]
         r_ids, r_sims = r_ids[keep], r_sims[keep]
     order = np.lexsort((r_ids, -r_sims))[:k]
     return SearchResult(ids=r_ids[order], similarities=r_sims[order], stats=stats)

@@ -60,7 +60,9 @@ from pathlib import Path
 
 import numpy as np
 
+from repro.core.attributes import AttributeTable
 from repro.core.multivector import MultiVector, MultiVectorSet
+from repro.core.query import Query, as_query, compile_filter
 from repro.core.results import SearchResult, SearchStats
 from repro.core.space import JointSpace
 from repro.core.weights import Weights
@@ -166,6 +168,7 @@ class _DeltaSegment:
     def __init__(self, weights: Weights):
         self.weights = weights
         self.mats: list[np.ndarray] | None = None
+        self.attrs: AttributeTable | None = None
         self.ext_ids = np.zeros(0, dtype=np.int64)
         self.deleted = np.zeros(0, dtype=bool)
         self.graph = HNSWGraph()
@@ -195,6 +198,7 @@ class _DeltaSegment:
         start = self.n
         if self.mats is None:
             self.mats = [m.copy() for m in objects.matrices]
+            self.attrs = objects.attributes
         else:
             require(
                 objects.dims == tuple(m.shape[1] for m in self.mats),
@@ -204,11 +208,19 @@ class _DeltaSegment:
                 np.concatenate([old, new])
                 for old, new in zip(self.mats, objects.matrices)
             ]
+            if self.attrs is not None:
+                # Field consistency is enforced upstream in
+                # SegmentedIndex.insert; concat re-checks it.
+                self.attrs = AttributeTable.concat(
+                    [self.attrs, objects.attributes]
+                )
         self.ext_ids = np.concatenate([self.ext_ids, ext_ids])
         self.deleted = np.concatenate(
             [self.deleted, np.zeros(ext_ids.size, dtype=bool)]
         )
-        self._space = JointSpace(MultiVectorSet(self.mats), self.weights)
+        self._space = JointSpace(
+            MultiVectorSet(self.mats, attributes=self.attrs), self.weights
+        )
         self._materialized = None
         for local in range(start, self.n):
             rng = spawn(seed, "hnsw-level", int(self.ext_ids[local]))
@@ -225,6 +237,7 @@ class _DeltaSegment:
 
     def reset(self) -> None:
         self.mats = None
+        self.attrs = None
         self.ext_ids = np.zeros(0, dtype=np.int64)
         self.deleted = np.zeros(0, dtype=bool)
         self.graph = HNSWGraph()
@@ -333,7 +346,7 @@ class SegmentView:
     # ------------------------------------------------------------------
     def search(
         self,
-        query: MultiVector,
+        query: MultiVector | Query,
         k: int = 10,
         l: int = 100,
         weights: Weights | None = None,
@@ -347,12 +360,29 @@ class SegmentView:
         through :func:`joint_search`, merged by ``(similarity, id)``.
         Result ids are external ids.
 
+        A typed :class:`Query` carries per-query weights/filter/k; its
+        filter compiles against each segment's own attribute slice
+        inside :func:`joint_search`, so masked-out vertices still route
+        within their segment but never surface.
+
         ``refine=r`` runs the two-stage rerank per segment: each
         segment's top ``min(r·k, |candidates|)`` hot-tier survivors are
         re-scored at full precision before the cross-segment merge, so
         the merged ranking is by exact similarity.
         """
         require(refine is None or refine >= 1, "refine must be >= 1")
+        typed = as_query(query)
+        k = typed.resolve_k(k)
+        weights = typed.resolve_weights(weights)
+        # The per-query k override must not shrink the *per-segment*
+        # candidate pool (k=min(l, active) below), so strip it before
+        # the inner searches; weights/filter still ride along.  It may
+        # however *widen* the pool — the wave-level l was sized for the
+        # wave-level k (the single-graph path does the same).
+        inner = typed
+        if typed.k is not None:
+            inner = dataclasses.replace(typed, k=None)
+            l = max(l, k)
         segs = self.segments
         rngs = _segment_rngs(rng, len(segs))
         parts: list[tuple[np.ndarray, np.ndarray]] = []
@@ -362,7 +392,7 @@ class SegmentView:
                 continue
             res = joint_search(
                 seg.index,
-                query,
+                inner,
                 k=min(l, seg.num_active),
                 l=min(l, seg.n),
                 weights=weights,
@@ -375,7 +405,7 @@ class SegmentView:
             if refine is not None:
                 keep = min(refine * k, res.ids.size)
                 local, exact = rerank_exact(
-                    seg.space, query, res.ids[:keep], keep,
+                    seg.space, typed.vector, res.ids[:keep], keep,
                     weights=weights, stats=res.stats,
                 )
                 parts.append((seg.ext_ids[local], exact))
@@ -387,7 +417,7 @@ class SegmentView:
 
     def exact_search(
         self,
-        query: MultiVector,
+        query: MultiVector | Query,
         k: int = 10,
         weights: Weights | None = None,
         refine: int | None = None,
@@ -398,10 +428,15 @@ class SegmentView:
         and similarities are bit-identical to one brute-force scan over
         the concatenation of all live objects — regardless of the segment
         layout.  (With exactly tied similarities straddling the cut-off
-        the tie is broken by external id.)  On compressed segments the
-        scan covers the *decoded* hot tier; ``refine=r`` re-scores each
-        segment's top ``r·k`` against the exact cold tier.
+        the tie is broken by external id.)  A typed :class:`Query`'s
+        filter mask intersects each segment's deletion bitset, so the
+        same bit-identity holds against a scan over the post-filtered
+        corpus.  On compressed segments the scan covers the *decoded*
+        hot tier; ``refine=r`` re-scores each segment's top ``r·k``
+        against the exact cold tier.
         """
+        typed = as_query(query)
+        k = typed.resolve_k(k)
         parts: list[tuple[np.ndarray, np.ndarray]] = []
         stats_parts: list[SearchStats] = []
         for seg in self.segments:
@@ -413,7 +448,7 @@ class SegmentView:
                 ids=seg.ext_ids,
                 deterministic=True,
             )
-            res = flat.search(query, k, weights=weights, refine=refine)
+            res = flat.search(typed, k, weights=weights, refine=refine)
             res.stats.segments_probed = 1
             parts.append((res.ids, res.similarities))
             stats_parts.append(res.stats)
@@ -422,7 +457,7 @@ class SegmentView:
 
     def exact_batch(
         self,
-        queries: list[MultiVector],
+        queries: list[MultiVector | Query],
         k: int,
         weights: Weights | None = None,
         refine: int | None = None,
@@ -432,11 +467,14 @@ class SegmentView:
         Throughput path — same numerics caveat as
         :meth:`FlatIndex.batch_search`: the stacked GEMM can diverge from
         the single-query kernel by ~1e-7, so ranks (not bits) are the
-        contract here.  ``refine`` reranks per segment as in
-        :meth:`exact_search`.  For a coalesced wave that reproduces
-        :meth:`exact_search` bit for bit, use :meth:`exact_wave`.
+        contract here.  Typed queries keep their per-query
+        weights/filters/k inside the shared per-segment waves.
+        ``refine`` reranks per segment as in :meth:`exact_search`.  For
+        a coalesced wave that reproduces :meth:`exact_search` bit for
+        bit, use :meth:`exact_wave`.
         """
         queries = list(queries)
+        ks = [as_query(q).resolve_k(k) for q in queries]
         per_query: list[list[tuple[np.ndarray, np.ndarray]]] = [
             [] for _ in queries
         ]
@@ -454,8 +492,8 @@ class SegmentView:
                 per_query[j].append((res.ids, res.similarities))
                 per_stats[j].append(res.stats)
         out = []
-        for parts, stats_parts in zip(per_query, per_stats):
-            ids, sims = _merge_candidates(parts, k)
+        for k_j, parts, stats_parts in zip(ks, per_query, per_stats):
+            ids, sims = _merge_candidates(parts, k_j)
             out.append(
                 SearchResult(ids, sims, SearchStats.aggregate(stats_parts))
             )
@@ -463,7 +501,7 @@ class SegmentView:
 
     def exact_wave(
         self,
-        queries: list[MultiVector],
+        queries: list[MultiVector | Query],
         k: int,
         weights: Weights | None = None,
         refine: int | None = None,
@@ -494,49 +532,78 @@ class SegmentView:
         require(k >= 1, "k must be positive")
         require(refine is None or refine >= 1, "refine must be >= 1")
         require(margin >= 0.0, "margin must be non-negative")
-        queries = list(queries)
+        typed = [as_query(q) for q in queries]
+        vectors = [q.vector for q in typed]
+        ks = [q.resolve_k(k) for q in typed]
+        ws = [q.resolve_weights(weights) for q in typed]
+        ps = [k_j if refine is None else refine * k_j for k_j in ks]
         per_query: list[list[tuple[np.ndarray, np.ndarray]]] = [
-            [] for _ in queries
+            [] for _ in typed
         ]
-        per_stats: list[list[SearchStats]] = [[] for _ in queries]
-        p = k if refine is None else refine * k
+        per_stats: list[list[SearchStats]] = [[] for _ in typed]
         for seg in self.segments:
             if seg.num_active == 0:
                 continue
             sims_list, stats_list = batch_score_all(
-                seg.space, queries, weights=weights
+                seg.space, vectors, weights=ws
             )
             deleted = seg.index.deleted
-            for j, query in enumerate(queries):
+            attributes = seg.space.vectors.attributes
+            memo: dict = {}  # shared filters compile once per segment
+            for j, query in enumerate(vectors):
                 sims, stats = sims_list[j], stats_list[j]
+                k_j, p = ks[j], ps[j]
                 if deleted is not None:
                     sims = np.where(deleted, -np.inf, sims)
-                if p >= seg.num_active:
+                candidates = None
+                admissible = seg.num_active
+                if typed[j].filter is not None:
+                    # Same masking the per-query exact path applies: the
+                    # filter mask intersects the deletion bitset, so the
+                    # wave stays bit-identical to exact_search.  The
+                    # cut-off search runs over the compacted admissible
+                    # rows (argpartition degrades on -inf runs).
+                    mask = compile_filter(
+                        typed[j].filter, attributes,
+                        context=f"{seg.kind} segment", memo=memo,
+                    )
+                    sims = np.where(mask, sims, -np.inf)
+                    candidates = np.flatnonzero(np.isfinite(sims))
+                    admissible = int(candidates.size)
+                    if admissible == 0:
+                        stats.segments_probed = 1
+                        per_stats[j].append(stats)
+                        continue
+                if p >= admissible:
                     shortlist = np.flatnonzero(np.isfinite(sims))
-                else:
+                elif candidates is None:
                     kth = np.partition(sims, seg.n - p)[seg.n - p]
                     shortlist = np.flatnonzero(sims >= kth - margin)
+                else:
+                    sub = sims[candidates]
+                    kth = np.partition(sub, admissible - p)[admissible - p]
+                    shortlist = candidates[sub >= kth - margin]
                 stable = seg.space.query_ids_stable(
-                    query, shortlist, weights=weights, stats=stats
+                    query, shortlist, weights=ws[j], stats=stats
                 )
                 order = np.lexsort((shortlist, -stable))
                 if refine is None:
-                    top = order[:k]
+                    top = order[:k_j]
                     ids = seg.ext_ids[shortlist[top]]
                     exact = stable[top]
                 else:
                     cand = shortlist[order[:p]]
                     local, exact = rerank_exact(
-                        seg.space, query, cand, k,
-                        weights=weights, stats=stats,
+                        seg.space, query, cand, k_j,
+                        weights=ws[j], stats=stats,
                     )
                     ids = seg.ext_ids[local]
                 stats.segments_probed = 1
                 per_query[j].append((ids, exact))
                 per_stats[j].append(stats)
         out = []
-        for parts, stats_parts in zip(per_query, per_stats):
-            ids, sims = _merge_candidates(parts, k)
+        for k_j, parts, stats_parts in zip(ks, per_query, per_stats):
+            ids, sims = _merge_candidates(parts, k_j)
             out.append(
                 SearchResult(ids, sims, SearchStats.aggregate(stats_parts))
             )
@@ -748,6 +815,19 @@ class SegmentedIndex:
             require(objects.dims == dims,
                     f"inserted objects have dims {objects.dims}, "
                     f"index holds {dims}")
+            existing = self._attribute_fields()
+            incoming = (
+                None
+                if objects.attributes is None
+                else objects.attributes.fields
+            )
+            require(
+                existing == incoming,
+                f"inserted objects must carry the same attribute fields as "
+                f"the corpus (corpus: {existing}, inserted: {incoming}) — "
+                f"attach them via MultiVectorSet.set_attributes before "
+                f"insert",
+            )
         ext = np.arange(
             self._next_ext, self._next_ext + objects.n, dtype=np.int64
         )
@@ -807,7 +887,8 @@ class SegmentedIndex:
             self.delta.reset()
             return None
         space = JointSpace(
-            MultiVectorSet(self.delta.mats), self.weights
+            MultiVectorSet(self.delta.mats, attributes=self.delta.attrs),
+            self.weights,
         )
         index = self.builder.build(space)
         if bool(self.delta.deleted.any()):
@@ -831,6 +912,8 @@ class SegmentedIndex:
         num_modalities = segs[0].space.num_modalities
         ext_parts: list[np.ndarray] = []
         mat_parts: list[list[np.ndarray]] = [[] for _ in range(num_modalities)]
+        attr_parts: list[AttributeTable] = []
+        contributing = 0
         for seg in segs:
             alive = (
                 np.arange(seg.n)
@@ -839,7 +922,11 @@ class SegmentedIndex:
             )
             if alive.size == 0:
                 continue
+            contributing += 1
             ext_parts.append(seg.ext_ids[alive])
+            seg_attrs = seg.space.vectors.attributes
+            if seg_attrs is not None:
+                attr_parts.append(seg_attrs.subset(alive))
             for i in range(num_modalities):
                 # Rebuild from the exact cold tier, not the hot codes —
                 # compaction must never accumulate quantisation error.
@@ -848,8 +935,18 @@ class SegmentedIndex:
                 )
         ext = np.concatenate(ext_parts)
         order = np.argsort(ext)
+        attributes: AttributeTable | None = None
+        if attr_parts:
+            require(
+                len(attr_parts) == contributing,
+                "cannot compact: some segments carry an attribute table "
+                "and some do not — the corpus attribute state is "
+                "inconsistent",
+            )
+            attributes = AttributeTable.concat(attr_parts).subset(order)
         objects = MultiVectorSet(
-            [np.concatenate(parts)[order] for parts in mat_parts]
+            [np.concatenate(parts)[order] for parts in mat_parts],
+            attributes=attributes,
         )
         space = JointSpace(objects, self.weights)
         index = self._compress_sealed(self.builder.build(space))
@@ -862,6 +959,16 @@ class SegmentedIndex:
         if self.delta.n:
             return self.delta.space.vectors.dims
         return self.sealed[0].space.vectors.dims
+
+    def _attribute_fields(self) -> tuple[str, ...] | None:
+        """Attribute fields the corpus carries (None when unattributed)."""
+        if self.delta.n:
+            attrs = self.delta.attrs
+        elif self.sealed:
+            attrs = self.sealed[0].space.vectors.attributes
+        else:
+            return None
+        return None if attrs is None else attrs.fields
 
     def _maybe_seal(self) -> None:
         if self.delta.n >= self.policy.seal_size:
@@ -893,7 +1000,7 @@ class SegmentedIndex:
     # ------------------------------------------------------------------
     def search(
         self,
-        query: MultiVector,
+        query: MultiVector | Query,
         k: int = 10,
         l: int = 100,
         weights: Weights | None = None,
@@ -918,7 +1025,7 @@ class SegmentedIndex:
 
     def exact_search(
         self,
-        query: MultiVector,
+        query: MultiVector | Query,
         k: int = 10,
         weights: Weights | None = None,
         refine: int | None = None,
@@ -929,7 +1036,7 @@ class SegmentedIndex:
 
     def exact_batch(
         self,
-        queries: list[MultiVector],
+        queries: list[MultiVector | Query],
         k: int,
         weights: Weights | None = None,
         refine: int | None = None,
@@ -1004,6 +1111,12 @@ class SegmentedIndex:
             arrays["deleted"] = index.deleted
         store = index.space.vectors.store
         arrays.update(store.to_arrays())
+        attrs = index.space.vectors.attributes
+        if attrs is not None:
+            # Attribute columns ride in the same archive under the
+            # ``attr__`` prefix, so filters answer identically after a
+            # save/load round-trip.
+            arrays.update(attrs.to_arrays())
         metadata = {
             "name": index.name,
             "seed_vertex": int(index.seed_vertex),
@@ -1115,16 +1228,18 @@ class SegmentedIndex:
         """Segment vectors from an archive: store-aware (v2) or the v1
         dense ``mod_{i}`` layout.  Unknown store kinds/dtypes raise the
         actionable error from :func:`~repro.store.store_from_arrays`."""
+        attributes = AttributeTable.from_arrays(arrays)
         store_meta = metadata.get("store")
         if store_meta is not None:
             return MultiVectorSet.from_store(
-                store_from_arrays(store_meta, arrays)
+                store_from_arrays(store_meta, arrays),
+                attributes=attributes,
             )
         mats = [
             arrays[f"mod_{i}"]
             for i in range(int(metadata["num_modalities"]))
         ]
-        return MultiVectorSet(mats)
+        return MultiVectorSet(mats, attributes=attributes)
 
     def _load_delta(
         self, metadata: dict, arrays: dict, mats: list[np.ndarray]
@@ -1140,6 +1255,7 @@ class SegmentedIndex:
         )
         delta = _DeltaSegment(self.weights)
         delta.mats = [m.copy() for m in mats]
+        delta.attrs = AttributeTable.from_arrays(arrays)
         delta.ext_ids = arrays["ext_ids"].astype(np.int64)
         deleted = arrays.get("deleted")
         delta.deleted = (
@@ -1148,5 +1264,7 @@ class SegmentedIndex:
             else np.zeros(delta.ext_ids.size, dtype=bool)
         )
         delta.graph = graph
-        delta._space = JointSpace(MultiVectorSet(delta.mats), self.weights)
+        delta._space = JointSpace(
+            MultiVectorSet(delta.mats, attributes=delta.attrs), self.weights
+        )
         self.delta = delta

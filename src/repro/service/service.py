@@ -37,14 +37,15 @@ from __future__ import annotations
 import queue
 import threading
 import time
+import warnings
 from concurrent.futures import Future
 from dataclasses import dataclass, field
 
 import numpy as np
 
 from repro.core.multivector import MultiVector
+from repro.core.query import Query, SearchOptions
 from repro.core.results import SearchResult
-from repro.core.weights import Weights
 from repro.service.snapshot import IndexSnapshot
 from repro.service.stats import ServiceStats
 from repro.utils.parallel import thread_map
@@ -108,15 +109,36 @@ class ServiceConfig:
 
 @dataclass
 class _Request:
-    """One queued search: the query, its plan, and the client's future."""
+    """One queued search: the query, its plan, and the client's future.
 
-    query: MultiVector
+    ``query`` may be a typed :class:`Query` (per-request weights, filter,
+    and k override ride inside); ``kwargs`` is the legacy-shaped plan the
+    dispatcher executes with.  Plan values are validated *at execution*,
+    so a malformed request fails through its own future instead of
+    poisoning ``submit`` — the historical containment contract.
+    """
+
+    query: MultiVector | Query
     kwargs: dict
     future: Future = field(default_factory=Future)
     submitted: float = field(default_factory=time.perf_counter)
 
 
 _STOP = object()  # queue sentinel: drain everything before it, then exit
+
+
+def _plan(options: SearchOptions) -> dict:
+    """The dispatcher's execution plan for one request.
+
+    Derived from the dataclass fields (plus the legacy batch-level
+    ``weights`` slot, which lives on :class:`Query` in the typed
+    surface) so the service can never drift out of sync when
+    :class:`SearchOptions` grows a field.
+    """
+    # n_jobs excluded: pool sizing is ServiceConfig's, per wave.
+    plan = options.to_kwargs(exclude=("n_jobs",))
+    plan["weights"] = None
+    return plan
 
 
 class MustService:
@@ -229,37 +251,64 @@ class MustService:
     # ------------------------------------------------------------------
     def submit(
         self,
-        query: MultiVector,
-        k: int = 10,
-        l: int = 100,
-        weights: Weights | None = None,
-        early_termination: bool = False,
-        exact: bool = False,
-        engine: str = "heap",
-        refine: int | None = None,
-        rng: int | np.random.SeedSequence | None = 0,
+        query: MultiVector | Query,
+        options: SearchOptions | None = None,
+        **legacy_kwargs,
     ) -> Future:
         """Enqueue one search; returns a future resolving to its
         :class:`~repro.core.results.SearchResult`.
 
-        Arguments mirror :meth:`MUST.search`; ``rng`` seeds this
-        request's graph-path init draws (exact requests ignore it).
-        Raises :class:`ServiceOverloaded` when admission control drops
-        the request and :class:`ServiceClosed` after :meth:`close`.
+        The typed form — ``submit(Query(vector, filter=...),
+        SearchOptions(k=5, exact=True))`` — is preferred; per-query
+        weights/filter/k ride inside the :class:`Query` and
+        ``options.rng`` seeds this request's graph-path init draws
+        (exact requests ignore it).  Legacy keyword arguments mirroring
+        :meth:`MUST.search` (``k=, l=, weights=, exact=, ...``) still
+        work as a deprecation shim, answering bit-identically; unknown
+        names raise with a did-you-mean hint.  Raises
+        :class:`ServiceOverloaded` when admission control drops the
+        request and :class:`ServiceClosed` after :meth:`close`.
         """
-        req = _Request(
-            query=query,
-            kwargs={
-                "k": k,
-                "l": l,
-                "weights": weights,
-                "early_termination": early_termination,
-                "exact": exact,
-                "engine": engine,
-                "refine": refine,
-                "rng": rng,
-            },
-        )
+        if legacy_kwargs:
+            require(
+                options is None,
+                "pass either a SearchOptions or legacy keyword "
+                "arguments, not both",
+            )
+            warnings.warn(
+                "MustService.submit(**kwargs) is a deprecated shim; pass "
+                "a typed Query/SearchOptions pair instead — see the "
+                "README 'Query API' section",
+                DeprecationWarning,
+                stacklevel=2,
+            )
+            # Unknown names fail fast with a did-you-mean hint; value
+            # errors surface at execution through the request's future
+            # (the containment contract above).
+            SearchOptions.validate_names(legacy_kwargs, extra=("weights",))
+            require(
+                "n_jobs" not in legacy_kwargs,
+                "n_jobs is a service-level knob — set "
+                "ServiceConfig(n_jobs=...) instead of passing it per "
+                "request",
+            )
+            kwargs = _plan(SearchOptions())
+            kwargs.update(legacy_kwargs)
+        else:
+            opts = options if options is not None else SearchOptions()
+            require(
+                isinstance(opts, SearchOptions),
+                f"options must be a SearchOptions instance, got "
+                f"{type(opts).__name__} — build one with SearchOptions(...)",
+            )
+            require(
+                opts.n_jobs == 1,
+                "n_jobs is a service-level knob — set "
+                "ServiceConfig(n_jobs=...) instead of passing it per "
+                "request",
+            )
+            kwargs = _plan(opts)
+        req = _Request(query=query, kwargs=kwargs)
         self._admit(req)  # counts the submit inside its critical section
         return req.future
 
@@ -309,13 +358,20 @@ class MustService:
             f"backpressure={self.config.backpressure!r}"
         )
 
-    def search(self, query: MultiVector, **params) -> SearchResult:
+    def search(
+        self,
+        query: MultiVector | Query,
+        options: SearchOptions | None = None,
+        **params,
+    ) -> SearchResult:
         """Blocking single search — :meth:`submit` + ``result()``.
 
         This is the call each concurrent client thread makes; the
-        dispatcher coalesces whatever is waiting into one wave.
+        dispatcher coalesces whatever is waiting into one wave.  Takes
+        a typed ``(query, options)`` pair or the legacy keyword form,
+        exactly like :meth:`submit`.
         """
-        return self.submit(query, **params).result()
+        return self.submit(query, options, **params).result()
 
     def snapshot(self) -> IndexSnapshot:
         """The snapshot serving the next wave (captured lazily per epoch)."""
@@ -457,7 +513,13 @@ class MustService:
             self._resolve(req, outcome)
 
     def _exact_groups(self, reqs: list[_Request]) -> list[list[_Request]]:
-        """Group exact requests sharing one wave plan (k, weights, refine)."""
+        """Group exact requests sharing one wave plan (k, weights, refine).
+
+        Typed per-query weights/filters/k overrides ride inside each
+        request's :class:`Query` and are handled natively by the exact
+        wave, so they never fragment a group; only the plan-level
+        (legacy batch) parameters must match.
+        """
         groups: dict[tuple, list[_Request]] = {}
         for req in reqs:
             weights = req.kwargs["weights"]
@@ -480,9 +542,17 @@ class MustService:
                 refine=kwargs["refine"],
                 margin=self.config.exact_margin,
             )
-        except Exception as exc:
+        except Exception:
+            # A wave failure may be one request's doing (a typed filter
+            # naming an unknown attribute, a malformed plan value) —
+            # retry individually so only the offender's future errors
+            # and its wave-mates still get answers (the per-request
+            # containment contract).
             for req in reqs:
-                self._resolve(req, exc)
+                try:
+                    self._resolve(req, snap.search(req.query, **req.kwargs))
+                except Exception as exc:
+                    self._resolve(req, exc)
             return
         for req, res in zip(reqs, results):
             self._resolve(req, res)

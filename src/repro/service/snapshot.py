@@ -29,6 +29,7 @@ from __future__ import annotations
 import dataclasses
 
 from repro.core.multivector import MultiVector
+from repro.core.query import Query, SearchOptions
 from repro.core.results import SearchResult
 from repro.core.space import JointSpace
 from repro.core.weights import Weights
@@ -120,7 +121,7 @@ class IndexSnapshot:
     # ------------------------------------------------------------------
     def search(
         self,
-        query: MultiVector,
+        query: MultiVector | Query,
         k: int = 10,
         l: int = 100,
         weights: Weights | None = None,
@@ -134,7 +135,9 @@ class IndexSnapshot:
         Same signature and same arithmetic as :meth:`MUST.search` —
         including the graph path's ``rng`` handling via
         ``search_kwargs`` — so results are bit-identical to the live
-        instance at capture time.
+        instance at capture time.  Typed :class:`Query` objects pass
+        straight through (per-query weights/filter/k), and
+        :meth:`query` is the options-native equivalent.
         """
         if self.view is not None:
             if exact:
@@ -161,13 +164,28 @@ class IndexSnapshot:
             **search_kwargs,
         )
 
+    def query(
+        self,
+        query: MultiVector | Query,
+        options: SearchOptions | None = None,
+    ) -> SearchResult:
+        """One typed query against the captured state.
+
+        Mirrors :meth:`MUST.query` for a single request.  The kwargs
+        are derived from the option fields (``n_jobs`` excepted — a
+        snapshot read is single-query), so a new :class:`SearchOptions`
+        field can never be silently dropped on this path.
+        """
+        opts = options if options is not None else SearchOptions()
+        return self.search(query, **opts.to_kwargs(exclude=("n_jobs",)))
+
     def _flat(self) -> FlatIndex:
         """The legacy exact scanner over the frozen bitset."""
         return FlatIndex(self.exact_space, deleted=self.graph.deleted)
 
     def exact_wave(
         self,
-        queries: list[MultiVector],
+        queries: list[MultiVector | Query],
         k: int,
         weights: Weights | None = None,
         refine: int | None = None,

@@ -1,0 +1,498 @@
+"""Typed Query API tests: SearchOptions validation, the Filter DSL,
+attribute tables, legacy-shim parity, and the unified ``l`` clamp.
+
+The headline contracts pinned here:
+
+* legacy kwarg entry points (``MUST.search`` / ``batch_search`` /
+  ``MustService.submit``) emit a ``DeprecationWarning`` and answer
+  **bit-identically** to the typed ``MUST.query`` path;
+* unknown keyword names raise immediately with a did-you-mean hint (a
+  misspelled ``early_terminatoin=`` used to be silently swallowed);
+* ``SearchOptions`` range errors name the offending field;
+* ``l`` is clamped to the corpus size once, in
+  ``SearchOptions.resolve``, on the single-graph *and* segmented paths.
+"""
+
+from __future__ import annotations
+
+import warnings
+
+import numpy as np
+import pytest
+
+from repro.core.attributes import AttributeTable
+from repro.core.framework import MUST
+from repro.core.multivector import MultiVectorSet
+from repro.core.query import (
+    And,
+    Eq,
+    In,
+    Not,
+    Or,
+    Query,
+    Range,
+    SearchOptions,
+)
+from repro.core.weights import Weights
+from repro.index.segments import SegmentPolicy
+from repro.service import MustService, ServiceConfig
+
+from tests.conftest import random_multivector_set, random_query
+
+DIMS = (16, 8)
+WEIGHTS = Weights([0.4, 0.6])
+
+
+def _attributed_set(n: int, seed: int = 0) -> MultiVectorSet:
+    objects = random_multivector_set(n, DIMS, seed=seed)
+    rng = np.random.default_rng(seed + 1000)
+    objects.set_attributes(
+        {
+            "category": np.array(["alpha", "beta", "gamma"])[
+                rng.integers(0, 3, n)
+            ],
+            "price": rng.uniform(0.0, 100.0, n),
+            "year": rng.integers(2018, 2024, n),
+        }
+    )
+    return objects
+
+
+@pytest.fixture(scope="module")
+def built_must() -> MUST:
+    return MUST(_attributed_set(240), weights=WEIGHTS).build()
+
+
+@pytest.fixture(scope="module")
+def queries():
+    return [random_query(DIMS, seed=s) for s in range(8)]
+
+
+def assert_same_result(res, ref):
+    assert np.array_equal(res.ids, ref.ids)
+    assert np.array_equal(res.similarities, ref.similarities)
+
+
+# ----------------------------------------------------------------------
+# SearchOptions
+# ----------------------------------------------------------------------
+class TestSearchOptions:
+    @pytest.mark.parametrize(
+        "field, kwargs",
+        [
+            ("k", {"k": 0}),
+            ("k", {"k": "ten"}),
+            ("l", {"l": 0}),
+            ("refine", {"refine": 0}),
+            ("engine", {"engine": "warp"}),
+            ("exact", {"exact": 1}),
+            ("early_termination", {"early_termination": "yes"}),
+            ("n_jobs", {"n_jobs": 1.5}),
+            ("check_monotone", {"check_monotone": 2}),
+        ],
+    )
+    def test_range_errors_name_the_field(self, field, kwargs):
+        with pytest.raises(ValueError, match=f"SearchOptions.{field}"):
+            SearchOptions(**kwargs)
+
+    def test_unknown_kwarg_suggests_fix(self):
+        with pytest.raises(TypeError, match="early_termination"):
+            SearchOptions.from_kwargs(early_terminatoin=True)
+        with pytest.raises(TypeError, match="unknown search option"):
+            SearchOptions.from_kwargs(bogus=1)
+
+    def test_resolve_clamps_l_to_corpus(self):
+        opts = SearchOptions(k=5, l=100)
+        assert opts.resolve(40).l == 40
+        assert opts.resolve(1000).l == 100
+        assert opts.resolve(1000) is opts  # no-op returns self
+
+    def test_updated_revalidates(self):
+        opts = SearchOptions(k=5)
+        assert opts.updated(k=7).k == 7
+        with pytest.raises(ValueError, match="SearchOptions.k"):
+            opts.updated(k=0)
+
+    def test_exact_with_large_k_needs_no_l(self):
+        # l is a graph-path knob; exact plans with k > l stay valid.
+        SearchOptions(k=500, exact=True)
+
+
+class TestQueryObject:
+    def test_validates_vector_type(self):
+        with pytest.raises(ValueError, match="Query.vector"):
+            Query(vector=np.zeros(4, dtype=np.float32))
+
+    def test_validates_k_and_weights(self, queries):
+        with pytest.raises(ValueError, match="Query.k"):
+            Query(vector=queries[0], k=0)
+        with pytest.raises(ValueError, match="Query.weights"):
+            Query(vector=queries[0], weights=[0.5, 0.5])
+        with pytest.raises(ValueError, match="Query.filter"):
+            Query(vector=queries[0], filter="category == 'a'")
+
+    def test_per_query_k_override(self, built_must, queries):
+        res = built_must.query(
+            Query(queries[0], k=3), SearchOptions(k=10, exact=True)
+        )
+        assert len(res.ids) == 3
+
+    def test_per_query_k_exceeding_l_widens_both_layouts(self, queries):
+        """A Query.k override larger than the wave l widens the result
+        set instead of erroring — identically on the single-graph and
+        segmented layouts."""
+        flat = MUST(_attributed_set(200, seed=13), weights=WEIGHTS).build()
+        seg = MUST(
+            _attributed_set(150, seed=13),
+            weights=WEIGHTS,
+            segment_policy=SegmentPolicy(seal_size=48, max_segments=8),
+        ).build()
+        seg.insert(_attributed_set(50, seed=14))
+        for must in (flat, seg):
+            res = must.query(
+                Query(queries[0], k=60), SearchOptions(k=5, l=20)
+            )
+            assert len(res.ids) == 60
+
+    def test_explicit_l_below_k_still_raises(self, built_must, queries):
+        """resolve()'s l floor covers only the tiny-corpus corner — an
+        explicit l < k stays a loud error on typed and legacy paths."""
+        with pytest.raises(ValueError, match="at least k"):
+            built_must.query(
+                Query(queries[0]), SearchOptions(k=50, l=10)
+            )
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore", DeprecationWarning)
+            with pytest.raises(ValueError, match="at least k"):
+                built_must.search(queries[0], k=50, l=10)
+        # exact plans ignore l entirely
+        res = built_must.query(
+            Query(queries[0]), SearchOptions(k=50, l=10, exact=True)
+        )
+        assert len(res.ids) == 50
+
+    def test_per_query_weights_match_legacy_override(self, built_must, queries):
+        override = Weights([0.9, 0.1])
+        typed = built_must.query(
+            Query(queries[0], weights=override), SearchOptions(k=5)
+        )
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore", DeprecationWarning)
+            legacy = built_must.search(queries[0], k=5, weights=override)
+        assert_same_result(typed, legacy)
+
+
+# ----------------------------------------------------------------------
+# Attribute table + Filter DSL
+# ----------------------------------------------------------------------
+class TestAttributeTable:
+    def test_column_lengths_must_align(self):
+        with pytest.raises(ValueError, match="all columns must align"):
+            AttributeTable({"a": np.arange(4), "b": np.arange(5)})
+
+    def test_unknown_field_lists_available(self):
+        table = AttributeTable({"price": np.arange(3)})
+        with pytest.raises(ValueError, match="price"):
+            table.column("prize")
+
+    def test_mixed_object_column_rejected(self):
+        with pytest.raises(ValueError, match="mixed/object"):
+            AttributeTable({"a": np.array([1, "x", None], dtype=object)})
+
+    def test_subset_and_concat_roundtrip(self):
+        table = AttributeTable(
+            {"a": np.arange(6), "b": np.array(list("xyzxyz"))}
+        )
+        front, back = table.subset(np.arange(3)), table.subset(np.arange(3, 6))
+        merged = AttributeTable.concat([front, back])
+        assert np.array_equal(merged.column("a"), table.column("a"))
+        assert np.array_equal(merged.column("b"), table.column("b"))
+        with pytest.raises(ValueError, match="different"):
+            AttributeTable.concat(
+                [front, AttributeTable({"a": np.arange(3)})]
+            )
+
+    def test_array_roundtrip(self):
+        table = AttributeTable(
+            {"a": np.arange(4), "tag": np.array(list("abcd"))}
+        )
+        back = AttributeTable.from_arrays(table.to_arrays())
+        assert back.fields == table.fields
+        assert np.array_equal(back.column("tag"), table.column("tag"))
+        assert AttributeTable.from_arrays({"unrelated": np.arange(2)}) is None
+
+    def test_set_attributes_validates_row_count(self):
+        objects = random_multivector_set(10, DIMS, seed=0)
+        with pytest.raises(ValueError, match="covers 4 objects"):
+            objects.set_attributes({"a": np.arange(4)})
+
+    def test_subset_slices_attributes(self):
+        objects = _attributed_set(20, seed=3)
+        sub = objects.subset(np.array([3, 7, 11]))
+        assert np.array_equal(
+            sub.attributes.column("price"),
+            objects.attributes.column("price")[[3, 7, 11]],
+        )
+
+
+class TestFilterDSL:
+    @pytest.fixture(scope="class")
+    def table(self):
+        return AttributeTable(
+            {
+                "cat": np.array(["a", "b", "a", "c", "b"]),
+                "price": np.array([10.0, 20.0, 30.0, 40.0, 50.0]),
+            }
+        )
+
+    def test_eq(self, table):
+        assert Eq("cat", "a").mask(table).tolist() == [
+            True, False, True, False, False,
+        ]
+
+    def test_in(self, table):
+        assert In("cat", ("a", "c")).mask(table).tolist() == [
+            True, False, True, True, False,
+        ]
+        with pytest.raises(ValueError, match="at least one value"):
+            In("cat", ())
+
+    def test_range_bounds(self, table):
+        assert Range("price", low=20.0, high=40.0).mask(table).tolist() == [
+            False, True, True, True, False,
+        ]
+        assert Range("price", low=30.0).mask(table).tolist() == [
+            False, False, True, True, True,
+        ]
+        with pytest.raises(ValueError, match="at least one of"):
+            Range("price")
+
+    def test_boolean_composition(self, table):
+        flt = (Eq("cat", "a") | Eq("cat", "b")) & ~Range("price", high=15.0)
+        assert flt.mask(table).tolist() == [False, True, True, False, True]
+        assert And(Eq("cat", "a"), Eq("cat", "a")).mask(table).sum() == 2
+        assert Or(Eq("cat", "a"), Eq("cat", "c")).mask(table).sum() == 3
+        assert Not(Eq("cat", "a")).mask(table).sum() == 3
+
+    def test_unknown_field_is_actionable(self, table):
+        with pytest.raises(ValueError, match="unknown attribute field"):
+            Eq("colour", "red").mask(table)
+
+    def test_filter_without_table_is_actionable(self, queries):
+        must = MUST(
+            random_multivector_set(60, DIMS, seed=4), weights=WEIGHTS
+        ).build()
+        with pytest.raises(ValueError, match="no attribute table"):
+            must.query(
+                Query(queries[0], filter=Eq("cat", "a")),
+                SearchOptions(k=3, exact=True),
+            )
+
+
+# ----------------------------------------------------------------------
+# Legacy shims: rejection, deprecation, bit-parity
+# ----------------------------------------------------------------------
+class TestLegacyShims:
+    def test_search_rejects_unknown_kwargs(self, built_must, queries):
+        with pytest.raises(TypeError, match="early_termination"):
+            built_must.search(queries[0], k=5, early_terminatoin=True)
+
+    def test_batch_search_rejects_unknown_kwargs(self, built_must, queries):
+        with pytest.raises(TypeError, match="did you mean 'engine'"):
+            built_must.batch_search(queries[:2], k=5, enginee="heap")
+
+    def test_service_submit_rejects_unknown_kwargs(self, built_must, queries):
+        with MustService(built_must, ServiceConfig(max_batch=2)) as svc:
+            with pytest.raises(TypeError, match="refine"):
+                svc.submit(queries[0], k=5, refinee=2)
+
+    def test_service_submit_rejects_per_request_n_jobs(
+        self, built_must, queries
+    ):
+        with MustService(built_must, ServiceConfig(max_batch=2)) as svc:
+            with warnings.catch_warnings():
+                warnings.simplefilter("ignore", DeprecationWarning)
+                with pytest.raises(ValueError, match="ServiceConfig"):
+                    svc.submit(queries[0], k=5, n_jobs=4)
+            # ... and just as loudly on the typed path (silently running
+            # sequentially would be the silent-swallow this PR removes).
+            with pytest.raises(ValueError, match="ServiceConfig"):
+                svc.submit(Query(queries[0]), SearchOptions(k=5, n_jobs=4))
+
+    def test_bad_filter_does_not_poison_wave_mates(self, built_must, queries):
+        """One request's malformed filter fails through its own future;
+        the other requests coalesced into the same exact wave still get
+        their answers (per-request containment)."""
+        svc = MustService(
+            built_must,
+            ServiceConfig(max_batch=8, max_wait_ms=5.0),
+            start=False,  # queue both first, so they share one wave
+        )
+        try:
+            bad = svc.submit(
+                Query(queries[0], filter=Eq("no_such_field", 1)),
+                SearchOptions(k=5, exact=True),
+            )
+            good = svc.submit(
+                Query(queries[1]), SearchOptions(k=5, exact=True)
+            )
+            svc.start()
+            with pytest.raises(ValueError, match="unknown attribute field"):
+                bad.result(timeout=30)
+            res = good.result(timeout=30)
+            assert len(res.ids) == 5
+            ref = built_must.query(Query(queries[1]),
+                                   SearchOptions(k=5, exact=True))
+            assert_same_result(res, ref)
+        finally:
+            svc.close()
+
+    def test_batch_filter_compiles_once_per_wave(self, built_must, queries):
+        """A shared Filter instance is compiled once per corpus slice on
+        the graph batch path, not once per query."""
+        calls = 0
+        flt = Eq("category", "alpha")
+        original = flt.mask
+
+        def counting(table):
+            nonlocal calls
+            calls += 1
+            return original(table)
+
+        object.__setattr__(flt, "mask", counting)
+        try:
+            built_must.query(
+                [Query(q, filter=flt) for q in queries],
+                SearchOptions(k=5, l=32, n_jobs=2),
+            )
+        finally:
+            object.__delattr__(flt, "mask")
+        assert calls == 1
+
+    def test_snapshot_query_forwards_every_option(self, built_must, queries):
+        snap = built_must.snapshot()
+        opts = SearchOptions(k=5, l=64, engine="paper", rng=11,
+                             check_monotone=True)
+        ref = built_must.query(Query(queries[0]), opts)
+        res = snap.query(Query(queries[0]), opts)
+        assert np.array_equal(res.ids, ref.ids)
+        assert np.array_equal(res.similarities, ref.similarities)
+
+    def test_legacy_calls_warn(self, built_must, queries):
+        with pytest.warns(DeprecationWarning, match="MUST.search"):
+            built_must.search(queries[0], k=5)
+        with pytest.warns(DeprecationWarning, match="MUST.batch_search"):
+            built_must.batch_search(queries[:2], k=5)
+        with MustService(built_must, ServiceConfig(max_batch=2)) as svc:
+            with pytest.warns(DeprecationWarning, match="MustService.submit"):
+                svc.search(queries[0], k=5)
+
+    def test_typed_calls_do_not_warn(self, built_must, queries):
+        with warnings.catch_warnings():
+            warnings.simplefilter("error", DeprecationWarning)
+            built_must.query(Query(queries[0]), SearchOptions(k=5))
+            with MustService(built_must, ServiceConfig(max_batch=2)) as svc:
+                svc.search(Query(queries[0]), SearchOptions(k=5, exact=True))
+
+    @pytest.mark.parametrize("exact", [False, True])
+    @pytest.mark.parametrize("refine", [None, 2])
+    def test_single_query_bit_parity(self, built_must, queries, exact, refine):
+        for q in queries[:4]:
+            with warnings.catch_warnings():
+                warnings.simplefilter("ignore", DeprecationWarning)
+                legacy = built_must.search(
+                    q, k=5, l=64, exact=exact, refine=refine
+                )
+            typed = built_must.query(
+                Query(q), SearchOptions(k=5, l=64, exact=exact, refine=refine)
+            )
+            assert_same_result(legacy, typed)
+
+    @pytest.mark.parametrize("exact", [False, True])
+    def test_batch_bit_parity(self, built_must, queries, exact):
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore", DeprecationWarning)
+            legacy = built_must.batch_search(
+                queries, k=5, l=64, exact=exact, n_jobs=2
+            )
+        typed = built_must.query(
+            [Query(q) for q in queries],
+            SearchOptions(k=5, l=64, exact=exact, n_jobs=2),
+        )
+        for a, b in zip(legacy, typed):
+            assert_same_result(a, b)
+
+    def test_segmented_bit_parity(self, queries):
+        must = MUST(
+            _attributed_set(150, seed=7),
+            weights=WEIGHTS,
+            segment_policy=SegmentPolicy(seal_size=48, max_segments=8),
+        ).build()
+        must.insert(_attributed_set(70, seed=8))
+        must.mark_deleted(np.arange(0, 40, 5))
+        for exact in (False, True):
+            with warnings.catch_warnings():
+                warnings.simplefilter("ignore", DeprecationWarning)
+                legacy = must.search(queries[0], k=5, l=64, exact=exact)
+            typed = must.query(
+                Query(queries[0]), SearchOptions(k=5, l=64, exact=exact)
+            )
+            assert_same_result(legacy, typed)
+
+    def test_service_legacy_vs_typed_parity(self, built_must, queries):
+        with MustService(built_must, ServiceConfig(max_batch=4)) as svc:
+            for exact in (False, True):
+                with warnings.catch_warnings():
+                    warnings.simplefilter("ignore", DeprecationWarning)
+                    legacy = svc.search(queries[0], k=5, l=64, exact=exact)
+                typed = svc.search(
+                    Query(queries[0]), SearchOptions(k=5, l=64, exact=exact)
+                )
+                assert_same_result(legacy, typed)
+
+    def test_options_and_legacy_kwargs_exclusive(self, built_must, queries):
+        with MustService(built_must, ServiceConfig(max_batch=2)) as svc:
+            with pytest.raises(ValueError, match="not both"):
+                with warnings.catch_warnings():
+                    warnings.simplefilter("ignore", DeprecationWarning)
+                    svc.submit(queries[0], SearchOptions(k=5), k=5)
+
+
+# ----------------------------------------------------------------------
+# The unified l clamp (satellite: segmented path used to skip it)
+# ----------------------------------------------------------------------
+class TestLClamp:
+    def test_single_graph_huge_l_equals_full_l(self, built_must, queries):
+        huge = built_must.query(
+            Query(queries[0]), SearchOptions(k=5, l=10**7)
+        )
+        full = built_must.query(
+            Query(queries[0]), SearchOptions(k=5, l=built_must.objects.n)
+        )
+        assert_same_result(huge, full)
+
+    def test_segmented_huge_l_equals_full_l(self, queries):
+        must = MUST(
+            random_multivector_set(120, DIMS, seed=9),
+            weights=WEIGHTS,
+            segment_policy=SegmentPolicy(seal_size=48, max_segments=8),
+        ).build()
+        must.insert(random_multivector_set(60, DIMS, seed=10))
+        huge = must.query(Query(queries[0]), SearchOptions(k=5, l=10**7))
+        full = must.query(
+            Query(queries[0]),
+            SearchOptions(k=5, l=must.segments.num_total),
+        )
+        assert_same_result(huge, full)
+        # The legacy shim goes through the same clamp.
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore", DeprecationWarning)
+            legacy = must.search(queries[0], k=5, l=10**7)
+        assert_same_result(legacy, huge)
+
+    def test_tiny_corpus_returns_everything(self, queries):
+        must = MUST(
+            random_multivector_set(6, DIMS, seed=11), weights=WEIGHTS
+        ).build()
+        res = must.query(Query(queries[0]), SearchOptions(k=10, l=100))
+        assert len(res.ids) == 6
