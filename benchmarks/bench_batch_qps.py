@@ -42,6 +42,13 @@ def test_batch_qps(benchmark, capsys):
         modes["exact/executor GEMM batch"]["qps"]
         > modes["exact/single-query loop"]["qps"]
     )
+    # Wave acceptance: the lockstep engine must actually have run as
+    # the default batch plan, beat the single-query graph loop by the
+    # ≥1.5× bar, and give up no recall against the per-query engine.
+    wave = modes["graph/wave"]
+    assert wave["plan"] == "graph/wave"
+    assert wave["qps"] >= 1.5 * modes["graph/single-query loop"]["qps"]
+    assert wave["recall"] >= modes["graph/executor n_jobs=1"]["recall"] - 0.005
     enc, must = cache.largescale_must("image")
     queries = list(enc.queries[:16])
     benchmark(

@@ -48,6 +48,12 @@ def test_serving_qps(benchmark, capsys):
     )
     assert payload["coalescing_speedup_exact"] >= 1.5
     assert modes["exact/served+writers"]["qps"] > 0
+    # Graph-wave serving: the lockstep engine must make coalesced graph
+    # serving beat the sequential graph loop for the first time — the
+    # per-query graph path never could on one core.
+    assert modes["graph_wave/served"]["answered"] == payload["total_requests"]
+    assert modes["graph_wave/served"]["wave_groups"] >= 1
+    assert payload["coalescing_speedup_graph_wave"] > 1.0
 
     from repro.bench import cache
 

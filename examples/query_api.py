@@ -10,8 +10,11 @@ surface:
   composed with ``&``/``|``/``~``) pushed down into exact and graph
   search;
 * per-query **weights** and **k overrides** mixed inside one batch;
+* graph batches riding the lockstep **wave engine** (the default
+  batch plan), with the executed plan and wave counters on the result;
 * the same typed requests served through the concurrent
-  ``MustService`` front-end while a writer streams new objects in.
+  ``MustService`` front-end while a writer streams new objects in,
+  including ``engine="wave"`` requests coalescing into wave groups.
 
 Run:  python examples/query_api.py
 """
@@ -80,7 +83,24 @@ def main() -> None:
     print(f"\nbatch answer sizes: {[len(r.ids) for r in batch]} "
           f"(middle query overrode k=3)")
 
-    # 4. Serve the same typed requests concurrently; new inserts carry
+    # 4. The same batch on the graph index rides the lockstep wave
+    #    engine by default (SearchOptions(engine="auto")): every query
+    #    advances its beam frontier in lockstep, one batched scoring
+    #    call per wave, per-query filters/weights/k still honoured.
+    wave = must.query(
+        [
+            Query(make_query(2), filter=flt),
+            Query(make_query(3), weights=Weights([0.9, 0.1]), k=3),
+            make_query(4),
+        ],
+        SearchOptions(k=5, l=128),
+    )
+    print(f"\ngraph batch plan: {wave.plan} — "
+          f"{wave.stats.waves} waves, "
+          f"largest frontier {max(wave.stats.frontier_sizes)} candidates, "
+          f"answer sizes {[len(r.ids) for r in wave]}")
+
+    # 5. Serve the same typed requests concurrently; new inserts carry
     #    their own attribute slices and are filterable immediately.
     with must.serve(max_batch=16, max_wait_ms=1.0) as service:
         before = service.search(Query(q, filter=flt),
@@ -93,8 +113,22 @@ def main() -> None:
         print(f"\nserved filtered top-5 before insert: {before.ids.tolist()}")
         print(f"served filtered top-5 after  insert: {after.ids.tolist()} "
               f"({len(newly)} from the new batch)")
+        # Graph requests opting into engine="wave" coalesce into
+        # lockstep wave groups on the dispatcher; the stats histograms
+        # make the grouping observable.
+        futures = [
+            service.submit(
+                Query(make_query(20 + i)),
+                SearchOptions(k=5, l=128, engine="wave"),
+            )
+            for i in range(8)
+        ]
+        served = [f.result() for f in futures]
+        waves_hist = service.stats.summary()["graph_waves"]
+        print(f"wave-served {len(served)} graph requests; "
+              f"waves-per-group histogram: {waves_hist}")
 
-    # 5. The legacy kwarg surface still answers identically (with a
+    # 6. The legacy kwarg surface still answers identically (with a
     #    DeprecationWarning) — and typos now fail loudly.
     try:
         must.search(q, k=5, early_terminatoin=True)

@@ -278,6 +278,11 @@ class MUST:
             return self._query_one(as_query(queries), opts)
         typed = [as_query(q) for q in queries]
         executor = BatchExecutor.from_options(opts)
+        # Batch graph execution defaults to the lockstep wave engine
+        # (engine="auto"): the thread-pooled per-query loop is the
+        # measured negative-speedup trap.  An explicit engine keeps the
+        # per-query oracle available.
+        engine = opts.resolve_engine(batch=True)
         if self._segments is not None:
             opts = opts.resolve(self._segments.num_total)
             return executor.run_segmented(
@@ -286,7 +291,7 @@ class MUST:
                 k=opts.k,
                 l=opts.l,
                 early_termination=opts.early_termination,
-                engine=opts.engine,
+                engine=engine,
                 exact=opts.exact,
                 refine=opts.refine,
                 check_monotone=opts.check_monotone,
@@ -296,13 +301,23 @@ class MUST:
                 self._flat(), typed, opts.k, refine=opts.refine
             )
         opts = opts.resolve(self.objects.n)
+        if engine == "wave":
+            return executor.run_graph_wave(
+                self.index,
+                typed,
+                k=opts.k,
+                l=opts.l,
+                early_termination=opts.early_termination,
+                refine=opts.refine,
+                check_monotone=opts.check_monotone,
+            )
         return executor.run_graph(
             self.index,
             typed,
             k=opts.k,
             l=opts.l,
             early_termination=opts.early_termination,
-            engine=opts.engine,
+            engine=engine,
             refine=opts.refine,
             check_monotone=opts.check_monotone,
         )
@@ -324,18 +339,35 @@ class MUST:
     def _query_one(self, q: Query, opts: SearchOptions) -> SearchResult:
         """One typed query, same arithmetic as the historical ``search``."""
         self._check_plan(opts)  # legacy shims enter here, not via query()
+        # engine="auto" resolves to the heap engine here: single-query
+        # results stay bit-identical to the historical entry points.
+        # An explicit engine="wave" runs a batch of one.
+        engine = opts.resolve_engine(batch=False)
         if self._segments is not None:
             if opts.exact:
                 return self._segments.exact_search(
                     q, opts.k, refine=opts.refine
                 )
             opts = opts.resolve(self._segments.num_total)
+            if engine == "wave":
+                self._segments.prepare_search()
+                results, wave_stats = self._segments.graph_wave(
+                    [q],
+                    k=opts.k,
+                    l=opts.l,
+                    early_termination=opts.early_termination,
+                    rngs=[opts.rng],
+                    refine=opts.refine,
+                    check_monotone=opts.check_monotone,
+                )
+                results[0].stats.merge(wave_stats)
+                return results[0]
             return self._segments.search(
                 q,
                 k=opts.k,
                 l=opts.l,
                 early_termination=opts.early_termination,
-                engine=opts.engine,
+                engine=engine,
                 rng=opts.rng,
                 refine=opts.refine,
                 check_monotone=opts.check_monotone,
@@ -343,13 +375,28 @@ class MUST:
         if opts.exact:
             return self._flat().search(q, opts.k, refine=opts.refine)
         opts = opts.resolve(self.objects.n)
+        if engine == "wave":
+            from repro.index.graph_wave import graph_wave_search
+
+            results, wave_stats = graph_wave_search(
+                self.index,
+                [q],
+                k=opts.k,
+                l=opts.l,
+                early_termination=opts.early_termination,
+                rngs=[opts.rng],
+                refine=opts.refine,
+                check_monotone=opts.check_monotone,
+            )
+            results[0].stats.merge(wave_stats)
+            return results[0]
         return joint_search(
             self.index,
             q,
             k=opts.k,
             l=opts.l,
             early_termination=opts.early_termination,
-            engine=opts.engine,
+            engine=engine,
             rng=opts.rng,
             refine=opts.refine,
             check_monotone=opts.check_monotone,
@@ -430,7 +477,7 @@ class MUST:
         weights: Weights | None = None,
         early_termination: bool = False,
         exact: bool = False,
-        engine: str = "heap",
+        engine: str = "auto",
         n_jobs: int = 1,
         rng: int | None = 0,
         refine: int | None = None,
@@ -444,8 +491,10 @@ class MUST:
         Unknown keyword arguments raise with a did-you-mean hint.
 
         The exact path scores all queries with a single GEMM per wave;
-        the graph path runs stateless per-query searchers, on a thread
-        pool when ``n_jobs != 1``.  Each query draws its random init
+        the graph path defaults to the lockstep wave engine
+        (``engine="auto"``), with ``engine="heap"``/``"paper"`` running
+        the per-query searchers, on a thread pool when ``n_jobs != 1``.
+        Each query draws its random init
         vertices from its own child seed derived from ``rng``
         (``SeedSequence.spawn``), so batches are deterministic without
         every query sharing one init draw — and bit-identical for any

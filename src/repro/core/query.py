@@ -335,7 +335,7 @@ class SearchOptions:
     exact: bool = False
     refine: "int | None" = None
     early_termination: bool = False
-    engine: str = "heap"
+    engine: str = "auto"
     n_jobs: int = 1
     rng: RngLike = 0
     check_monotone: bool = False
@@ -368,9 +368,9 @@ class SearchOptions:
             f"{self.early_termination!r}",
         )
         require(
-            self.engine in ("heap", "paper"),
-            f"SearchOptions.engine must be 'heap' or 'paper', got "
-            f"{self.engine!r}",
+            self.engine in ("auto", "heap", "paper", "wave"),
+            f"SearchOptions.engine must be one of 'auto', 'heap', "
+            f"'paper', 'wave', got {self.engine!r}",
         )
         require(
             isinstance(self.n_jobs, int),
@@ -419,6 +419,22 @@ class SearchOptions:
         (see :meth:`validate_names`) and out-of-range values alike."""
         cls.validate_names(kwargs)
         return cls(**kwargs)
+
+    def resolve_engine(self, batch: bool) -> str:
+        """Concrete graph engine for this plan.
+
+        ``"auto"`` (the default) picks the per-query heap engine for a
+        single query — preserving the historical single-query results
+        bit for bit — and the lockstep wave engine for a batch, where
+        per-query beam loops are the measured throughput trap (the
+        thread pool gives *negative* speedup on GIL-bound hops).  An
+        explicit engine name always wins, including ``"wave"`` on a
+        single query (a batch of one) and ``"heap"``/``"paper"`` on
+        batches (the per-query oracle the parity tests pin against).
+        """
+        if self.engine != "auto":
+            return self.engine
+        return "wave" if batch else "heap"
 
     def resolve(self, n: int) -> "SearchOptions":
         """Clamp the result-set size to the corpus: ``l = min(l, n)``.

@@ -27,6 +27,14 @@ class SearchStats:
 
     ``reranked`` counts candidates re-scored at full precision by the
     two-stage ``refine=`` pipeline (0 when rerank is off).
+
+    ``waves`` and ``frontier_sizes`` are batch-level counters of the
+    lockstep :func:`~repro.index.graph_wave.graph_wave_search` engine:
+    one wave advances every active query by up to
+    ``expansions_per_wave`` expansions, and each wave's frontier size
+    is the number of stacked candidates it scored in one batched call.
+    They stay 0/empty on per-query engines; merging sums waves and
+    concatenates the frontier trace.
     """
 
     visited_vertices: int = 0
@@ -36,6 +44,8 @@ class SearchStats:
     pruned_early: int = 0
     segments_probed: int = 0
     reranked: int = 0
+    waves: int = 0
+    frontier_sizes: list[int] = field(default_factory=list)
 
     def merge(self, other: "SearchStats") -> None:
         """Accumulate *other* into self (for batch aggregation)."""
@@ -46,6 +56,9 @@ class SearchStats:
         self.pruned_early += other.pruned_early
         self.segments_probed += other.segments_probed
         self.reranked += other.reranked
+        self.waves += other.waves
+        if other.frontier_sizes:
+            self.frontier_sizes = self.frontier_sizes + other.frontier_sizes
 
     @classmethod
     def aggregate(cls, stats: "Iterable[SearchStats]") -> "SearchStats":

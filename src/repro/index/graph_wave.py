@@ -1,0 +1,489 @@
+"""Wave-structured batched graph traversal: lockstep beam search.
+
+The per-query engines in :mod:`repro.index.search` route one query at a
+time: every hop is a Python loop iteration that gathers one adjacency
+list and scores it with one GEMV.  A batch of ``b`` queries therefore
+pays ``b × hops`` interpreter round-trips, which is why the thread-pool
+executor shows *negative* speedup on graph batches (the beam loop is
+GIL-bound and BLAS calls are too small to overlap).
+
+This module restructures Algorithm 2 the way ``exact_wave`` restructured
+the exact scan: all queries advance their beam frontiers **in lockstep**.
+Each wave
+
+1. picks, per active query, its best few unexpanded candidates (the
+   vectorised equivalent of ``expansions_per_wave`` heap pops — batching
+   expansions amortises the per-wave interpreter overhead),
+2. gathers every query's unvisited neighbours into one stacked candidate
+   matrix (CSR adjacency + one fancy-index),
+3. scores the whole stack at once — fast-path queries share a single
+   batched row-wise reduction against the ω-scaled concatenation, with
+   each query's weights baked into its own concat column exactly as the
+   exact wave does; compressed/early-termination queries fall back to
+   their per-query :class:`~repro.index.scoring.Scorer`, whose PQ/int8
+   kernels are built once per query and reused across every wave,
+4. scatters the scores back into per-query result pools, visited
+   bitsets, and routing pools.
+
+Queries finish independently: a query whose best unexpanded candidate
+can no longer enter its result set leaves the wave, while stragglers
+keep iterating.  Per-query :class:`~repro.core.query.Query` filters,
+``k`` overrides, and the §IX deletion bitset apply at result-admission
+exactly as in :func:`~repro.index.search.joint_search` — inadmissible
+vertices still route.
+
+Determinism contract: every per-row reduction is independent of the
+other rows, each query draws its init from its own seed, and each
+query's pools are truncated to the width its *own* ``l`` implies — so a
+query's answer never depends on its wave-mates or on ``n_jobs``.
+Results are not bit-identical to the per-query heap engine (expansion
+*order* differs across queries), which is why the per-query path is
+kept as the recall oracle in the parity tests.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Sequence
+
+import numpy as np
+
+from repro.core.multivector import MultiVector
+from repro.core.query import FilterMemo, Query, unpack_query
+from repro.core.results import SearchResult, SearchStats
+from repro.core.weights import Weights
+from repro.index.base import GraphIndex
+from repro.index.scoring import Scorer, rerank_exact
+from repro.index.search import _init_result_set
+from repro.utils.rng import spawn_seed_sequences
+from repro.utils.validation import require
+
+__all__ = ["graph_wave_search"]
+
+#: CSR adjacency cache keyed by ``id(index.neighbors)``.  Graphs are
+#: immutable after build (deletes go through the bitset, compaction
+#: builds a fresh index) and snapshots share the neighbour list via
+#: ``dataclasses.replace``, so identity of the list is a sound key; the
+#: stored strong reference keeps the id from being recycled.  Bounded so
+#: long-lived processes cycling many indexes cannot leak.
+_ADJ_CACHE: dict[int, tuple[np.ndarray, np.ndarray, object]] = {}
+_ADJ_CACHE_LIMIT = 16
+
+
+def _csr_adjacency(index: GraphIndex) -> tuple[np.ndarray, np.ndarray]:
+    """``(flat, offsets)`` CSR view of ``index.neighbors``, cached."""
+    neighbors = index.neighbors
+    entry = _ADJ_CACHE.get(id(neighbors))
+    if entry is not None and entry[2] is neighbors:
+        return entry[0], entry[1]
+    counts = np.fromiter(
+        (len(adj) for adj in neighbors), dtype=np.int64, count=len(neighbors)
+    )
+    offsets = np.zeros(len(neighbors) + 1, dtype=np.int64)
+    np.cumsum(counts, out=offsets[1:])
+    if offsets[-1]:
+        flat = np.concatenate(neighbors).astype(np.int64, copy=False)
+    else:
+        flat = np.zeros(0, dtype=np.int64)
+    if len(_ADJ_CACHE) >= _ADJ_CACHE_LIMIT:
+        _ADJ_CACHE.clear()
+    _ADJ_CACHE[id(neighbors)] = (flat, offsets, neighbors)
+    return flat, offsets
+
+
+def _pad_by_owner(
+    owner: np.ndarray,
+    ids: np.ndarray,
+    *sim_columns: np.ndarray,
+) -> tuple[np.ndarray, np.ndarray, list[np.ndarray]]:
+    """Scatter owner-sorted flat candidates into per-row padded matrices.
+
+    Returns ``(rows, id_matrix, sim_matrices)`` where row ``r`` of each
+    matrix holds the candidates owned by query ``rows[r]``, padded with
+    ``-inf`` similarities (id padding is irrelevant once the sim is
+    ``-inf``).
+    """
+    rows, grp_start, grp_counts = np.unique(
+        owner, return_index=True, return_counts=True
+    )
+    width = int(grp_counts.max())
+    pos = np.arange(owner.size, dtype=np.int64) - np.repeat(grp_start, grp_counts)
+    ridx = np.repeat(np.arange(rows.size, dtype=np.int64), grp_counts)
+    id_mat = np.zeros((rows.size, width), dtype=np.int64)
+    id_mat[ridx, pos] = ids
+    sim_mats: list[np.ndarray] = []
+    for col in sim_columns:
+        mat = np.full((rows.size, width), -np.inf, dtype=np.float64)
+        mat[ridx, pos] = col
+        sim_mats.append(mat)
+    return rows, id_mat, sim_mats
+
+
+def graph_wave_search(
+    index: GraphIndex,
+    queries: Sequence[MultiVector | Query],
+    k: int,
+    l: int,
+    weights: Weights | None = None,
+    early_termination: bool = False,
+    rng: Any = 0,
+    rngs: Sequence[Any] | None = None,
+    refine: int | None = None,
+    check_monotone: bool = False,
+    filter_memo: FilterMemo | None = None,
+    ks: Sequence[int] | None = None,
+    ls: Sequence[int] | None = None,
+    expansions_per_wave: int = 8,
+) -> tuple[list[SearchResult], SearchStats]:
+    """Lockstep batched Algorithm 2 over one fused graph.
+
+    Semantics match :func:`~repro.index.search.joint_search` per query —
+    same init draw (seed vertex + ``l−1`` random vertices from the
+    query's own rng), same result-set cap ``min(l, reportable)``, same
+    can-the-best-candidate-still-enter termination rule, same
+    route-but-never-report treatment of filtered/deleted vertices, same
+    ``refine=`` exact rerank — but expansion order interleaves across
+    the batch, so ids/sims agree with the per-query engine only up to
+    tie-breaks and init randomness (recall parity is pinned in tests).
+
+    ``rngs`` supplies one rng per query (the serving path, where each
+    request carries its own seed); otherwise per-query children are
+    spawned from ``rng`` exactly like
+    :class:`~repro.index.executor.BatchExecutor`.  ``ks``/``ls`` are
+    per-query overrides used by the segmented layer, which sizes each
+    segment probe individually.
+
+    ``expansions_per_wave`` widens each wave: every active query
+    expands up to that many of its best unexpanded candidates per wave
+    instead of one.  The traversal stays per-row (selection reads only
+    the row's own pool, so composition independence is untouched) but
+    the interpreter-level wave overhead is amortised over ``m``
+    expansions — the knob that makes the lockstep engine beat the
+    per-query loop even at small batch sizes.  Admission uses the wave-
+    entry threshold, which can only admit *more* than the per-expansion
+    heap rule, so recall never drops below the ``m=1`` traversal.
+
+    Returns ``(results, wave_stats)``: per-query
+    :class:`~repro.core.results.SearchResult` (stats carry the usual
+    per-query counters) plus one batch-level
+    :class:`~repro.core.results.SearchStats` holding only ``waves`` and
+    ``frontier_sizes`` — the observable amortisation.
+    """
+    b = len(queries)
+    wave_stats = SearchStats()
+    if b == 0:
+        return [], wave_stats
+    require(k >= 1, "k must be positive")
+    require(l >= k, f"result set size l={l} must be at least k={k}")
+    require(refine is None or refine >= 1, "refine must be >= 1")
+    require(expansions_per_wave >= 1, "expansions_per_wave must be >= 1")
+    if rngs is not None:
+        require(len(rngs) == b, "rngs must supply one rng per query")
+    if ks is not None or ls is not None:
+        require(
+            ks is not None and ls is not None and len(ks) == b and len(ls) == b,
+            "ks and ls overrides must both cover every query",
+        )
+
+    space = index.space
+    n = index.n
+    attributes = space.vectors.attributes
+    memo: FilterMemo = {} if filter_memo is None else filter_memo
+
+    vectors: list[MultiVector] = []
+    per_weights: list[Weights | None] = []
+    excluded_by: list[np.ndarray | None] = []
+    excl_cache: dict[int | None, np.ndarray | None] = {}
+    k_arr = np.zeros(b, dtype=np.int64)
+    k_inner_arr = np.zeros(b, dtype=np.int64)
+    cap_arr = np.zeros(b, dtype=np.int64)
+    width_arr = np.zeros(b, dtype=np.int64)
+    l_inner_arr = np.zeros(b, dtype=np.int64)
+    alive = np.zeros(b, dtype=bool)
+
+    for i, q in enumerate(queries):
+        vec, k_q, w_q, mask = unpack_query(q, k, weights, attributes, memo=memo)
+        if ks is not None and ls is not None:
+            k_q, l_q = int(ks[i]), int(ls[i])
+        else:
+            l_q = max(l, k_q)
+        require(k_q >= 1, "k must be positive")
+        require(l_q >= k_q, f"result set size l={l_q} must be at least k={k_q}")
+        vectors.append(vec)
+        per_weights.append(w_q)
+        key = None if mask is None else id(mask)
+        if key in excl_cache:
+            excluded: np.ndarray | None = excl_cache[key]
+        elif mask is None:
+            excluded = index.deleted
+            excl_cache[key] = excluded
+        else:
+            excluded = ~mask if index.deleted is None else (~mask | index.deleted)
+            excl_cache[key] = excluded
+        excluded_by.append(excluded)
+        if mask is None:
+            reportable = index.num_active
+        else:
+            reportable = int(n - excluded.sum()) if excluded is not None else n
+        k_inner = k_q * refine if refine is not None else k_q
+        l_inner = max(l_q, k_inner)
+        k_arr[i] = k_q
+        k_inner_arr[i] = k_inner
+        l_inner_arr[i] = l_inner
+        width_arr[i] = min(l_inner, n)
+        cap_arr[i] = min(l_inner, reportable)
+        alive[i] = reportable > 0
+
+    seeds: Sequence[Any]
+    if rngs is None:
+        seeds = spawn_seed_sequences(rng, b)
+    else:
+        seeds = list(rngs)
+
+    stats_list = [SearchStats() for _ in range(b)]
+    scorers = [
+        Scorer(
+            space,
+            vectors[i],
+            weights=per_weights[i],
+            early_termination=early_termination,
+            stats=stats_list[i],
+        )
+        for i in range(b)
+    ]
+    fast = np.asarray([s.has_fast_path for s in scorers], dtype=bool)
+    active_mods = np.asarray([s.num_active_modalities for s in scorers], dtype=np.int64)
+    joint_acc = np.zeros(b, dtype=np.int64)
+    concat_mat: np.ndarray | None = None
+    qmat: np.ndarray | None = None
+    if fast.any():
+        concat_mat = space.concatenated
+        qmat = np.zeros((b, concat_mat.shape[1]), dtype=np.float32)
+        for i in range(b):
+            qvec = scorers[i].concat_query_vector
+            if qvec is not None:
+                qmat[i] = qvec
+
+    def score_stack(
+        owner: np.ndarray, cand: np.ndarray, thr: np.ndarray
+    ) -> np.ndarray:
+        """Score one stacked frontier; below-threshold rows come back -inf.
+
+        One batched row-wise reduction covers every fast-path query's
+        candidates (per-query weights already baked into its concat
+        column); the rest go through their bound scorer on contiguous
+        owner slices, so compressed kernels and Lemma-4 pruning apply
+        per query with their one-time setup amortised across waves.
+        """
+        sims = np.empty(cand.size, dtype=np.float64)
+        fmask = fast[owner]
+        if fmask.any():
+            assert concat_mat is not None and qmat is not None
+            own = owner[fmask]
+            sims[fmask] = np.einsum(
+                "ij,ij->i", concat_mat[cand[fmask]], qmat[own]
+            ).astype(np.float64)
+            counts = np.bincount(own, minlength=b)
+            np.add(joint_acc, counts, out=joint_acc)
+        if not fmask.all():
+            nf = np.flatnonzero(~fmask)
+            nf_owner = owner[nf]
+            grp, grp_start, grp_counts = np.unique(
+                nf_owner, return_index=True, return_counts=True
+            )
+            for gi, gs, gc in zip(grp, grp_start, grp_counts):
+                sl = nf[gs : gs + gc]
+                svals, keep = scorers[int(gi)].score_frontier(
+                    cand[sl], float(thr[int(gi)])
+                )
+                sims[sl] = np.where(keep, svals, -np.inf)
+        return np.where(sims > thr[owner], sims, -np.inf)
+
+    # Pools: per-row descending candidate/result sets, padded with -inf.
+    # Every row is truncated to its own width/cap after each merge, so a
+    # query's state is exactly what a batch-of-one would hold —
+    # composition independence.
+    width = int(width_arr.max()) if alive.any() else 1
+    route_ids = np.zeros((b, width), dtype=np.int64)
+    route_sims = np.full((b, width), -np.inf, dtype=np.float64)
+    route_dead = np.ones((b, width), dtype=bool)
+    res_ids = np.zeros((b, width), dtype=np.int64)
+    res_sims = np.full((b, width), -np.inf, dtype=np.float64)
+    seen = np.zeros((b, n), dtype=bool)
+    hops = np.zeros(b, dtype=np.int64)
+    last_total = np.full(b, -np.inf, dtype=np.float64)
+    rows_all = np.arange(b, dtype=np.int64)
+    cols = np.arange(width, dtype=np.int64)
+
+    # Group queries by the identity of their excluded-vertex bitset
+    # (shared filters compile to one mask, unfiltered queries share the
+    # deletion bitset) so admission is one vectorised lookup per group.
+    uniq_excluded: list[np.ndarray] = []
+    excl_group = np.full(b, -1, dtype=np.int64)
+    _group_of: dict[int, int] = {}
+    for i, excl in enumerate(excluded_by):
+        if excl is None:
+            continue
+        gid = _group_of.setdefault(id(excl), len(uniq_excluded))
+        if gid == len(uniq_excluded):
+            uniq_excluded.append(excl)
+        excl_group[i] = gid
+
+    def admissible(owner: np.ndarray, cand: np.ndarray) -> np.ndarray:
+        out = np.ones(cand.size, dtype=bool)
+        groups = excl_group[owner]
+        for gid, excl in enumerate(uniq_excluded):
+            sel = groups == gid
+            if sel.any():
+                out[sel] = ~excl[cand[sel]]
+        return out
+
+    def merge(
+        rows: np.ndarray,
+        f_ids: np.ndarray,
+        f_route_sims: np.ndarray,
+        f_res_sims: np.ndarray,
+    ) -> None:
+        """Fold padded fresh candidates into both pools for *rows*."""
+        cat_ids = np.concatenate([route_ids[rows], f_ids], axis=1)
+        cat_sims = np.concatenate([route_sims[rows], f_route_sims], axis=1)
+        cat_dead = np.concatenate(
+            [route_dead[rows], ~np.isfinite(f_route_sims)], axis=1
+        )
+        order = np.argsort(-cat_sims, axis=1, kind="stable")[:, :width]
+        new_sims = np.take_along_axis(cat_sims, order, axis=1)
+        over = cols[None, :] >= width_arr[rows][:, None]
+        route_ids[rows] = np.take_along_axis(cat_ids, order, axis=1)
+        route_sims[rows] = np.where(over, -np.inf, new_sims)
+        route_dead[rows] = np.take_along_axis(cat_dead, order, axis=1) | over
+
+        cat_ids = np.concatenate([res_ids[rows], f_ids], axis=1)
+        cat_sims = np.concatenate([res_sims[rows], f_res_sims], axis=1)
+        order = np.argsort(-cat_sims, axis=1, kind="stable")[:, :width]
+        new_sims = np.take_along_axis(cat_sims, order, axis=1)
+        over = cols[None, :] >= cap_arr[rows][:, None]
+        res_ids[rows] = np.take_along_axis(cat_ids, order, axis=1)
+        res_sims[rows] = np.where(over, -np.inf, new_sims)
+
+        if check_monotone:
+            block = res_sims[rows]
+            finite = np.isfinite(block)
+            csum = np.cumsum(np.where(finite, block, 0.0), axis=1)
+            take = np.minimum(finite.sum(axis=1), cap_arr[rows])
+            idx = np.maximum(take - 1, 0)
+            total = np.where(take > 0, csum[np.arange(rows.size), idx], 0.0)
+            prev = last_total[rows]
+            started = np.isfinite(prev)
+            # Lemma 3: f(η) is monotonically non-decreasing.
+            ok = bool(np.all(total[started] >= prev[started] - 1e-9))
+            assert ok, "Lemma 3 violated in wave merge"
+            last_total[rows] = total
+
+    # ------------------------------------------------------------------
+    # Init: per-query seed + random draws, scored as one stacked wave.
+    # ------------------------------------------------------------------
+    init_owner_parts: list[np.ndarray] = []
+    init_id_parts: list[np.ndarray] = []
+    for i in range(b):
+        if not alive[i]:
+            continue
+        r_init = _init_result_set(index, int(l_inner_arr[i]), seeds[i])
+        seen[i, r_init] = True
+        init_id_parts.append(r_init)
+        init_owner_parts.append(np.full(r_init.size, i, dtype=np.int64))
+    if init_id_parts:
+        owner0 = np.concatenate(init_owner_parts)
+        cand0 = np.concatenate(init_id_parts)
+        sims0 = score_stack(owner0, cand0, np.full(b, -np.inf))
+        adm0 = admissible(owner0, cand0)
+        rows0, idm, (routem, resm) = _pad_by_owner(
+            owner0, cand0, sims0, np.where(adm0, sims0, -np.inf)
+        )
+        merge(rows0, idm, routem, resm)
+
+    # ------------------------------------------------------------------
+    # Waves: one expansion per active query per wave.
+    # ------------------------------------------------------------------
+    flat_adj, offsets = _csr_adjacency(index)
+    m_exp = int(expansions_per_wave)
+    while True:
+        thr = res_sims[rows_all, np.maximum(cap_arr - 1, 0)]
+        # Heap-engine termination rule, vectorised: a routed candidate
+        # strictly below the current result floor can never enter R.
+        route_dead |= route_sims < thr[:, None]
+        masked = np.where(route_dead, -np.inf, route_sims)
+        # Up to m best unexpanded candidates per row — each row reads
+        # only its own pool, so wave-mates stay invisible to it.
+        top_cols = np.argsort(-masked, axis=1, kind="stable")[:, :m_exp]
+        top_sims = np.take_along_axis(masked, top_cols, axis=1)
+        valid = np.isfinite(top_sims)
+        valid &= alive[:, None]
+        if not valid.any():
+            break
+        rsel, csel = np.nonzero(valid)
+        cols_sel = top_cols[rsel, csel]
+        expand = route_ids[rsel, cols_sel]
+        route_dead[rsel, cols_sel] = True
+        hops += valid.sum(axis=1)
+        wave_stats.waves += 1
+
+        counts = offsets[expand + 1] - offsets[expand]
+        total_adj = int(counts.sum())
+        if total_adj == 0:
+            wave_stats.frontier_sizes.append(0)
+            continue
+        shift = np.concatenate(([0], np.cumsum(counts)[:-1]))
+        gather = np.arange(total_adj, dtype=np.int64) + np.repeat(
+            offsets[expand] - shift, counts
+        )
+        cand = flat_adj[gather]
+        owner = np.repeat(rsel, counts)
+        fresh = ~seen[owner, cand]
+        cand, owner = cand[fresh], owner[fresh]
+        if cand.size and m_exp > 1:
+            # Two expanded vertices of one row may share a neighbour;
+            # keep each (row, candidate) pair once.  np.unique sorts the
+            # keys row-major, preserving the contiguous-owner layout
+            # score_stack's slow path slices on.
+            key = owner * n + cand
+            _, first = np.unique(key, return_index=True)
+            owner, cand = owner[first], cand[first]
+        wave_stats.frontier_sizes.append(int(cand.size))
+        if cand.size == 0:
+            continue
+        seen[owner, cand] = True
+        sims = score_stack(owner, cand, thr)
+        adm = admissible(owner, cand)
+        rows, idm, (routem, resm) = _pad_by_owner(
+            owner, cand, sims, np.where(adm, sims, -np.inf)
+        )
+        merge(rows, idm, routem, resm)
+
+    # ------------------------------------------------------------------
+    # Finalise per query: top-k by (-sim, id), optional exact rerank.
+    # ------------------------------------------------------------------
+    for i in range(b):
+        stats = stats_list[i]
+        stats.hops += int(hops[i])
+        stats.visited_vertices += int(hops[i])
+        stats.joint_evals += int(joint_acc[i])
+        stats.modality_evals += int(joint_acc[i] * active_mods[i])
+    results: list[SearchResult] = []
+    for i in range(b):
+        finite = np.isfinite(res_sims[i])
+        ids_f = res_ids[i][finite]
+        sims_f = res_sims[i][finite]
+        order = np.lexsort((ids_f, -sims_f))[: int(k_inner_arr[i])]
+        ids_o, sims_o = ids_f[order], sims_f[order]
+        if refine is not None:
+            ids_o, sims_o = rerank_exact(
+                space,
+                vectors[i],
+                ids_o,
+                int(k_arr[i]),
+                weights=per_weights[i],
+                stats=stats_list[i],
+            )
+        results.append(
+            SearchResult(ids=ids_o, similarities=sims_o, stats=stats_list[i])
+        )
+    return results, wave_stats

@@ -162,6 +162,13 @@ class Scorer:
         """Modalities the query actually carries (``t`` in the paper)."""
         return self._active
 
+    @property
+    def concat_query_vector(self) -> np.ndarray | None:
+        """Rescaled concat-space query (Lemma 1), or None off the fast
+        path — lets the wave engine stack many queries' fast paths into
+        one batched reduction without reaching into scorer internals."""
+        return self._qcat
+
     # ------------------------------------------------------------------
     # Scoring routes
     # ------------------------------------------------------------------

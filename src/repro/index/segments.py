@@ -415,6 +415,112 @@ class SegmentView:
         ids, sims = _merge_candidates(parts, k)
         return SearchResult(ids, sims, SearchStats.aggregate(stats_parts))
 
+    def graph_wave(
+        self,
+        queries: list[MultiVector | Query],
+        k: int = 10,
+        l: int = 100,
+        weights: Weights | None = None,
+        early_termination: bool = False,
+        rng: np.random.Generator | np.random.SeedSequence | int | None = 0,
+        rngs: list | None = None,
+        refine: int | None = None,
+        check_monotone: bool = False,
+        filter_memo: dict | None = None,
+    ) -> tuple[list[SearchResult], SearchStats]:
+        """Cross-segment lockstep batch: one
+        :func:`~repro.index.graph_wave.graph_wave_search` wave per
+        segment carries the *whole* batch, so a view with ``s`` active
+        segments pays ``s`` lockstep traversals instead of ``b × s``
+        per-query beam loops.  Per-segment candidates merge per query by
+        ``(similarity, external id)`` exactly like :meth:`search`.
+
+        Determinism mirrors the per-query path: each query's
+        SeedSequence child spawns per-segment grandchildren
+        (:func:`_segment_rngs`), so results are independent of batch
+        composition and thread count.  ``rngs`` supplies one seed per
+        query (the serving path); otherwise children are spawned from
+        ``rng``.  A shared ``filter_memo`` compiles each distinct
+        :class:`~repro.core.query.Filter` once per segment table, not
+        once per query.
+
+        ``refine=r`` reranks each segment's top ``min(r·k, |candidates|)``
+        survivors at full precision *at the view level* (the engine runs
+        without rerank), matching :meth:`search`'s two-stage pipeline.
+
+        Returns ``(results, wave_stats)``: per-query results with
+        aggregated per-segment stats, plus one batch-level
+        :class:`~repro.core.results.SearchStats` holding the summed
+        ``waves``/``frontier_sizes`` trace across segments.
+        """
+        from repro.index.graph_wave import graph_wave_search
+
+        require(refine is None or refine >= 1, "refine must be >= 1")
+        wave_total = SearchStats()
+        queries = list(queries)
+        if not queries:
+            return [], wave_total
+        typed = [as_query(q) for q in queries]
+        ks = [t.resolve_k(k) for t in typed]
+        ws = [t.resolve_weights(weights) for t in typed]
+        # As in :meth:`search`, the per-query k override must not shrink
+        # the per-segment pool but may widen it; strip it before the
+        # inner waves so it cannot re-trigger k resolution downstream.
+        inner = [
+            dataclasses.replace(t, k=None) if t.k is not None else t
+            for t in typed
+        ]
+        ls = [max(l, k_i) for k_i in ks]
+        b = len(queries)
+        if rngs is not None:
+            require(len(rngs) == b, "rngs must supply one rng per query")
+            seeds = list(rngs)
+        else:
+            seeds = list(spawn_seed_sequences(rng, b))
+        segs = self.segments
+        per_query_rngs = [_segment_rngs(seed, len(segs)) for seed in seeds]
+        memo: dict = {} if filter_memo is None else filter_memo
+        parts: list[list[tuple[np.ndarray, np.ndarray]]] = [
+            [] for _ in typed
+        ]
+        stats_parts: list[list[SearchStats]] = [[] for _ in typed]
+        for si, seg in enumerate(segs):
+            if seg.num_active == 0:
+                continue
+            seg_results, wstats = graph_wave_search(
+                seg.index,
+                inner,
+                k=k,
+                l=l,
+                weights=weights,
+                early_termination=early_termination,
+                rngs=[per_query_rngs[i][si] for i in range(b)],
+                check_monotone=check_monotone,
+                filter_memo=memo,
+                ks=[min(l_i, seg.num_active) for l_i in ls],
+                ls=[min(l_i, seg.n) for l_i in ls],
+            )
+            wave_total.merge(wstats)
+            for i, res in enumerate(seg_results):
+                res.stats.segments_probed = 1
+                if refine is not None:
+                    keep = min(refine * ks[i], res.ids.size)
+                    local, exact = rerank_exact(
+                        seg.space, typed[i].vector, res.ids[:keep], keep,
+                        weights=ws[i], stats=res.stats,
+                    )
+                    parts[i].append((seg.ext_ids[local], exact))
+                else:
+                    parts[i].append((seg.ext_ids[res.ids], res.similarities))
+                stats_parts[i].append(res.stats)
+        results = []
+        for k_i, p_i, s_i in zip(ks, parts, stats_parts):
+            ids, sims = _merge_candidates(p_i, k_i)
+            results.append(
+                SearchResult(ids, sims, SearchStats.aggregate(s_i))
+            )
+        return results, wave_total
+
     def exact_search(
         self,
         query: MultiVector | Query,
@@ -1022,6 +1128,16 @@ class SegmentedIndex:
             refine=refine,
             **search_kwargs,
         )
+
+    def graph_wave(
+        self,
+        queries: list[MultiVector | Query],
+        k: int = 10,
+        l: int = 100,
+        **kwargs,
+    ) -> tuple[list[SearchResult], SearchStats]:
+        """Cross-segment lockstep batch — see :meth:`SegmentView.graph_wave`."""
+        return self.view().graph_wave(queries, k=k, l=l, **kwargs)
 
     def exact_search(
         self,

@@ -475,10 +475,22 @@ class MustService:
             for req in batch:
                 self.stats.record_wait(dispatched - req.submitted)
 
-            graph_reqs = [r for r in batch if not r.kwargs["exact"]]
+            # Only an *explicit* engine="wave" request coalesces into a
+            # lockstep wave; "auto" resolves per-query on the snapshot
+            # read path, preserving the historical bit-parity pins.
+            graph_reqs = [
+                r for r in batch
+                if not r.kwargs["exact"] and r.kwargs.get("engine") != "wave"
+            ]
+            wave_reqs = [
+                r for r in batch
+                if not r.kwargs["exact"] and r.kwargs.get("engine") == "wave"
+            ]
             exact_reqs = [r for r in batch if r.kwargs["exact"]]
             if graph_reqs:
                 self._run_graph(snap, graph_reqs)
+            for group in self._wave_groups(wave_reqs):
+                self._run_graph_wave(snap, group)
             for group in self._exact_groups(exact_reqs):
                 self._run_exact(snap, group)
         except Exception as exc:
@@ -511,6 +523,75 @@ class MustService:
         outcomes = thread_map(one, reqs, n_jobs=self.config.n_jobs)
         for req, outcome in zip(reqs, outcomes):
             self._resolve(req, outcome)
+
+    def _wave_groups(self, reqs: list[_Request]) -> list[list[_Request]]:
+        """Group ``engine="wave"`` requests sharing one lockstep plan.
+
+        Per-request ``rng`` seeds never fragment a group — the engine
+        takes one rng per query — and typed per-query weights/filters/k
+        ride inside each :class:`Query`; only the plan-level parameters
+        that parameterise the traversal itself must match.
+        """
+        groups: dict[tuple, list[_Request]] = {}
+        for req in reqs:
+            weights = req.kwargs["weights"]
+            weights_key = (
+                None
+                if weights is None
+                else tuple(float(x) for x in weights.squared)
+            )
+            key = (
+                req.kwargs["k"],
+                req.kwargs["l"],
+                req.kwargs["refine"],
+                req.kwargs["early_termination"],
+                req.kwargs["check_monotone"],
+                weights_key,
+            )
+            groups.setdefault(key, []).append(req)
+        return list(groups.values())
+
+    def _run_graph_wave(self, snap: IndexSnapshot, reqs: list[_Request]) -> None:
+        """One lockstep traversal answers every request in the group.
+
+        Each request keeps its own ``rng``, and the wave engine is
+        composition-independent per query, so a coalesced answer is
+        bit-identical to dispatching the request alone — pooling many
+        callers only amortises the traversal, never changes a result.
+        """
+        kwargs = reqs[0].kwargs
+        try:
+            results, wave_stats = snap.graph_wave(
+                [r.query for r in reqs],
+                k=kwargs["k"],
+                l=kwargs["l"],
+                weights=kwargs["weights"],
+                early_termination=kwargs["early_termination"],
+                refine=kwargs["refine"],
+                check_monotone=kwargs["check_monotone"],
+                rngs=[r.kwargs["rng"] for r in reqs],
+            )
+        except Exception:
+            # One request's doing (an unknown filter attribute, a bad
+            # plan value) must not fail its wave-mates — retry
+            # individually so only the offender's future errors.
+            for req in reqs:
+                try:
+                    retry = {
+                        key: value
+                        for key, value in req.kwargs.items()
+                        if key != "exact"
+                    }
+                    self._resolve(req, snap.search(req.query, **retry))
+                except Exception as exc:
+                    self._resolve(req, exc)
+            return
+        self.stats.record_graph_wave(
+            wave_stats.waves, wave_stats.frontier_sizes
+        )
+        for req, res in zip(reqs, results):
+            res.stats.merge(wave_stats)
+            self._resolve(req, res)
 
     def _exact_groups(self, reqs: list[_Request]) -> list[list[_Request]]:
         """Group exact requests sharing one wave plan (k, weights, refine).

@@ -128,6 +128,7 @@ class IndexSnapshot:
         early_termination: bool = False,
         exact: bool = False,
         refine: int | None = None,
+        engine: str = "auto",
         **search_kwargs,
     ) -> SearchResult:
         """Joint top-*k* against the captured state.
@@ -138,7 +139,30 @@ class IndexSnapshot:
         instance at capture time.  Typed :class:`Query` objects pass
         straight through (per-query weights/filter/k), and
         :meth:`query` is the options-native equivalent.
+
+        ``engine="auto"`` resolves to the per-query heap engine (a
+        snapshot read is a single query, so the historical bits are
+        preserved); an explicit ``engine="wave"`` runs the lockstep
+        engine as a batch of one — bit-identical to the same query
+        inside any coalesced wave, by the engine's composition
+        independence.
         """
+        if engine == "wave" and not exact:
+            rngs = [search_kwargs.pop("rng", 0)]
+            check_monotone = bool(search_kwargs.pop("check_monotone", False))
+            results, wave_stats = self.graph_wave(
+                [query],
+                k=k,
+                l=l,
+                weights=weights,
+                early_termination=early_termination,
+                refine=refine,
+                check_monotone=check_monotone,
+                rngs=rngs,
+            )
+            results[0].stats.merge(wave_stats)
+            return results[0]
+        engine = "heap" if engine == "auto" else engine
         if self.view is not None:
             if exact:
                 return self.view.exact_search(query, k, weights=weights, refine=refine)
@@ -149,6 +173,7 @@ class IndexSnapshot:
                 weights=weights,
                 early_termination=early_termination,
                 refine=refine,
+                engine=engine,
                 **search_kwargs,
             )
         if exact:
@@ -161,6 +186,7 @@ class IndexSnapshot:
             weights=weights,
             early_termination=early_termination,
             refine=refine,
+            engine=engine,
             **search_kwargs,
         )
 
@@ -182,6 +208,55 @@ class IndexSnapshot:
     def _flat(self) -> FlatIndex:
         """The legacy exact scanner over the frozen bitset."""
         return FlatIndex(self.exact_space, deleted=self.graph.deleted)
+
+    def graph_wave(
+        self,
+        queries: list[MultiVector | Query],
+        k: int = 10,
+        l: int = 100,
+        weights: Weights | None = None,
+        early_termination: bool = False,
+        refine: int | None = None,
+        check_monotone: bool = False,
+        rng=0,
+        rngs: list | None = None,
+    ):
+        """Coalesced graph batch — the serving layer's lockstep wave.
+
+        One :func:`~repro.index.graph_wave.graph_wave_search` traversal
+        per segment (or one for a single-graph snapshot) carries every
+        request that shares this plan; ``rngs`` keeps each request's own
+        init seed, so an answer is bit-identical to the same request
+        dispatched alone with ``engine="wave"`` (composition
+        independence).  Returns ``(results, wave_stats)``.
+        """
+        if self.view is not None:
+            return self.view.graph_wave(
+                queries,
+                k=k,
+                l=l,
+                weights=weights,
+                early_termination=early_termination,
+                rng=rng,
+                rngs=rngs,
+                refine=refine,
+                check_monotone=check_monotone,
+            )
+        from repro.index.graph_wave import graph_wave_search
+
+        return graph_wave_search(
+            self.graph,
+            queries,
+            k=k,
+            l=min(l, self.graph.n),
+            weights=weights,
+            early_termination=early_termination,
+            rng=rng,
+            rngs=rngs,
+            refine=refine,
+            check_monotone=check_monotone,
+            filter_memo={},
+        )
 
     def exact_wave(
         self,

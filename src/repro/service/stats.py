@@ -33,6 +33,11 @@ class ServiceStats:
     * ``batch_sizes`` / ``queue_depths`` — histograms (size → count,
       depth-at-dispatch → count) for tuning ``max_batch`` /
       ``max_wait_ms`` / ``max_queue``.
+    * ``graph_waves`` / ``wave_frontier_sizes`` — histograms of the
+      lockstep graph waves (waves-per-coalesced-group → count, stacked
+      frontier size → count), recorded once per ``engine="wave"``
+      group the dispatcher executes; both empty unless clients opt
+      into the wave engine.
     """
 
     def __init__(self, latency_window: int = 10_000):
@@ -48,6 +53,8 @@ class ServiceStats:
         self.wait = PercentileTracker(latency_window)
         self.batch_sizes: Counter[int] = Counter()
         self.queue_depths: Counter[int] = Counter()
+        self.graph_waves: Counter[int] = Counter()
+        self.wave_frontier_sizes: Counter[int] = Counter()
 
     # ------------------------------------------------------------------
     # Recording (called by the service)
@@ -68,6 +75,14 @@ class ServiceStats:
             if size > 1:
                 self.coalesced_batches += 1
                 self.coalesced_requests += int(size)
+
+    def record_graph_wave(self, waves: int, frontier_sizes) -> None:
+        """One coalesced ``engine="wave"`` group: its wave count and
+        the per-wave stacked frontier sizes."""
+        with self._lock:
+            self.graph_waves[int(waves)] += 1
+            for size in frontier_sizes:
+                self.wave_frontier_sizes[int(size)] += 1
 
     def record_wait(self, seconds: float) -> None:
         with self._lock:
@@ -108,6 +123,14 @@ class ServiceStats:
                 int(depth): int(count)
                 for depth, count in sorted(self.queue_depths.items())
             }
+            graph_waves = {
+                int(waves): int(count)
+                for waves, count in sorted(self.graph_waves.items())
+            }
+            wave_frontier_sizes = {
+                int(size): int(count)
+                for size, count in sorted(self.wave_frontier_sizes.items())
+            }
             return {
                 "submitted": self.submitted,
                 "completed": self.completed,
@@ -120,6 +143,8 @@ class ServiceStats:
                 "wait_ms": self.wait.summary(scale=1e3),
                 "batch_sizes": batch_sizes,
                 "queue_depths": queue_depths,
+                "graph_waves": graph_waves,
+                "wave_frontier_sizes": wave_frontier_sizes,
             }
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
