@@ -1,0 +1,114 @@
+"""Process-sharded serving throughput — exact scaling across workers.
+
+Closed-loop exact load against :class:`~repro.service.ShardedService`
+at 1, 2, and 4 worker processes, gating the critical-path (per-shard
+CPU seconds) scaling: ≥1.6× at 2 workers and ≥2.5× at 4 workers over
+the single-worker tier, with every answer bit-identical to unsharded
+``MUST.search``.  Writes the ``BENCH_sharded_qps.json`` perf-trajectory
+artifact at the repo root.  Runnable standalone
+(``PYTHONPATH=src python benchmarks/bench_sharded_qps.py``) or through
+pytest like the other bench files.  Scale via ``REPRO_SHARDED_N`` —
+but note the scaling gate needs scale: at a few thousand objects the
+per-wave fixed costs drown the O(n/shards) scan the gate measures.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+from pathlib import Path
+
+from repro.bench.efficiency import sharded_throughput
+from repro.bench.harness import format_table, save_table
+from repro.core.query import Query, SearchOptions
+
+ARTIFACT = Path(__file__).resolve().parents[1] / "BENCH_sharded_qps.json"
+
+SCALING_FLOOR_2W = 1.6
+SCALING_FLOOR_4W = 2.5
+
+
+def run(kind: str = "image") -> dict:
+    """Run the experiment and write the JSON artifact."""
+    table, payload = sharded_throughput(kind)
+    save_table(table, "sharded_qps")
+    print(format_table(table))
+    ARTIFACT.write_text(json.dumps(payload, indent=2) + "\n")
+    return payload
+
+
+def _check(payload: dict) -> list[str]:
+    """The acceptance gates, shared by pytest and standalone runs."""
+    problems = []
+    if not payload.get("parity_bitwise", False):
+        problems.append(
+            "sharded answers diverged from unsharded MUST.search"
+        )
+    for workers, stats in payload.get("workers", {}).items():
+        if not stats.get("critical_path_qps", 0.0) > 0.0:
+            problems.append(f"worker count {workers}: zero throughput")
+    two = payload.get("exact_scaling_speedup_2w", 0.0)
+    four = payload.get("exact_scaling_speedup_4w", 0.0)
+    if two < SCALING_FLOOR_2W:
+        problems.append(
+            f"2-worker critical-path scaling {two:.2f}x < "
+            f"{SCALING_FLOOR_2W}x floor"
+        )
+    if four < SCALING_FLOOR_4W:
+        problems.append(
+            f"4-worker critical-path scaling {four:.2f}x < "
+            f"{SCALING_FLOOR_4W}x floor"
+        )
+    return problems
+
+
+def test_sharded_qps(benchmark, capsys):
+    from benchmarks.conftest import emit
+
+    table, payload = sharded_throughput("image")
+    emit(table, "sharded_qps", capsys)
+    ARTIFACT.write_text(json.dumps(payload, indent=2) + "\n")
+    problems = _check(payload)
+    assert not problems, "; ".join(problems)
+
+    from repro.bench import cache
+    from repro.core.framework import MUST
+    from repro.core.weights import Weights
+    from repro.index.pipeline import FusedIndexBuilder
+
+    enc = cache.largescale_encoded("image", cache.SHARDED_N)
+    queries = list(enc.queries[:16])
+    must = MUST(
+        enc.objects,
+        weights=Weights.uniform(enc.objects.num_modalities),
+        builder=FusedIndexBuilder(gamma=8, epsilon=1, max_candidates=16),
+    ).build()
+    service = must.serve_sharded(n_shards=2, max_batch=16, max_wait_ms=1.0)
+    try:
+        benchmark(
+            lambda: [f.result() for f in
+                     [
+                         service.submit(
+                             Query(q), SearchOptions(k=10, exact=True)
+                         )
+                         for q in queries
+                     ]]
+        )
+    finally:
+        service.close()
+
+
+def main() -> int:
+    payload = run()
+    problems = _check(payload)
+    for problem in problems:
+        print(f"bench_sharded_qps: {problem}", file=sys.stderr)
+    if problems:
+        return 1
+    print(json.dumps(payload["workers"], indent=2))
+    print(f"wrote {ARTIFACT}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

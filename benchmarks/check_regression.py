@@ -14,7 +14,12 @@ gap: it walks each artifact against its committed baseline under
   ``--recall-tolerance`` (default 0.005 absolute, env
   ``REPRO_RECALL_TOLERANCE``), or
 * a metric present in the baseline is missing from the fresh artifact
-  (the artifact shape changed — re-baseline deliberately).
+  (the artifact shape changed — re-baseline deliberately), or
+* a gated metric is non-finite (``inf``/``nan`` — a broken timer reads
+  as infinitely fast, so it is a failure, never a pass), or
+* an artifact/baseline pair contributes **zero** gated metrics (a
+  malformed or truncated artifact would otherwise print ``OK`` while
+  gating nothing).
 
 Higher-than-baseline values never fail; new keys in fresh artifacts are
 ignored until baselined.  Non-numeric leaves and keys matching neither
@@ -34,9 +39,15 @@ scale and commit the refreshed baselines::
         python benchmarks/bench_dynamic_updates.py &&
         python -m pytest benchmarks/bench_compression.py -q &&
         python benchmarks/bench_serving.py &&
-        python benchmarks/bench_filtered_qps.py'
+        python benchmarks/bench_filtered_qps.py &&
+        python benchmarks/bench_sharded_qps.py'
     PYTHONPATH=src python benchmarks/check_regression.py --update
     git add benchmarks/baselines/ && git commit
+
+Note the sharded bench is *not* shrunk: its scaling gate measures how
+the O(n/shards) scan beats the per-wave fixed costs, and at a few
+thousand objects that signal disappears — ``REPRO_SHARDED_N`` keeps
+its default scale in CI on purpose.
 
 Baselines record the *reference machine's* numbers; the tolerance band
 absorbs machine-to-machine variance, and ``--update`` is the explicit
@@ -47,6 +58,7 @@ from __future__ import annotations
 
 import argparse
 import json
+import math
 import os
 import shutil
 import sys
@@ -62,6 +74,7 @@ ARTIFACTS = {
     "BENCH_compression.json": "compression.json",
     "BENCH_serving_qps.json": "serving_qps.json",
     "BENCH_filtered_qps.json": "filtered_qps.json",
+    "BENCH_sharded_qps.json": "sharded_qps.json",
 }
 
 _THROUGHPUT_MARKERS = ("qps", "speedup", "ratio", "_vs_")
@@ -112,6 +125,19 @@ def compare(
             )
             continue
         cur = cur_leaves[path]
+        if not math.isfinite(base):
+            failures.append(
+                f"{path}: baseline value {base!r} is non-finite — the "
+                f"committed baseline is broken; re-baseline from a valid run"
+            )
+            continue
+        if not math.isfinite(cur):
+            failures.append(
+                f"{path}: fresh value {cur!r} is non-finite — the bench "
+                f"measurement is invalid (a zero-elapsed timer reads as "
+                f"infinitely fast; that is a failure, not a pass)"
+            )
+            continue
         if rule == "recall":
             floor = base - recall_tolerance
             if cur < floor:
@@ -164,9 +190,26 @@ def main(argv: list[str] | None = None) -> int:
             exit_code = 1
             continue
         if args.update:
+            fresh_leaves = _numeric_leaves(json.loads(artifact.read_text()))
+            broken = [
+                path for path, value in sorted(fresh_leaves.items())
+                if not math.isfinite(value)
+            ]
+            if not fresh_leaves or broken:
+                reason = (
+                    "parses to zero gated metrics"
+                    if not fresh_leaves
+                    else f"has non-finite gated metrics: {', '.join(broken)}"
+                )
+                print(f"FAIL {artifact_name}: refusing --update — the fresh "
+                      f"artifact {reason}; baselining it would make the gate "
+                      f"vacuous")
+                exit_code = 1
+                continue
             BASELINE_DIR.mkdir(parents=True, exist_ok=True)
             shutil.copyfile(artifact, baseline)
-            print(f"BASELINED {artifact_name} -> {baseline}")
+            print(f"BASELINED {artifact_name} -> {baseline} "
+                  f"({len(fresh_leaves)} gated metrics)")
             continue
         if not baseline.exists():
             print(f"FAIL {artifact_name}: no baseline at {baseline} — run "
@@ -181,6 +224,13 @@ def main(argv: list[str] | None = None) -> int:
         )
         gated = len(_numeric_leaves(json.loads(baseline.read_text())))
         checked += gated
+        if gated == 0:
+            print(f"FAIL {artifact_name}: baseline contributes 0 gated "
+                  f"metrics — a gate that checks nothing always passes; "
+                  f"the baseline is malformed or truncated, re-baseline "
+                  f"from a valid artifact")
+            exit_code = 1
+            continue
         if failures:
             print(f"FAIL {artifact_name} ({len(failures)} of {gated} gated "
                   f"metrics):")

@@ -61,6 +61,12 @@ SERVING_N = _int_knob("REPRO_SERVING_N", 6_000)
 #: Corpus size for the filtered-search (attribute pushdown) benchmark.
 FILTERED_N = _int_knob("REPRO_FILTERED_N", 6_000)
 SERVING_CLIENTS = _int_knob("REPRO_SERVING_CLIENTS", 32)
+#: Corpus size for the process-sharded serving benchmark.  Larger than
+#: the other serving corpora on purpose: the scaling gate measures how
+#: the O(n) per-shard scan shrinks with the shard count, and at small n
+#: the per-wave fixed costs (IPC, per-query rerank bookkeeping) drown
+#: that signal, leaving no margin over the 1.6x/2.5x scaling floors.
+SHARDED_N = _int_knob("REPRO_SHARDED_N", 40_000)
 
 
 @lru_cache(maxsize=None)

@@ -562,6 +562,40 @@ class MUST:
             )
         return MustService(self, config)
 
+    def serve_sharded(
+        self, n_shards: int = 2, config=None, **kwargs
+    ):
+        """Wrap this built instance in the process-sharded serving tier.
+
+        Returns a started :class:`~repro.service.ShardedService`: the
+        corpus is partitioned by external id across ``n_shards`` worker
+        processes (vector planes shared at spawn, never pickled on the
+        hot path), each coalesced wave scatters to every shard, and the
+        gathered exact answers merge bit-identically to this instance's
+        own :meth:`search`.  ``config`` / extra keyword arguments are
+        the same :class:`~repro.service.ServiceConfig` fields as
+        :meth:`serve`; ``worker_timeout_s`` / ``mp_start`` pass through
+        to the sharded constructor.
+        """
+        from repro.service.service import ServiceConfig
+        from repro.service.sharded import ShardedService
+
+        passthrough = {
+            key: kwargs.pop(key)
+            for key in ("worker_timeout_s", "spawn_timeout_s", "mp_start")
+            if key in kwargs
+        }
+        if config is None:
+            config = ServiceConfig(**kwargs)
+        else:
+            require(
+                not kwargs,
+                "pass either a ServiceConfig or its fields, not both",
+            )
+        return ShardedService(
+            self, n_shards=n_shards, config=config, **passthrough
+        )
+
     # ------------------------------------------------------------------
     # Dynamic updates (paper §IX, segmented subsystem)
     # ------------------------------------------------------------------

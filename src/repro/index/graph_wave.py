@@ -85,7 +85,15 @@ def _csr_adjacency(index: GraphIndex) -> tuple[np.ndarray, np.ndarray]:
     else:
         flat = np.zeros(0, dtype=np.int64)
     if len(_ADJ_CACHE) >= _ADJ_CACHE_LIMIT:
-        _ADJ_CACHE.clear()
+        # Evict exactly one entry, oldest first (dict preserves insertion
+        # order).  A full clear() here would wipe the entry about to be
+        # returned, so a long-lived service cycling >16 snapshots would
+        # rebuild the *hot* CSR on every wave; single FIFO eviction keeps
+        # the bound without ever touching the entry being installed.
+        for stale in _ADJ_CACHE:
+            if stale != id(neighbors):
+                del _ADJ_CACHE[stale]
+                break
     _ADJ_CACHE[id(neighbors)] = (flat, offsets, neighbors)
     return flat, offsets
 

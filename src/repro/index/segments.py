@@ -761,6 +761,12 @@ class SegmentedIndex:
         self._next_ext = 0
         self.num_seals = 0
         self.num_compactions = 0
+        #: shard assignment ``(shard_index, shard_count)`` when this
+        #: index is one shard of a partitioned corpus (ids routed by
+        #: ``ext_id % shard_count``); ``None`` for a whole corpus.
+        #: Persisted in the manifest so a reloaded shard knows which
+        #: slice of the id space it owns.
+        self.shard: tuple[int, int] | None = None
 
     # ------------------------------------------------------------------
     # Constructors
@@ -775,20 +781,39 @@ class SegmentedIndex:
         seed: int = 0,
         compression: str = "none",
         store_options: dict | None = None,
+        ext_ids: np.ndarray | None = None,
     ) -> "SegmentedIndex":
         """Wrap a built single-graph index as the first sealed segment.
 
         The index's space is taken as-is — if its vectors already sit in
         a compressed store (``MUST.build`` with ``compression=``), the
-        segment serves from those codes.
+        segment serves from those codes.  ``ext_ids`` maps graph rows to
+        explicit external ids (default ``0..n-1``) — a shard's rows keep
+        their *global* ids this way, so cross-shard merges and
+        id-routed writes stay coherent.
         """
         seg = cls(index.space.weights, builder=builder, policy=policy,
                   hnsw=hnsw, seed=seed, compression=compression,
                   store_options=store_options)
-        seg.sealed.append(
-            Segment(index, np.arange(index.n, dtype=np.int64))
-        )
-        seg._next_ext = index.n
+        if ext_ids is None:
+            ids = np.arange(index.n, dtype=np.int64)
+        else:
+            ids = np.asarray(ext_ids, dtype=np.int64)
+            require(
+                ids.ndim == 1 and ids.size == index.n,
+                f"ext_ids must map every graph row "
+                f"(got {ids.shape} for n={index.n})",
+            )
+            require(
+                ids.size == 0 or int(ids.min()) >= 0,
+                "external ids must be non-negative",
+            )
+            require(
+                np.unique(ids).size == ids.size,
+                "explicit ext_ids contain duplicates",
+            )
+        seg.sealed.append(Segment(index, ids))
+        seg._next_ext = int(ids.max()) + 1 if ids.size else 0
         return seg
 
     def _compress_sealed(self, index: GraphIndex) -> GraphIndex:
@@ -903,11 +928,23 @@ class SegmentedIndex:
     # ------------------------------------------------------------------
     # Mutations
     # ------------------------------------------------------------------
-    def insert(self, objects: MultiVectorSet | MultiVector) -> np.ndarray:
+    def insert(
+        self,
+        objects: MultiVectorSet | MultiVector,
+        ext_ids: np.ndarray | None = None,
+    ) -> np.ndarray:
         """Stream objects into the delta segment; returns their external ids.
 
         May seal the delta and/or trigger a compaction on the way out,
         per :attr:`policy`.
+
+        ``ext_ids`` assigns explicit external ids instead of drawing from
+        the monotone allocator — the sharding hook: a shard holds only
+        the objects whose *global* id it owns, so the front-end allocates
+        ids and each shard inserts under them.  Explicit ids must be
+        unique, non-negative, and absent from this index; the allocator
+        advances past the maximum so later allocator-assigned ids never
+        collide.
         """
         if isinstance(objects, MultiVector):
             require(
@@ -934,22 +971,49 @@ class SegmentedIndex:
                 f"attach them via MultiVectorSet.set_attributes before "
                 f"insert",
             )
-        ext = np.arange(
-            self._next_ext, self._next_ext + objects.n, dtype=np.int64
-        )
-        self._next_ext += objects.n
+        if ext_ids is None:
+            ext = np.arange(
+                self._next_ext, self._next_ext + objects.n, dtype=np.int64
+            )
+            self._next_ext += objects.n
+        else:
+            ext = np.asarray(ext_ids, dtype=np.int64)
+            require(
+                ext.ndim == 1 and ext.size == objects.n,
+                f"ext_ids must supply one id per inserted object "
+                f"(got {ext.shape} for {objects.n} objects)",
+            )
+            require(
+                ext.size == 0 or int(ext.min()) >= 0,
+                "external ids must be non-negative",
+            )
+            require(
+                np.unique(ext).size == ext.size,
+                "explicit ext_ids contain duplicates",
+            )
+            for seg in self.searchable_segments():
+                require(
+                    not np.isin(ext, seg.ext_ids).any(),
+                    "explicit ext_ids collide with ids already in the index",
+                )
+            self._next_ext = max(self._next_ext, int(ext.max()) + 1)
         self.delta.append(objects, ext, self.hnsw, self.seed)
         self._maybe_seal()
         self._maybe_compact()
         return ext
 
-    def mark_deleted(self, ext_ids: np.ndarray) -> None:
+    def mark_deleted(
+        self, ext_ids: np.ndarray, allow_empty: bool = False
+    ) -> None:
         """Soft-delete by external id (per-segment §IX bitsets).
 
         Unknown ids raise; re-deleting is idempotent.  Deleting the last
-        active object is rejected, mirroring the single-graph guard.
-        Validation happens before any bitset is touched, so a rejected
-        call leaves the index unchanged.
+        active object is rejected, mirroring the single-graph guard —
+        unless ``allow_empty=True``, which a *shard* of a partitioned
+        corpus needs: one shard may legitimately lose its last object
+        while the global corpus stays non-empty (the front-end enforces
+        the global guard).  Validation happens before any bitset is
+        touched, so a rejected call leaves the index unchanged.
         """
         ext_ids = np.unique(np.asarray(ext_ids, dtype=np.int64))
         # Pass 1: locate everything and count the *newly* dead, so both
@@ -970,7 +1034,7 @@ class SegmentedIndex:
         fresh_kills += int((dmask & ~self.delta.deleted).sum())
         require(found == ext_ids.size,
                 "unknown external ids in mark_deleted")
-        require(self.num_active - fresh_kills > 0,
+        require(allow_empty or self.num_active - fresh_kills > 0,
                 "cannot delete every object")
         # Pass 2: apply.
         for seg, local in sealed_hits:
@@ -1039,6 +1103,15 @@ class SegmentedIndex:
                 mat_parts[i].append(
                     seg.space.vectors.exact_modality(i)[alive]
                 )
+        if not ext_parts:
+            # Every object is dead (possible only via allow_empty
+            # shard deletes): drop all segments instead of crashing on
+            # an empty concatenate.  The index stays usable — searches
+            # over zero segments answer empty, inserts restart it.
+            self.sealed = []
+            self.delta.reset()
+            self.num_compactions += 1
+            return np.zeros(0, dtype=np.int64)
         ext = np.concatenate(ext_parts)
         order = np.argsort(ext)
         attributes: AttributeTable | None = None
@@ -1214,6 +1287,11 @@ class SegmentedIndex:
             },
             "segments": entries,
         }
+        if self.shard is not None:
+            manifest["shard"] = {
+                "index": int(self.shard[0]),
+                "count": int(self.shard[1]),
+            }
         (path / MANIFEST_NAME).write_text(
             json.dumps(manifest, indent=2) + "\n"
         )
@@ -1311,6 +1389,9 @@ class SegmentedIndex:
             store_options=manifest.get("store_options"),
         )
         seg_index._next_ext = int(manifest["next_ext_id"])
+        shard = manifest.get("shard")
+        if shard is not None:
+            seg_index.shard = (int(shard["index"]), int(shard["count"]))
         counters = manifest.get("counters", {})
         seg_index.num_seals = int(counters.get("seals", 0))
         seg_index.num_compactions = int(counters.get("compactions", 0))

@@ -123,8 +123,20 @@ class TimedRun:
 
     @property
     def qps(self) -> float:
-        if self.elapsed <= 0.0:
-            return float("inf")
+        """Queries per second; raises on a degenerate measurement.
+
+        A non-positive ``elapsed`` used to yield ``inf``, which
+        ``json.dump`` emits as spec-invalid ``Infinity`` and which makes
+        every regression floor (``inf * (1 - tol)``) vacuously pass — a
+        broken timer would read as infinitely fast.  Benches must reject
+        the measurement instead of gating on it.
+        """
+        if self.elapsed <= 0.0 or not np.isfinite(self.elapsed):
+            raise ValueError(
+                f"non-finite QPS: elapsed={self.elapsed!r} over "
+                f"{self.num_queries} queries — the timed region measured "
+                f"no wall-clock time; the measurement is invalid"
+            )
         return self.num_queries / self.elapsed
 
     @property

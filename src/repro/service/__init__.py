@@ -5,7 +5,10 @@ many independent callers submit single queries, a dispatcher thread
 coalesces them into batched GEMM waves against immutable index
 snapshots, and writers stream inserts/deletes/compactions concurrently
 without ever locking the read path.  See
-:class:`~repro.service.service.MustService` for the full model.
+:class:`~repro.service.service.MustService` for the full model, and
+:class:`~repro.service.sharded.ShardedService` for the process-sharded
+tier that partitions the corpus across worker processes (shared-memory
+vector planes, scatter/gather waves, bit-identical exact merges).
 """
 
 from repro.service.service import (
@@ -14,6 +17,7 @@ from repro.service.service import (
     ServiceConfig,
     ServiceOverloaded,
 )
+from repro.service.sharded import ShardedService, ShardFailed
 from repro.service.snapshot import IndexSnapshot
 from repro.service.stats import ServiceStats
 
@@ -22,6 +26,8 @@ __all__ = [
     "ServiceConfig",
     "ServiceClosed",
     "ServiceOverloaded",
+    "ShardedService",
+    "ShardFailed",
     "IndexSnapshot",
     "ServiceStats",
 ]

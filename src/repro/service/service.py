@@ -38,7 +38,7 @@ import queue
 import threading
 import time
 import warnings
-from concurrent.futures import Future
+from concurrent.futures import Future, InvalidStateError
 from dataclasses import dataclass, field
 
 import numpy as np
@@ -46,6 +46,7 @@ import numpy as np
 from repro.core.multivector import MultiVector
 from repro.core.query import Query, SearchOptions
 from repro.core.results import SearchResult
+from repro.core.weights import Weights
 from repro.service.snapshot import IndexSnapshot
 from repro.service.stats import ServiceStats
 from repro.utils.parallel import thread_map
@@ -125,6 +126,21 @@ class _Request:
 
 
 _STOP = object()  # queue sentinel: drain everything before it, then exit
+
+
+def _weights_key(weights) -> tuple | None:
+    """Hashable plan-grouping key for a request's ``weights`` slot.
+
+    Normalisation at submit means this is a :class:`Weights` or ``None``
+    on every ordinary path; anything else (a malformed legacy value that
+    could not be normalised) gets an identity key so it groups *alone*
+    and fails through its own future instead of poisoning a shared wave.
+    """
+    if weights is None:
+        return None
+    if isinstance(weights, Weights):
+        return tuple(float(x) for x in weights.squared)
+    return ("unnormalised", id(weights))
 
 
 def _plan(options: SearchOptions) -> dict:
@@ -237,8 +253,7 @@ class MustService:
                 return
             if req is _STOP:
                 continue
-            req.future.set_exception(exc)
-            self.stats.record_done(time.perf_counter() - req.submitted, ok=False)
+            self._resolve(req, exc)
 
     def __enter__(self) -> "MustService":
         return self.start()
@@ -294,6 +309,18 @@ class MustService:
             )
             kwargs = _plan(SearchOptions())
             kwargs.update(legacy_kwargs)
+            raw = kwargs.get("weights")
+            if raw is not None and not isinstance(raw, Weights):
+                # Legacy callers pass raw squared-weight sequences; the
+                # plan groupers key on ``.squared``, so a raw list used
+                # to raise AttributeError at wave level and fail every
+                # wave-mate's future.  Normalise here; a malformed value
+                # stays as-is and fails through its own future at
+                # execution (the containment contract).
+                try:
+                    kwargs["weights"] = Weights(raw)
+                except Exception:
+                    pass
         else:
             opts = options if options is not None else SearchOptions()
             require(
@@ -534,19 +561,13 @@ class MustService:
         """
         groups: dict[tuple, list[_Request]] = {}
         for req in reqs:
-            weights = req.kwargs["weights"]
-            weights_key = (
-                None
-                if weights is None
-                else tuple(float(x) for x in weights.squared)
-            )
             key = (
                 req.kwargs["k"],
                 req.kwargs["l"],
                 req.kwargs["refine"],
                 req.kwargs["early_termination"],
                 req.kwargs["check_monotone"],
-                weights_key,
+                _weights_key(req.kwargs["weights"]),
             )
             groups.setdefault(key, []).append(req)
         return list(groups.values())
@@ -603,13 +624,11 @@ class MustService:
         """
         groups: dict[tuple, list[_Request]] = {}
         for req in reqs:
-            weights = req.kwargs["weights"]
-            weights_key = (
-                None
-                if weights is None
-                else tuple(float(x) for x in weights.squared)
+            key = (
+                req.kwargs["k"],
+                req.kwargs["refine"],
+                _weights_key(req.kwargs["weights"]),
             )
-            key = (req.kwargs["k"], req.kwargs["refine"], weights_key)
             groups.setdefault(key, []).append(req)
         return list(groups.values())
 
@@ -639,10 +658,30 @@ class MustService:
             self._resolve(req, res)
 
     def _resolve(self, req: _Request, outcome) -> None:
+        """Deliver *outcome* through the request's future.
+
+        A client may ``cancel()`` a queued future at any time;
+        ``set_result``/``set_exception`` on a cancelled future raise
+        ``InvalidStateError``, which used to escape through the
+        wave-level handler (re-raising on the *same* future) and kill
+        the dispatch loop — one impatient caller wedging every other
+        client.  ``set_running_or_notify_cancel`` claims the future
+        atomically: if the claim fails the request was cancelled and is
+        counted as failed without delivery.
+        """
         latency = time.perf_counter() - req.submitted
-        if isinstance(outcome, Exception):
+        ok = not isinstance(outcome, Exception)
+        try:
+            claimed = req.future.set_running_or_notify_cancel()
+        except InvalidStateError:
+            # Already RUNNING/finished — a double resolve; never
+            # overwrite the first delivery.
+            return
+        if not claimed:
             self.stats.record_done(latency, ok=False)
-            req.future.set_exception(outcome)
-        else:
-            self.stats.record_done(latency, ok=True)
+            return
+        self.stats.record_done(latency, ok=ok)
+        if ok:
             req.future.set_result(outcome)
+        else:
+            req.future.set_exception(outcome)

@@ -1,0 +1,1001 @@
+"""Process-sharded serving tier: N worker processes, one coalescing front-end.
+
+Every hot path in the library is GIL-bound on its Python half, so the
+thread-pooled executors show flat-to-negative speedup (see
+``BENCH_batch_qps``).  :class:`ShardedService` breaks that ceiling the
+only way CPython allows: the corpus is partitioned by external id
+(``ext_id % n_shards``) across **worker processes**, each holding its
+own :class:`~repro.index.segments.SegmentedIndex` over its slice.
+
+The data plane is built so vectors cross the process boundary exactly
+once, at spawn:
+
+* each shard's vector planes (plus external ids and attribute columns)
+  are packed into one shared-memory block
+  (:class:`~repro.utils.shm.SharedArrays`); the worker attaches
+  zero-copy views and builds its graph over them.  After every worker
+  acknowledges, the parent unlinks the block — it lives exactly as long
+  as its mappings;
+* at serve time only queries travel down and top-k ``(id, score)``
+  pairs travel up — a few hundred bytes per request, never a vector
+  plane.
+
+The control plane **reuses** :class:`MustService` unchanged: the same
+bounded queue, admission control, micro-batch coalescing dispatcher,
+and plan grouping.  Only the group executors differ — each coalesced
+group scatters to every live shard (exact groups via the shard's
+``exact_wave``, lockstep graph groups via ``graph_wave``, per-query
+graph requests via a per-item command), gathers the per-shard pools,
+and merges a global top-k with
+:func:`~repro.index.segments._merge_candidates`.
+
+**Bit-parity.**  The exact path scores through the layout-independent
+``query_ids_stable`` kernel inside each shard, per segment — the same
+kernel a single-process :class:`~repro.index.segments.SegmentView` scans
+with.  A shard's local top-k is therefore a subset of the global
+candidate list with *identical* similarities, the union of local top-k
+lists contains the global top-k, and the merge orders by
+``(-similarity, external id)`` exactly like the single-process merge —
+so the sharded exact answer is **bit-identical to the unsharded
+``SegmentView`` answer for every shard count and layout**, filters and
+deletes included.  Graph-path answers are deterministic for a fixed
+shard count (per-request seeds spawn one child per shard) but are a
+different — recall-equivalent — sample than the single-process graph,
+exactly as two differently-built graphs answer differently.
+
+**Failure containment.**  A worker that dies mid-wave fails only the
+requests of the group in flight (each future gets a
+:class:`ShardFailed`); the shard is marked dead and subsequent waves
+keep answering from the surviving shards (degraded: their slice of the
+corpus is gone from results until the service is rebuilt).  Writes
+route by external id to the owning shard under per-shard epochs; a
+write touching a dead shard raises.
+"""
+
+from __future__ import annotations
+
+import multiprocessing as mp
+import os
+import threading
+import time
+
+import numpy as np
+
+from repro.core.attributes import AttributeTable
+from repro.core.multivector import MultiVector, MultiVectorSet
+from repro.core.query import Query
+from repro.core.results import SearchResult, SearchStats
+from repro.core.space import JointSpace
+from repro.core.weights import Weights
+from repro.index.base import reseat_on_store
+from repro.index.segments import SegmentedIndex, _merge_candidates
+from repro.service.service import MustService, ServiceConfig, _Request
+from repro.utils.rng import spawn_seed_sequences
+from repro.utils.shm import SharedArrays
+from repro.utils.validation import require
+
+__all__ = ["ShardedService", "ShardFailed"]
+
+
+class ShardFailed(RuntimeError):
+    """A worker process died (or timed out) while serving a request."""
+
+
+# ----------------------------------------------------------------------
+# Worker side
+# ----------------------------------------------------------------------
+def _resolved_k(query, k: int) -> int:
+    """Per-request k: a typed Query's override wins over the plan k."""
+    if isinstance(query, Query) and query.k is not None:
+        return int(query.k)
+    return int(k)
+
+
+def _view_search(view, query, plan: dict) -> SearchResult:
+    """One request against a shard view, mirroring ``IndexSnapshot.search``.
+
+    Used for per-query graph requests and for containment retries of a
+    failed group, so a request answers (or fails) exactly as it would
+    against a single-process snapshot of this shard's slice.
+    """
+    kwargs = dict(plan)
+    exact = bool(kwargs.pop("exact", False))
+    engine = kwargs.pop("engine", "auto")
+    weights = kwargs.pop("weights", None)
+    k = kwargs.pop("k", 10)
+    l = kwargs.pop("l", 100)
+    refine = kwargs.pop("refine", None)
+    early = kwargs.pop("early_termination", False)
+    if exact:
+        return view.exact_search(query, k, weights=weights, refine=refine)
+    if engine == "wave":
+        results, wave_stats = view.graph_wave(
+            [query],
+            k=k,
+            l=l,
+            weights=weights,
+            early_termination=early,
+            refine=refine,
+            check_monotone=bool(kwargs.pop("check_monotone", False)),
+            rngs=[kwargs.pop("rng", 0)],
+        )
+        results[0].stats.merge(wave_stats)
+        return results[0]
+    engine = "heap" if engine == "auto" else engine
+    return view.search(
+        query,
+        k=k,
+        l=l,
+        weights=weights,
+        early_termination=early,
+        engine=engine,
+        refine=refine,
+        **kwargs,
+    )
+
+
+def _empty_result() -> SearchResult:
+    return SearchResult(
+        ids=np.zeros(0, dtype=np.int64),
+        similarities=np.zeros(0, dtype=np.float64),
+    )
+
+
+class _ShardWorker:
+    """The per-process state machine: one shard index + its epoch."""
+
+    def __init__(self, spec: dict | None, meta: dict):
+        self.meta = meta
+        self.pack = SharedArrays.attach(spec) if spec is not None else None
+        weights = Weights(meta["squared_weights"])
+        builder = meta["builder"]
+        kwargs = dict(
+            builder=builder,
+            policy=meta["policy"],
+            hnsw=meta["hnsw"],
+            seed=meta["seed"],
+            compression=meta["compression"],
+            store_options=meta["store_options"],
+        )
+        if self.pack is not None:
+            arrays = self.pack.arrays
+            ext_ids = np.asarray(arrays["ext_ids"], dtype=np.int64)
+            mats = [
+                np.asarray(arrays[f"mod_{i}"])
+                for i in range(meta["num_modalities"])
+            ]
+            attributes = AttributeTable.from_arrays(arrays)
+            space = JointSpace(
+                MultiVectorSet(mats, attributes=attributes), weights
+            )
+            index = reseat_on_store(
+                builder.build(space), meta["compression"], meta["store_options"]
+            )
+            self.seg = SegmentedIndex.from_graph(
+                index, ext_ids=ext_ids, **kwargs
+            )
+        else:
+            self.seg = SegmentedIndex(weights, **kwargs)
+        self.seg.shard = (meta["shard"], meta["n_shards"])
+        self.epoch = 0
+        self._view = None
+        self._view_epoch = -1
+
+    def view(self):
+        """The current epoch's frozen view (captured lazily per write)."""
+        if self._view is None or self._view_epoch != self.epoch:
+            view = self.seg.snapshot()
+            if view.num_segments:
+                view.prepare_search()
+            self._view = view
+            self._view_epoch = self.epoch
+        return self._view
+
+    # Commands ---------------------------------------------------------
+    def exact_wave(self, queries, k, weights, refine, margin):
+        view = self.view()
+        if view.num_segments == 0:
+            return [_empty_result() for _ in queries]
+        return view.exact_wave(
+            queries, k, weights=weights, refine=refine, margin=margin
+        )
+
+    def graph_wave(self, queries, plan: dict, seeds):
+        view = self.view()
+        if view.num_segments == 0:
+            return [_empty_result() for _ in queries], SearchStats()
+        return view.graph_wave(
+            queries,
+            k=plan["k"],
+            l=plan["l"],
+            weights=plan["weights"],
+            early_termination=plan["early_termination"],
+            refine=plan["refine"],
+            check_monotone=plan["check_monotone"],
+            rngs=seeds,
+        )
+
+    def search_many(self, items):
+        """Per-item outcomes: ``("ok", result)`` or ``("err", exc)``.
+
+        The containment unit — one malformed request errors alone while
+        its batch-mates still answer from this shard.
+        """
+        out = []
+        for query, plan in items:
+            try:
+                view = self.view()
+                if view.num_segments == 0:
+                    out.append(("ok", _empty_result()))
+                else:
+                    out.append(("ok", _view_search(view, query, plan)))
+            except Exception as exc:
+                out.append(("err", exc))
+        return out
+
+    def insert(self, mats, ext_ids, attr_arrays):
+        attributes = (
+            AttributeTable.from_arrays(attr_arrays) if attr_arrays else None
+        )
+        objects = MultiVectorSet(list(mats), attributes=attributes)
+        self.seg.insert(objects, ext_ids=np.asarray(ext_ids, dtype=np.int64))
+        self.epoch += 1
+        return int(self.seg.num_active)
+
+    def delete_check(self, ids):
+        """Pre-delete census: (ids found here, fresh kills, active now)."""
+        ids = np.asarray(ids, dtype=np.int64)
+        parts = [s.ext_ids for s in self.seg.sealed]
+        if self.seg.delta.n:
+            parts.append(self.seg.delta.ext_ids)
+        known = (
+            np.concatenate(parts) if parts else np.zeros(0, dtype=np.int64)
+        )
+        active = self.seg.active_ext_ids() if parts else np.zeros(0, np.int64)
+        found = int(np.isin(ids, known).sum())
+        fresh = int(np.isin(ids, active).sum())
+        return found, fresh, int(self.seg.num_active)
+
+    def delete(self, ids):
+        self.seg.mark_deleted(
+            np.asarray(ids, dtype=np.int64), allow_empty=True
+        )
+        self.epoch += 1
+        return int(self.seg.num_active)
+
+    def compact(self):
+        survivors = self.seg.compact()
+        self.epoch += 1
+        return survivors
+
+    def active_ids(self):
+        if self.seg.num_segments == 0:
+            return np.zeros(0, dtype=np.int64)
+        return self.seg.active_ext_ids()
+
+    def stats(self, busy_seconds: float):
+        return {
+            "shard": self.meta["shard"],
+            "n": int(self.seg.num_total),
+            "active": int(self.seg.num_active),
+            "segments": int(self.seg.num_segments),
+            "epoch": int(self.epoch),
+            "busy_seconds": float(busy_seconds),
+        }
+
+
+def _worker_main(conn, spec: dict | None, meta: dict) -> None:
+    """Worker process entry: build the shard, then serve the pipe.
+
+    Replies are ``("ok", payload)`` or ``("err", exception)``; command
+    handling time accumulates into ``busy_seconds`` (reported by the
+    ``stats`` command), which is the shard's critical-path compute
+    clock — the scaling denominator the bench gates on.  It is measured
+    with :func:`time.process_time` (CPU seconds of this worker), not
+    wall clock: on a host with fewer cores than shards the workers
+    timeshare, and wall time inside a descheduled worker would charge
+    one shard for another's compute.
+    """
+    try:
+        worker = _ShardWorker(spec, meta)
+    except BaseException as exc:  # noqa: BLE001 - must report boot failure
+        try:
+            conn.send(("err", RuntimeError(f"shard boot failed: {exc!r}")))
+        finally:
+            conn.close()
+        return
+    busy = 0.0
+    conn.send(("ok", worker.stats(busy)))
+    try:
+        while True:
+            try:
+                msg = conn.recv()
+            except EOFError:
+                break
+            cmd = msg[0]
+            if cmd == "stop":
+                conn.send(("ok", None))
+                break
+            started = time.process_time()
+            try:
+                if cmd == "exact_wave":
+                    payload = worker.exact_wave(*msg[1:])
+                elif cmd == "graph_wave":
+                    payload = worker.graph_wave(*msg[1:])
+                elif cmd == "search_many":
+                    payload = worker.search_many(msg[1])
+                elif cmd == "insert":
+                    payload = worker.insert(*msg[1:])
+                elif cmd == "delete_check":
+                    payload = worker.delete_check(msg[1])
+                elif cmd == "delete":
+                    payload = worker.delete(msg[1])
+                elif cmd == "compact":
+                    payload = worker.compact()
+                elif cmd == "active_ids":
+                    payload = worker.active_ids()
+                elif cmd == "stats":
+                    payload = worker.stats(busy)
+                else:
+                    raise ValueError(f"unknown shard command {cmd!r}")
+                reply = ("ok", payload)
+            except Exception as exc:
+                reply = ("err", exc)
+            busy += time.process_time() - started
+            conn.send(reply)
+    finally:
+        conn.close()
+        if worker.pack is not None:
+            worker.pack.close()
+
+
+# ----------------------------------------------------------------------
+# Parent side
+# ----------------------------------------------------------------------
+class _ShardHandle:
+    def __init__(self, shard: int, process, conn):
+        self.shard = shard
+        self.process = process
+        self.conn = conn
+        self.alive = True
+        self.active = 0
+
+
+def _corpus_slices(must):
+    """The live corpus as flat arrays: (ext_ids, mats, attrs, next_ext).
+
+    Rows come out sorted by external id, exact-tier (full-precision)
+    vectors only — each shard re-applies its own compression at build,
+    so sharding never compounds quantisation error.
+    """
+    if must.is_segmented:
+        segs = must.segments.searchable_segments()
+        require(segs, "cannot shard an empty index")
+        num_modalities = segs[0].space.num_modalities
+        ext_parts: list[np.ndarray] = []
+        mat_parts: list[list[np.ndarray]] = [
+            [] for _ in range(num_modalities)
+        ]
+        attr_parts: list[AttributeTable] = []
+        contributing = 0
+        for seg in segs:
+            alive = (
+                np.arange(seg.n)
+                if seg.index.deleted is None
+                else np.flatnonzero(~seg.index.deleted)
+            )
+            if alive.size == 0:
+                continue
+            contributing += 1
+            ext_parts.append(seg.ext_ids[alive])
+            attrs = seg.space.vectors.attributes
+            if attrs is not None:
+                attr_parts.append(attrs.subset(alive))
+            for i in range(num_modalities):
+                mat_parts[i].append(seg.space.vectors.exact_modality(i)[alive])
+        require(ext_parts, "cannot shard an index with no live objects")
+        ext = np.concatenate(ext_parts)
+        order = np.argsort(ext)
+        attributes = None
+        if attr_parts:
+            require(
+                len(attr_parts) == contributing,
+                "cannot shard: inconsistent attribute state across segments",
+            )
+            attributes = AttributeTable.concat(attr_parts).subset(order)
+        mats = [np.concatenate(parts)[order] for parts in mat_parts]
+        return ext[order], mats, attributes, int(must.segments._next_ext)
+    index = must.index
+    alive = index.active_ids()
+    require(alive.size, "cannot shard an index with no live objects")
+    vectors = index.space.vectors
+    mats = [
+        vectors.exact_modality(i)[alive]
+        for i in range(vectors.num_modalities)
+    ]
+    attributes = vectors.attributes
+    if attributes is not None:
+        attributes = attributes.subset(alive)
+    return alive.astype(np.int64), mats, attributes, int(index.n)
+
+
+class ShardedService(MustService):
+    """N-process sharded serving over one built :class:`MUST`.
+
+    Reuses the :class:`MustService` control plane — queue, admission,
+    coalescing dispatcher, plan grouping, stats — and replaces the group
+    executors with scatter/gather over worker processes.  See the module
+    docstring for the data plane and parity argument.
+
+    The wrapped instance is the *spawn template*: its live corpus is
+    partitioned at construction and all subsequent writes must go
+    through the service (they route to the owning shard); the template
+    itself is not kept in sync.
+
+    ``worker_timeout_s`` bounds how long a gather waits on one shard
+    before declaring it dead.  ``mp_start`` picks the multiprocessing
+    start method (default: ``fork`` where available, else ``spawn``;
+    override with env ``REPRO_MP_START``).
+    """
+
+    def __init__(
+        self,
+        must,
+        n_shards: int = 2,
+        config: ServiceConfig | None = None,
+        start: bool = True,
+        worker_timeout_s: float = 120.0,
+        spawn_timeout_s: float = 600.0,
+        mp_start: str | None = None,
+    ):
+        require(n_shards >= 1, "n_shards must be positive")
+        require(
+            must.is_built,
+            "ShardedService needs a built index — call MUST.build() first",
+        )
+        require(worker_timeout_s > 0.0, "worker_timeout_s must be positive")
+        self.n_shards = int(n_shards)
+        self.worker_timeout_s = float(worker_timeout_s)
+        method = mp_start or os.environ.get("REPRO_MP_START")
+        if method is None:
+            method = (
+                "fork" if "fork" in mp.get_all_start_methods() else "spawn"
+            )
+        self._ctx = mp.get_context(method)
+        #: one lock for all pipe traffic: the dispatcher thread and
+        #: writer threads never interleave commands on a worker pipe.
+        #: Workers still overlap *within* a gather (all requests are
+        #: sent before any reply is awaited) — that is where the
+        #: multi-core speedup comes from.
+        self._pipes_lock = threading.RLock()
+        self._handles: list[_ShardHandle] = []
+        self._workers_stopped = False
+        # Spawn before the dispatcher thread exists: forking a process
+        # while other threads hold locks is the classic fork-safety trap.
+        self._spawn_workers(must, float(spawn_timeout_s))
+        super().__init__(must, config, start=start)
+
+    # ------------------------------------------------------------------
+    # Spawn
+    # ------------------------------------------------------------------
+    def _spawn_workers(self, must, spawn_timeout_s: float) -> None:
+        ext, mats, attributes, next_ext = _corpus_slices(must)
+        self._next_ext = next_ext
+        if must.is_segmented:
+            src = must.segments
+            meta_base = dict(
+                builder=src.builder,
+                policy=src.policy,
+                hnsw=src.hnsw,
+                seed=src.seed,
+                compression=src.compression,
+                store_options=src.store_options,
+            )
+        else:
+            meta_base = dict(
+                builder=must.builder,
+                policy=must.segment_policy,
+                hnsw=None,
+                seed=0,
+                compression=must.compression,
+                store_options=must.store_options,
+            )
+        meta_base.update(
+            squared_weights=[float(x) for x in must.weights.squared],
+            num_modalities=len(mats),
+            n_shards=self.n_shards,
+        )
+        owners = ext % self.n_shards
+        packs: list[SharedArrays | None] = []
+        try:
+            for shard in range(self.n_shards):
+                rows = np.flatnonzero(owners == shard)
+                meta = dict(meta_base, shard=shard)
+                if rows.size:
+                    arrays = {
+                        f"mod_{i}": mat[rows] for i, mat in enumerate(mats)
+                    }
+                    arrays["ext_ids"] = ext[rows]
+                    if attributes is not None:
+                        arrays.update(attributes.subset(rows).to_arrays())
+                    pack = SharedArrays.create(arrays)
+                    spec = pack.spec
+                else:
+                    pack, spec = None, None
+                packs.append(pack)
+                parent_conn, child_conn = self._ctx.Pipe()
+                process = self._ctx.Process(
+                    target=_worker_main,
+                    args=(child_conn, spec, meta),
+                    name=f"must-shard-{shard}",
+                    daemon=True,
+                )
+                process.start()
+                child_conn.close()
+                self._handles.append(_ShardHandle(shard, process, parent_conn))
+            for handle in self._handles:
+                if not handle.conn.poll(spawn_timeout_s):
+                    raise ShardFailed(
+                        f"shard {handle.shard} did not come up within "
+                        f"{spawn_timeout_s:.0f}s"
+                    )
+                status, payload = handle.conn.recv()
+                if status != "ok":
+                    raise payload
+                handle.active = int(payload["active"])
+        except BaseException:
+            self._stop_workers(force=True)
+            raise
+        finally:
+            # Every worker has attached (or spawn failed): drop the
+            # parent mappings and unlink — the blocks now live exactly
+            # as long as the worker processes mapping them.
+            for pack in packs:
+                if pack is not None:
+                    pack.close()
+                    pack.unlink()
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def live_shards(self) -> list[int]:
+        return [h.shard for h in self._handles if h.alive]
+
+    @property
+    def degraded(self) -> bool:
+        """True once any worker has been declared dead."""
+        return any(not h.alive for h in self._handles)
+
+    def snapshot(self):  # type: ignore[override]
+        """Sharded reads have no parent-side snapshot.
+
+        Isolation lives in the workers: each holds a frozen
+        per-epoch :class:`~repro.index.segments.SegmentView` of its
+        slice, refreshed when a routed write bumps its epoch.  The
+        dispatcher's per-wave capture is therefore a no-op token here.
+        """
+        return None
+
+    def shard_stats(self) -> list[dict]:
+        """One stats dict per live shard (worker-side census).
+
+        Includes ``busy_seconds`` — the shard's cumulative command
+        handling time, i.e. its critical-path compute clock.
+        """
+        replies = self._gather(
+            {s: (("stats",), 0) for s in self.live_shards}
+        )
+        out = []
+        for shard in sorted(replies):
+            reply = replies[shard]
+            if isinstance(reply, tuple) and reply[0] == "ok":
+                out.append(reply[1])
+        return out
+
+    def active_ids(self) -> np.ndarray:
+        replies = self._gather(
+            {s: (("active_ids",), 0) for s in self.live_shards}
+        )
+        parts = []
+        for shard, reply in sorted(replies.items()):
+            if isinstance(reply, Exception):
+                raise reply
+            status, payload = reply
+            if status != "ok":
+                raise payload
+            parts.append(np.asarray(payload, dtype=np.int64))
+        if not parts:
+            return np.zeros(0, dtype=np.int64)
+        return np.sort(np.concatenate(parts))
+
+    # ------------------------------------------------------------------
+    # Scatter / gather
+    # ------------------------------------------------------------------
+    def _mark_dead(self, handle: _ShardHandle) -> None:
+        if not handle.alive:
+            return
+        handle.alive = False
+        self.stats.record_shard_lost(handle.shard)
+        try:
+            handle.process.terminate()
+        except Exception:
+            pass
+        try:
+            handle.conn.close()
+        except Exception:
+            pass
+
+    def _gather(self, messages: dict[int, tuple]) -> dict[int, object]:
+        """Send one command per shard, then collect every reply.
+
+        ``messages`` maps shard → ``(command_tuple, size)`` where size
+        is the number of queries carried (for the per-shard histogram).
+        Returns shard → ``("ok", payload)`` / ``("err", exc)`` from the
+        worker, or a :class:`ShardFailed` when the worker is (or is
+        declared) dead.  All sends complete before any reply is awaited,
+        so live workers compute concurrently.
+        """
+        out: dict[int, object] = {}
+        with self._pipes_lock:
+            sent: list[tuple[_ShardHandle, float, int]] = []
+            for shard, (command, size) in sorted(messages.items()):
+                handle = self._handles[shard]
+                if not handle.alive:
+                    out[shard] = ShardFailed(f"shard {shard} is down")
+                    continue
+                try:
+                    handle.conn.send(command)
+                except Exception:
+                    self._mark_dead(handle)
+                    out[shard] = ShardFailed(
+                        f"shard {shard} died (send failed)"
+                    )
+                    continue
+                sent.append((handle, time.perf_counter(), size))
+            for handle, started, size in sent:
+                try:
+                    if not handle.conn.poll(self.worker_timeout_s):
+                        raise TimeoutError(
+                            f"no reply within {self.worker_timeout_s:.0f}s"
+                        )
+                    reply = handle.conn.recv()
+                except Exception as exc:
+                    self._mark_dead(handle)
+                    out[handle.shard] = ShardFailed(
+                        f"shard {handle.shard} died mid-wave ({exc!r})"
+                    )
+                    continue
+                self.stats.record_shard_wave(
+                    handle.shard, time.perf_counter() - started, size
+                )
+                out[handle.shard] = reply
+        return out
+
+    def _shard_seeds(self, rng) -> list:
+        """One independent seed per shard for one request's init draws.
+
+        Mirrors the per-segment spawning of the single-process view one
+        level up: the request's seed spawns a child per shard, each
+        worker spawns per-segment grandchildren from its child — so a
+        request's answer is deterministic for a fixed shard count and
+        never depends on its wave-mates.  A live Generator (legacy) is
+        copied to every shard via pickling.
+        """
+        if isinstance(rng, np.random.Generator):
+            return [rng] * self.n_shards
+        return spawn_seed_sequences(rng, self.n_shards)
+
+    # ------------------------------------------------------------------
+    # Group executors (called by the inherited dispatcher)
+    # ------------------------------------------------------------------
+    def _run_exact(self, snap, reqs: list[_Request]) -> None:
+        plan = reqs[0].kwargs
+        queries = [r.query for r in reqs]
+        command = (
+            "exact_wave",
+            queries,
+            plan["k"],
+            plan["weights"],
+            plan["refine"],
+            self.config.exact_margin,
+        )
+        replies = self._gather(
+            {s: (command, len(queries)) for s in self.live_shards}
+        )
+        self._finish_group(reqs, replies, plan, wave_stats_slot=None)
+
+    def _run_graph_wave(self, snap, reqs: list[_Request]) -> None:
+        plan = reqs[0].kwargs
+        queries = [r.query for r in reqs]
+        seeds = [self._shard_seeds(r.kwargs["rng"]) for r in reqs]
+        group_plan = {
+            key: plan[key]
+            for key in (
+                "k", "l", "weights", "early_termination", "refine",
+                "check_monotone",
+            )
+        }
+        replies = self._gather(
+            {
+                s: (
+                    (
+                        "graph_wave",
+                        queries,
+                        group_plan,
+                        [per_req[s] for per_req in seeds],
+                    ),
+                    len(queries),
+                )
+                for s in self.live_shards
+            }
+        )
+        self._finish_group(reqs, replies, plan, wave_stats_slot=1)
+
+    def _run_graph(self, snap, reqs: list[_Request]) -> None:
+        """Per-query graph requests: one ``search_many`` per shard.
+
+        Each request gets its own per-shard seed child (like the wave
+        path) and its own per-item outcome, so a malformed request fails
+        through its own future while batch-mates still merge — the same
+        containment the in-process dispatcher guarantees.
+        """
+        seeds = [self._shard_seeds(r.kwargs["rng"]) for r in reqs]
+        messages = {}
+        for shard in self.live_shards:
+            items = []
+            for req, per_req in zip(reqs, seeds):
+                plan = dict(req.kwargs)
+                plan["rng"] = per_req[shard]
+                items.append((req.query, plan))
+            messages[shard] = (("search_many", items), len(items))
+        replies = self._gather(messages)
+        dead = [r for r in replies.values() if isinstance(r, Exception)]
+        for j, req in enumerate(reqs):
+            if dead:
+                self._resolve(req, dead[0])
+                continue
+            parts: list[tuple[np.ndarray, np.ndarray]] = []
+            stats: list[SearchStats] = []
+            error: Exception | None = None
+            for shard in sorted(replies):
+                status, payload = replies[shard]
+                if status != "ok":
+                    error = payload
+                    break
+                item_status, item_payload = payload[j]
+                if item_status != "ok":
+                    error = item_payload
+                    break
+                parts.append((item_payload.ids, item_payload.similarities))
+                stats.append(item_payload.stats)
+            if error is not None:
+                self._resolve(req, error)
+                continue
+            ids, sims = _merge_candidates(
+                parts, _resolved_k(req.query, req.kwargs["k"])
+            )
+            self._resolve(
+                req,
+                SearchResult(
+                    ids=ids,
+                    similarities=sims,
+                    stats=SearchStats.aggregate(stats),
+                ),
+            )
+
+    def _finish_group(
+        self,
+        reqs: list[_Request],
+        replies: dict[int, object],
+        plan: dict,
+        wave_stats_slot: int | None,
+    ) -> None:
+        """Merge per-shard pools into per-request answers.
+
+        * a dead shard fails every request of this group individually
+          (:class:`ShardFailed` through each future — later groups and
+          waves continue on the survivors);
+        * a worker-side *error* (one request's malformed filter, say)
+          triggers the per-request containment retry, so only the
+          offending future errors;
+        * otherwise each request's per-shard pools merge by
+          ``(-similarity, external id)`` — the exact path's bit-parity
+          merge.
+        """
+        dead = [r for r in replies.values() if isinstance(r, Exception)]
+        errors = [
+            r[1]
+            for r in replies.values()
+            if isinstance(r, tuple) and r[0] == "err"
+        ]
+        if dead:
+            for req in reqs:
+                self._resolve(req, dead[0])
+            return
+        if errors:
+            self._retry_individually(reqs)
+            return
+        batch_stats: list[SearchStats] = []
+        per_shard_results = []
+        for shard in sorted(replies):
+            payload = replies[shard][1]
+            if wave_stats_slot is None:
+                per_shard_results.append(payload)
+            else:
+                per_shard_results.append(payload[0])
+                batch_stats.append(payload[wave_stats_slot])
+        total = None
+        if batch_stats:
+            total = SearchStats.aggregate(batch_stats)
+            self.stats.record_graph_wave(total.waves, total.frontier_sizes)
+        for j, req in enumerate(reqs):
+            parts = [
+                (results[j].ids, results[j].similarities)
+                for results in per_shard_results
+            ]
+            ids, sims = _merge_candidates(
+                parts, _resolved_k(req.query, plan["k"])
+            )
+            stats = SearchStats.aggregate(
+                [results[j].stats for results in per_shard_results]
+            )
+            if total is not None:
+                # Mirror the in-process wave path: each result also
+                # carries the batch-level traversal trace.
+                stats.merge(total)
+            self._resolve(
+                req, SearchResult(ids=ids, similarities=sims, stats=stats)
+            )
+
+    def _retry_individually(self, reqs: list[_Request]) -> None:
+        """Containment: rerun a failed group one request at a time."""
+        self._run_graph(None, reqs)
+
+    # ------------------------------------------------------------------
+    # Write path — routed by external id to the owning shard
+    # ------------------------------------------------------------------
+    def insert(self, objects) -> np.ndarray:
+        """Insert under parent-allocated global ids, routed per shard."""
+        if isinstance(objects, MultiVector):
+            require(
+                all(v is not None for v in objects.vectors),
+                "inserted objects must carry every modality",
+            )
+            objects = MultiVectorSet([v[None, :] for v in objects.vectors])
+        require(objects.n >= 1, "nothing to insert")
+        with self._write_lock:
+            ext = np.arange(
+                self._next_ext, self._next_ext + objects.n, dtype=np.int64
+            )
+            owners = ext % self.n_shards
+            mats = [np.asarray(m) for m in objects.matrices]
+            messages = {}
+            for shard in range(self.n_shards):
+                rows = np.flatnonzero(owners == shard)
+                if rows.size == 0:
+                    continue
+                attr_arrays = None
+                if objects.attributes is not None:
+                    attr_arrays = objects.attributes.subset(rows).to_arrays()
+                command = (
+                    "insert",
+                    [np.ascontiguousarray(m[rows]) for m in mats],
+                    ext[rows],
+                    attr_arrays,
+                )
+                messages[shard] = (command, int(rows.size))
+            replies = self._gather(messages)
+            self._raise_write_failures("insert", replies)
+            self._next_ext += objects.n
+            self._epoch += 1
+            return ext
+
+    def mark_deleted(self, object_ids: np.ndarray) -> None:
+        """Soft-delete globally, enforcing the whole-corpus guards.
+
+        Two phases: a census gather validates that every id exists
+        somewhere and that at least one object survives globally (one
+        *shard* may legitimately empty out), then the delete scatters to
+        the owning shards with the per-shard guard relaxed.
+        """
+        ids = np.unique(np.asarray(object_ids, dtype=np.int64))
+        with self._write_lock:
+            owners = ids % self.n_shards
+            targets = {
+                shard: ids[owners == shard]
+                for shard in range(self.n_shards)
+                if np.any(owners == shard)
+            }
+            census = self._gather(
+                {s: (("delete_check", ids_s), 0) for s, ids_s in targets.items()}
+            )
+            self._raise_write_failures("mark_deleted", census)
+            found = sum(census[s][1][0] for s in census)
+            fresh = sum(census[s][1][1] for s in census)
+            active = self._total_active()
+            require(found == ids.size, "unknown external ids in mark_deleted")
+            require(active - fresh > 0, "cannot delete every object")
+            replies = self._gather(
+                {s: (("delete", ids_s), 0) for s, ids_s in targets.items()}
+            )
+            self._raise_write_failures("mark_deleted", replies)
+            self._epoch += 1
+
+    def compact(self) -> tuple:
+        """Compact every shard in place; returns ``(self.must, active)``.
+
+        Signature mirrors :meth:`MustService.compact`; the template
+        instance is returned unchanged (shards own the data), and
+        ``active`` is the globally sorted surviving id array.
+        """
+        with self._write_lock:
+            replies = self._gather(
+                {s: (("compact",), 0) for s in self.live_shards}
+            )
+            self._raise_write_failures("compact", replies)
+            parts = [
+                np.asarray(replies[s][1], dtype=np.int64)
+                for s in sorted(replies)
+            ]
+            self._epoch += 1
+            active = (
+                np.sort(np.concatenate(parts))
+                if parts
+                else np.zeros(0, dtype=np.int64)
+            )
+            return self.must, active
+
+    def _total_active(self) -> int:
+        replies = self._gather(
+            {s: (("stats",), 0) for s in self.live_shards}
+        )
+        self._raise_write_failures("stats", replies)
+        return sum(replies[s][1]["active"] for s in replies)
+
+    @staticmethod
+    def _raise_write_failures(op: str, replies: dict[int, object]) -> None:
+        for shard in sorted(replies):
+            reply = replies[shard]
+            if isinstance(reply, Exception):
+                raise ShardFailed(f"{op} failed: shard {shard} is down")
+            status, payload = reply
+            if status != "ok":
+                raise payload
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    def _stop_workers(self, force: bool = False) -> None:
+        if self._workers_stopped:
+            return
+        self._workers_stopped = True
+        for handle in self._handles:
+            if not handle.alive:
+                continue
+            if not force:
+                try:
+                    with self._pipes_lock:
+                        handle.conn.send(("stop",))
+                        handle.conn.poll(5.0)
+                except Exception:
+                    pass
+            try:
+                handle.process.terminate()
+            except Exception:
+                pass
+        for handle in self._handles:
+            try:
+                handle.process.join(5.0)
+            except Exception:
+                pass
+            try:
+                handle.conn.close()
+            except Exception:
+                pass
+            handle.alive = False
+
+    def close(self, timeout: float | None = 30.0) -> None:
+        """Drain the dispatcher, then stop every worker process."""
+        super().close(timeout)
+        self._stop_workers()

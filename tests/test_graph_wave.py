@@ -266,3 +266,44 @@ class TestServingWaves:
             np.testing.assert_array_equal(res.similarities, ref.similarities)
             summary = svc.stats.summary()
         assert summary["graph_waves"] == {}
+
+
+class TestAdjacencyCache:
+    def test_fifo_eviction_is_bounded_and_keeps_the_new_entry(self):
+        """Cycling more graphs than the cache bound must evict exactly
+        one (the oldest) per install — a full ``clear()`` here would
+        also wipe the entry being returned, so a service cycling >limit
+        snapshots would rebuild its *hot* CSR on every wave."""
+        from types import SimpleNamespace
+
+        from repro.index import graph_wave as gw
+
+        saved = dict(gw._ADJ_CACHE)
+        gw._ADJ_CACHE.clear()
+
+        def fake_index(n=3):
+            return SimpleNamespace(
+                neighbors=[
+                    np.array([(i + 1) % n], dtype=np.int64) for i in range(n)
+                ]
+            )
+
+        try:
+            cycled = [fake_index() for _ in range(gw._ADJ_CACHE_LIMIT + 5)]
+            for index in cycled:
+                flat, offsets = gw._csr_adjacency(index)
+                assert len(gw._ADJ_CACHE) <= gw._ADJ_CACHE_LIMIT
+                np.testing.assert_array_equal(flat, [1, 2, 0])
+                np.testing.assert_array_equal(offsets, [0, 1, 2, 3])
+            # Survivors are exactly the most recent `limit` graphs …
+            assert set(gw._ADJ_CACHE) == {
+                id(index.neighbors)
+                for index in cycled[-gw._ADJ_CACHE_LIMIT:]
+            }
+            # … and the hottest entry still hits (same objects back).
+            flat1, off1 = gw._csr_adjacency(cycled[-1])
+            flat2, off2 = gw._csr_adjacency(cycled[-1])
+            assert flat1 is flat2 and off1 is off2
+        finally:
+            gw._ADJ_CACHE.clear()
+            gw._ADJ_CACHE.update(saved)

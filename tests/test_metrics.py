@@ -144,9 +144,17 @@ class TestTiming:
         assert run.mean_latency == pytest.approx(0.5)
         assert run.qps == pytest.approx(2.0)
 
-    def test_zero_elapsed_guard(self):
+    def test_zero_elapsed_rejected(self):
+        # A zero-elapsed timer used to read as inf QPS — infinitely
+        # fast — which every regression floor passes vacuously.
         run = TimedRun(results=[], elapsed=0.0, num_queries=1)
-        assert run.qps == float("inf")
+        with pytest.raises(ValueError, match="non-finite QPS"):
+            run.qps
+
+    def test_nan_elapsed_rejected(self):
+        run = TimedRun(results=[], elapsed=float("nan"), num_queries=1)
+        with pytest.raises(ValueError, match="non-finite QPS"):
+            run.qps
 
 
 class TestPercentileTracker:

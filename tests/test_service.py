@@ -19,6 +19,7 @@ import numpy as np
 import pytest
 
 from repro.core.framework import MUST
+from repro.core.query import SearchOptions
 from repro.core.weights import Weights
 from repro.index.executor import BatchExecutor
 from repro.index.segments import SegmentPolicy
@@ -403,16 +404,44 @@ class TestLifecycle:
 
 
 class TestDispatcherResilience:
+    def test_legacy_list_weights_answers_in_mixed_wave(self, segmented_must,
+                                                       queries):
+        """A raw squared-weight list from a legacy caller used to reach
+        the plan groupers without a ``.squared`` attribute and fail every
+        wave-mate's future; ``submit`` now normalises it to
+        :class:`Weights`, so the request groups correctly and answers
+        bit-identically alongside typed wave-mates."""
+        svc = MustService(
+            segmented_must, ServiceConfig(max_batch=4, max_wait_ms=5.0),
+            start=False,
+        )
+        try:
+            legacy = svc.submit(queries[0], k=5, exact=True,
+                                weights=[0.5, 0.5])
+            mate = svc.submit(queries[1], SearchOptions(k=5, exact=True))
+            svc.start()
+            assert_same_result(
+                legacy.result(timeout=30),
+                segmented_must.search(queries[0], k=5, exact=True,
+                                      weights=Weights([0.5, 0.5])),
+            )
+            assert_same_result(
+                mate.result(timeout=30),
+                segmented_must.search(queries[1], k=5, exact=True),
+            )
+        finally:
+            svc.close()
+
     def test_wave_level_error_fails_batch_not_dispatcher(self, segmented_must,
                                                          queries):
         """An error outside the per-request paths (here: plan grouping on
-        a malformed weights object) must fail the batch's futures, not
-        kill the dispatcher and strand every later caller."""
+        a weights value that cannot be normalised) must fail the batch's
+        futures, not kill the dispatcher and strand every later caller."""
         with MustService(
             segmented_must, ServiceConfig(max_batch=4, max_wait_ms=1.0)
         ) as svc:
             bad = svc.submit(queries[0], k=5, exact=True,
-                             weights=[0.5, 0.5])  # list, not Weights
+                             weights="bogus")  # Weights() rejects it
             with pytest.raises(AttributeError):
                 bad.result(timeout=30)
             # The dispatcher survived: the service still answers.
@@ -420,6 +449,34 @@ class TestDispatcherResilience:
                 svc.search(queries[1], k=5, exact=True),
                 segmented_must.search(queries[1], k=5, exact=True),
             )
+
+    def test_cancelled_future_does_not_kill_dispatcher(self, segmented_must,
+                                                       queries):
+        """``cancel()`` moves a queued future to CANCELLED;
+        ``set_result`` on it raises ``InvalidStateError``, which used to
+        escape the wave-level handler and wedge the dispatch loop.  The
+        dispatcher must claim each future before delivering and keep
+        serving the cancelled request's wave-mates."""
+        svc = MustService(
+            segmented_must, ServiceConfig(max_batch=4, max_wait_ms=5.0),
+            start=False,
+        )
+        try:
+            doomed = svc.submit(queries[0], SearchOptions(k=5, exact=True))
+            mate = svc.submit(queries[1], SearchOptions(k=5, exact=True))
+            assert doomed.cancel()
+            svc.start()
+            assert_same_result(
+                mate.result(timeout=30),
+                segmented_must.search(queries[1], k=5, exact=True),
+            )
+            assert doomed.cancelled()
+            # The cancelled request is counted as failed, and the
+            # dispatcher is still draining new requests.
+            assert svc.stats.failed >= 1
+            assert len(svc.search(queries[2], k=5)) == 5
+        finally:
+            svc.close()
 
 
 class TestServiceStats:
