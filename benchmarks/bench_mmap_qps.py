@@ -1,0 +1,119 @@
+"""Memory-mapped cold tier — resident bytes vs refine-rerank QPS.
+
+Builds the same PQ-compressed index with the exact float32 cold tier
+resident and memory-mapped, and measures the resident-bytes reduction,
+warm/cold refine-rerank QPS against the in-RAM build, the sharded-spawn
+shared-memory footprint, and bitwise answer parity.  Writes the
+``BENCH_mmap_qps.json`` artifact at the repo root.  Runnable standalone
+(``PYTHONPATH=src python benchmarks/bench_mmap_qps.py``) or through
+pytest like the other bench files.  Scale via ``REPRO_MMAP_N`` and
+``REPRO_LARGESCALE_QUERIES``.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+from pathlib import Path
+
+from repro.bench.efficiency import mmap_tradeoff
+from repro.bench.harness import format_table, save_table
+
+ARTIFACT = Path(__file__).resolve().parents[1] / "BENCH_mmap_qps.json"
+
+
+def run(kind: str = "image") -> dict:
+    """Run the experiment and write the JSON artifact."""
+    table, payload = mmap_tradeoff(kind)
+    save_table(table, "mmap_qps")
+    print(format_table(table))
+    ARTIFACT.write_text(json.dumps(payload, indent=2) + "\n")
+    return payload
+
+
+def _check(payload: dict) -> list[str]:
+    """Acceptance gates (ISSUE 8) as human-readable failures."""
+    failures: list[str] = []
+    if not payload.get("bitwise_equal", False):
+        failures.append(
+            "mmap answers diverged from resident — the cold tier must be "
+            "bit-identical wherever it lives"
+        )
+    reduction = payload["memory"]["resident_reduction_ratio"]
+    if reduction < 4.0:
+        failures.append(
+            f"resident bytes reduced only {reduction:.2f}x (< 4x): the "
+            f"mapped cold tier is not leaving RAM"
+        )
+    warm = payload["refine_rerank"]["warm_qps_ratio_vs_resident"]
+    if warm < 0.7:
+        failures.append(
+            f"warm refine rerank at {warm:.2f}x of in-RAM QPS (< 0.7x)"
+        )
+    shm = payload["sharded_spawn"]["shm_reduction_ratio"]
+    if shm < 2.0:
+        failures.append(
+            f"sharded spawn shipped only {shm:.2f}x fewer shm bytes "
+            f"(< 2x): the cold planes are still crossing the boundary"
+        )
+    return failures
+
+
+def test_mmap_tradeoff(benchmark, capsys):
+    from benchmarks.conftest import emit
+
+    table, payload = mmap_tradeoff("image")
+    emit(table, "mmap_qps", capsys)
+    ARTIFACT.write_text(json.dumps(payload, indent=2) + "\n")
+    assert not _check(payload)
+
+    from repro.bench import cache
+    from repro.core.framework import MUST
+    from repro.core.query import Query, SearchOptions
+    from repro.core.weights import Weights
+
+    import tempfile
+
+    enc = cache.largescale_encoded("image", cache.MMAP_N)
+    queries = list(enc.queries[:16])
+    must = MUST(
+        enc.objects,
+        weights=Weights.uniform(enc.objects.num_modalities),
+        compression="pq",
+        store_options={"pq_dims": 4, "pq_centroids": 64},
+        cold_storage="mmap",
+        data_dir=tempfile.mkdtemp(prefix="repro_mmap_bench_"),
+    ).build()
+    benchmark(
+        lambda: must.query(
+            [Query(q) for q in queries], SearchOptions(k=10, l=80, refine=40)
+        )
+    )
+
+
+def main() -> int:
+    """Standalone entry point; non-zero exit on a gate failure so the
+    CI bench-smoke job cannot green-wash a failed run."""
+    payload = run()
+    failures = _check(payload)
+    for failure in failures:
+        print(f"bench_mmap_qps: {failure}", file=sys.stderr)
+    summary = {
+        "resident_reduction_ratio": round(
+            payload["memory"]["resident_reduction_ratio"], 2
+        ),
+        "warm_qps_ratio_vs_resident": round(
+            payload["refine_rerank"]["warm_qps_ratio_vs_resident"], 3
+        ),
+        "shm_reduction_ratio": round(
+            payload["sharded_spawn"]["shm_reduction_ratio"], 2
+        ),
+        "bitwise_equal": payload["bitwise_equal"],
+    }
+    print(json.dumps(summary, indent=2))
+    print(f"wrote {ARTIFACT}")
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

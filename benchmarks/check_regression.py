@@ -33,14 +33,15 @@ scale and commit the refreshed baselines::
 
     REPRO_LARGESCALE_N=2500 REPRO_LARGESCALE_QUERIES=16 \
     REPRO_DYNAMIC_N=2500 REPRO_COMPRESSION_N=2500 REPRO_SERVING_N=2500 \
-    REPRO_FILTERED_N=2500 \
+    REPRO_FILTERED_N=2500 REPRO_MMAP_N=2500 \
     REPRO_WEIGHT_EPOCHS=60 PYTHONPATH=src sh -c '
         python benchmarks/bench_batch_qps.py &&
         python benchmarks/bench_dynamic_updates.py &&
         python -m pytest benchmarks/bench_compression.py -q &&
         python benchmarks/bench_serving.py &&
         python benchmarks/bench_filtered_qps.py &&
-        python benchmarks/bench_sharded_qps.py'
+        python benchmarks/bench_sharded_qps.py &&
+        python benchmarks/bench_mmap_qps.py'
     PYTHONPATH=src python benchmarks/check_regression.py --update
     git add benchmarks/baselines/ && git commit
 
@@ -75,6 +76,7 @@ ARTIFACTS = {
     "BENCH_serving_qps.json": "serving_qps.json",
     "BENCH_filtered_qps.json": "filtered_qps.json",
     "BENCH_sharded_qps.json": "sharded_qps.json",
+    "BENCH_mmap_qps.json": "mmap_qps.json",
 }
 
 _THROUGHPUT_MARKERS = ("qps", "speedup", "ratio", "_vs_")

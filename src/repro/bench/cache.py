@@ -60,6 +60,8 @@ COMPRESSION_N = _int_knob("REPRO_COMPRESSION_N", 6_000)
 SERVING_N = _int_knob("REPRO_SERVING_N", 6_000)
 #: Corpus size for the filtered-search (attribute pushdown) benchmark.
 FILTERED_N = _int_knob("REPRO_FILTERED_N", 6_000)
+#: Corpus size for the memory-mapped cold-tier benchmark.
+MMAP_N = _int_knob("REPRO_MMAP_N", 6_000)
 SERVING_CLIENTS = _int_knob("REPRO_SERVING_CLIENTS", 32)
 #: Corpus size for the process-sharded serving benchmark.  Larger than
 #: the other serving corpora on purpose: the scaling gate measures how

@@ -43,6 +43,7 @@ __all__ = [
     "serving_throughput",
     "sharded_throughput",
     "filtered_throughput",
+    "mmap_tradeoff",
 ]
 
 _L_SWEEP = (10, 20, 40, 80, 160, 320)
@@ -1118,12 +1119,13 @@ def filtered_throughput(
     enc, must = cache.largescale_must(kind, cache.FILTERED_N)
     n = int(enc.objects.n)
     rng = np.random.default_rng(7)
-    must.set_attributes({
+    attribute_columns = {
         "category": np.array(["alpha", "beta", "gamma"])[
             rng.integers(0, 3, n)
         ],
         "price": rng.uniform(0.0, 100.0, n),
-    })
+    }
+    must.set_attributes(attribute_columns)
     flt = Eq("category", "alpha") & Range("price", high=70.0)
     mask = flt.mask(must.objects.attributes)
     selectivity = float(mask.mean())
@@ -1210,5 +1212,224 @@ def filtered_throughput(
               "search costs one unfiltered scan; the naive client-side "
               "post-filter must over-fetch by 1/selectivity. Graph "
               "recall is vs the pushdown-exact oracle.",
+    )
+
+    # Scaling curve (recorded, ungated): pushdown cost relative to the
+    # unfiltered scan as the corpus grows.  The pushdown contract is
+    # that the quotient stays flat near 1.0 — the mask intersects the
+    # scan instead of multiplying it — so the curve is the evidence the
+    # point measurement above generalises beyond one n.  Key names
+    # deliberately avoid the gated markers (qps/speedup/ratio/_vs_):
+    # sub-scale numbers exist to show the trend, not to gate CI.
+    scaling: dict[str, dict[str, float]] = {}
+    for frac in (0.25, 0.5, 1.0):
+        sub_n = n if frac == 1.0 else max(500, int(round(n * frac)))
+        if frac == 1.0:
+            sub_must = must
+        else:
+            rows = np.arange(sub_n)
+            sub_must = MUST(
+                enc.objects.subset(rows), weights=must.weights
+            ).build()
+            sub_must.set_attributes(
+                {
+                    key: np.asarray(column)[rows]
+                    for key, column in attribute_columns.items()
+                }
+            )
+        sub_typed = [Query(q, filter=flt) for q in queries]
+        best_unfiltered = best_pushdown = 0.0
+        for _ in range(3):
+            best_unfiltered = max(
+                best_unfiltered,
+                measure_batch_qps(
+                    lambda qs: sub_must.query(
+                        [Query(q) for q in qs],
+                        SearchOptions(k=k, exact=True),
+                    ),
+                    queries,
+                ).qps,
+            )
+            best_pushdown = max(
+                best_pushdown,
+                measure_batch_qps(
+                    lambda qs: sub_must.query(
+                        sub_typed[: len(qs)], SearchOptions(k=k, exact=True)
+                    ),
+                    queries,
+                ).qps,
+            )
+        scaling[f"n_{sub_n}"] = {
+            "pushdown_over_unfiltered": float(
+                best_pushdown / best_unfiltered if best_unfiltered else 0.0
+            ),
+            "pushdown_queries_per_second": float(best_pushdown),
+            "unfiltered_queries_per_second": float(best_unfiltered),
+        }
+    payload["scaling"] = scaling
+    return table, payload
+
+
+def mmap_tradeoff(
+    kind: str = "image",
+    k: int = 10,
+    l: int = 80,
+    refine: int = 40,
+    rounds: int = 5,
+) -> tuple[Table, dict]:
+    """Memory-mapped cold tier vs all-resident: bytes, QPS, spawn ship.
+
+    Builds the same PQ-compressed index twice over the large-scale
+    corpus — cold exact tier resident vs memory-mapped sidecar files —
+    and measures:
+
+    * **resident bytes** per tier (the ≥4× reduction gate: with PQ hot
+      codes the float32 cold tier is the overwhelming share of RAM);
+    * **refine-rerank QPS** (graph search + ``refine=`` through the
+      cold tier — the only hot path that touches it), warm page cache
+      best-of-``rounds`` against the resident build (gated ≥0.7×) and a
+      single cold-cache pass after :func:`~repro.store.evict_page_cache`
+      (recorded, ungated — disk latency is not CI-stable);
+    * **sharded spawn shared-memory bytes**: the mmap protocol ships
+      ids + attribute columns + the (source, row) cold map instead of
+      the float32 planes, so the pack shrinks O(corpus) → O(hot);
+    * a **bitwise parity** census: exact+refine answers of the mapped
+      build must equal the resident build id-for-id, bit-for-bit.
+
+    Returns the table plus the JSON payload for ``BENCH_mmap_qps.json``.
+    Scale via ``REPRO_MMAP_N``.
+    """
+    import tempfile
+
+    from repro.service.sharded import ShardedService
+    from repro.store import evict_page_cache
+
+    enc = cache.largescale_encoded(kind, cache.MMAP_N)
+    n = int(enc.objects.n)
+    queries = list(enc.queries)
+    weights = Weights.uniform(enc.objects.num_modalities)
+    # 64 centroids keep the codebooks a rounding error next to the PQ
+    # codes even at smoke scale, so the reduction gate measures the
+    # cold tier leaving RAM, not codebook amortisation.
+    store_options = {"pq_dims": 4, "pq_centroids": 64}
+    resident = MUST(
+        enc.objects,
+        weights=weights,
+        compression="pq",
+        store_options=store_options,
+    ).build()
+    data_dir = tempfile.mkdtemp(prefix="repro_mmap_bench_")
+    mapped = MUST(
+        enc.objects,
+        weights=weights,
+        compression="pq",
+        store_options=store_options,
+        cold_storage="mmap",
+        data_dir=data_dir,
+    ).build()
+
+    stats_resident = resident.memory_stats()
+    stats_mapped = mapped.memory_stats()
+    reduction = stats_resident["resident_bytes"] / max(
+        stats_mapped["resident_bytes"], 1
+    )
+
+    plan = SearchOptions(k=k, l=l, refine=refine)
+
+    def refine_batch(must_instance):
+        return lambda qs: must_instance.query(
+            [Query(q) for q in qs], plan
+        )
+
+    # Cold-cache pass first, before anything warms the mapped pages.
+    evict_page_cache(mapped.index.space.vectors.store.cold_plane)
+    cold_run = measure_batch_qps(refine_batch(mapped), queries)
+
+    # Interleaved best-of rounds, resident vs mapped back to back, so
+    # process-level drift cancels out of the gated quotient.
+    best: dict = {}
+    for _ in range(rounds):
+        for name, must_instance in (
+            ("resident", resident),
+            ("mmap", mapped),
+        ):
+            run = measure_batch_qps(refine_batch(must_instance), queries)
+            if name not in best or run.qps > best[name].qps:
+                best[name] = run
+    warm_ratio = best["mmap"].qps / best["resident"].qps
+
+    # Bitwise parity census on the exact+refine path.
+    exact_plan = SearchOptions(k=k, exact=True, refine=refine)
+    reference = resident.query([Query(q) for q in queries], exact_plan)
+    candidate = mapped.query([Query(q) for q in queries], exact_plan)
+    bitwise_equal = all(
+        np.array_equal(a.ids, b.ids)
+        and np.array_equal(a.similarities, b.similarities)
+        for a, b in zip(reference, candidate)
+    )
+
+    # Spawn-time shared-memory footprint, resident vs mmap protocol.
+    svc_resident = ShardedService(resident, n_shards=2, start=False)
+    resident_shm = svc_resident.spawn_shm_bytes
+    svc_resident.close()
+    svc_mapped = ShardedService(mapped, n_shards=2, start=False)
+    mapped_shm = svc_mapped.spawn_shm_bytes
+    svc_mapped.close()
+    shm_reduction = resident_shm / max(mapped_shm, 1)
+
+    headers = ["Variant", "Resident MB", "Warm refine QPS", "Cold QPS"]
+    rows = [
+        [
+            "all-resident",
+            stats_resident["resident_bytes"] / 1e6,
+            best["resident"].qps,
+            "-",
+        ],
+        [
+            "mmap cold tier",
+            stats_mapped["resident_bytes"] / 1e6,
+            best["mmap"].qps,
+            cold_run.qps,
+        ],
+    ]
+    payload = {
+        "dataset": enc.name,
+        "n": n,
+        "num_queries": len(queries),
+        "k": k,
+        "l": l,
+        "refine": refine,
+        "bitwise_equal": bool(bitwise_equal),
+        "memory": {
+            "all_resident_bytes": int(stats_resident["resident_bytes"]),
+            "mmap_resident_bytes": int(stats_mapped["resident_bytes"]),
+            "hot_bytes": int(stats_mapped["hot_bytes"]),
+            "cold_bytes": int(stats_mapped["cold_bytes"]),
+            "resident_reduction_ratio": float(reduction),
+        },
+        "refine_rerank": {
+            "resident_qps": float(best["resident"].qps),
+            "mmap_warm_qps": float(best["mmap"].qps),
+            "warm_qps_ratio_vs_resident": float(warm_ratio),
+            "mmap_cold_pass_queries_per_second": float(cold_run.qps),
+        },
+        "sharded_spawn": {
+            "resident_shm_bytes": int(resident_shm),
+            "mmap_shm_bytes": int(mapped_shm),
+            "shm_reduction_ratio": float(shm_reduction),
+        },
+    }
+    table = Table(
+        "Mmap cold tier",
+        f"Beyond-RAM cold tier on {enc.name} (n={n}, PQ hot codes)",
+        headers,
+        rows,
+        notes=f"Resident bytes drop {reduction:.1f}x with the exact "
+              f"float32 tier in memory-mapped sidecar files; warm "
+              f"refine rerank holds {warm_ratio:.2f}x of the in-RAM "
+              f"QPS (cold cache: {cold_run.qps:.1f} QPS, first touch "
+              f"pages from disk). Sharded spawn ships "
+              f"{shm_reduction:.1f}x fewer shared-memory bytes "
+              f"(O(hot), not O(corpus)).",
     )
     return table, payload

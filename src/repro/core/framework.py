@@ -43,7 +43,7 @@ from repro.index.flat import FlatIndex
 from repro.index.pipeline import FusedIndexBuilder
 from repro.index.search import joint_search
 from repro.index.segments import MANIFEST_NAME, SegmentedIndex, SegmentPolicy
-from repro.store import STORE_KINDS
+from repro.store import STORE_KINDS, spill_cold
 from repro.utils.io import load_arrays
 from repro.utils.validation import require
 from repro.weightlearn.trainer import VectorWeightLearner, WeightLearningResult
@@ -75,12 +75,41 @@ class MUST:
         segment_policy: SegmentPolicy | None = None,
         compression: str = "none",
         store_options: dict | None = None,
+        cold_storage: str = "resident",
+        data_dir: str | Path | None = None,
     ):
         require(
             compression in STORE_KINDS,
             f"unknown compression {compression!r}; supported: "
             f"{sorted(STORE_KINDS)}",
         )
+        require(
+            cold_storage in ("resident", "mmap"),
+            f"unknown cold_storage {cold_storage!r}; supported: "
+            f"'resident', 'mmap'",
+        )
+        if cold_storage == "mmap":
+            require(
+                compression != "none",
+                "cold_storage='mmap' requires a compressed hot tier "
+                "(float16/int8/pq) — a dense store serves graph "
+                "traversal from the float32 corpus itself, which must "
+                "stay resident",
+            )
+            require(
+                data_dir is not None,
+                "cold_storage='mmap' requires data_dir= (the directory "
+                "that receives the per-segment cold-tier .npy files)",
+            )
+            require(
+                bool((store_options or {}).get("keep_exact", True)),
+                "cold_storage='mmap' spills the exact cold tier to disk "
+                "— keep_exact=False leaves nothing to spill",
+            )
+        #: where compressed segments' exact cold tier lives — see the
+        #: class docstring; ``"mmap"`` makes resident bytes O(hot).
+        self.cold_storage = cold_storage
+        self.data_dir = None if data_dir is None else Path(data_dir)
         self.objects = objects
         self.weights = weights or Weights.uniform(objects.num_modalities)
         self.builder = builder or FusedIndexBuilder()
@@ -223,7 +252,10 @@ class MUST:
 
         With ``compression=`` the build itself runs over full-precision
         vectors; the finished graph is then re-seated on the compressed
-        store, so query-time scoring reads the hot codes.
+        store, so query-time scoring reads the hot codes.  With
+        ``cold_storage="mmap"`` the store's exact cold tier is then
+        spilled to ``data_dir`` and served through a lazy memory
+        mapping — only the hot codes stay resident.
         """
         require(
             self._segments is None,
@@ -231,11 +263,33 @@ class MUST:
             "objects and tombstones (and recycle their external ids) — "
             "use compact() to reconstruct a segmented index",
         )
-        self._index = reseat_on_store(
+        index = reseat_on_store(
             self.builder.build(self.space), self.compression,
             self.store_options,
         )
+        if self.cold_storage == "mmap":
+            index = self._spill_index(index)
+        self._index = index
         return self
+
+    def _spill_index(self, index: GraphIndex) -> GraphIndex:
+        """Move a built index's resident cold tier into ``data_dir``
+        sidecar files (no-op when absent or already mapped)."""
+        vectors = index.space.vectors
+        store = vectors.store
+        plane = store.cold_plane
+        if plane is None or not plane.is_resident:
+            return index
+        self.data_dir.mkdir(parents=True, exist_ok=True)
+        seq = SegmentedIndex._scan_cold_seq(self.data_dir)
+        spilled = spill_cold(store, self.data_dir, f"seg_{seq:06d}")
+        index.space = JointSpace(
+            MultiVectorSet.from_store(
+                spilled, attributes=vectors.attributes
+            ),
+            index.space.weights,
+        )
+        return index
 
     # ------------------------------------------------------------------
     # Stage 4: searching (§VII-B) — the unified typed entry point
@@ -648,10 +702,27 @@ class MUST:
             builder=self.builder,
             compression=self.compression,
             store_options=self.store_options,
+            cold_storage=self.cold_storage,
+            data_dir=self.data_dir,
         )
         fresh.build()
         self._drop_caches()
         return fresh, active
+
+    def memory_stats(self) -> dict:
+        """Byte accounting split by tier: ``hot_bytes`` (always
+        resident), ``cold_bytes`` (logical exact-tier size wherever it
+        lives), ``resident_bytes`` (hot plus the RAM-resident part of
+        cold — equal to hot under ``cold_storage="mmap"``)."""
+        if self._segments is not None:
+            return self._segments.memory_stats()
+        require(self._index is not None, "call build() first")
+        store = self._index.space.vectors.store
+        return {
+            "hot_bytes": int(store.hot_bytes()),
+            "cold_bytes": int(store.cold_bytes()),
+            "resident_bytes": int(store.resident_bytes()),
+        }
 
     def _drop_caches(self) -> None:
         """Release lazily materialised per-space caches (the ω-scaled
@@ -673,6 +744,8 @@ class MUST:
                 policy=self.segment_policy,
                 compression=self.compression,
                 store_options=self.store_options,
+                cold_storage=self.cold_storage,
+                data_dir=self.data_dir,
             )
             self._index = None
         return self._segments
@@ -715,20 +788,26 @@ class MUST:
         objects.  Either way the archive is read once — stored weights
         are applied before the graph is bound to its space, not by
         re-reading the file.
+
+        Loading is **atomic**: every fallible step (archive reads,
+        store reconstruction, graph rebinding) runs before any instance
+        state is touched, so a corrupt or incompatible save raises and
+        leaves this instance exactly as it was.
         """
         path = Path(path)
         if path.is_dir() or (path / MANIFEST_NAME).exists():
-            self._segments = SegmentedIndex.load(path, builder=self.builder)
-            self.weights = self._segments.weights
+            segments = SegmentedIndex.load(path, builder=self.builder)
+            self._segments = segments
+            self.weights = segments.weights
+            self.cold_storage = segments.cold_storage
+            self.data_dir = segments.data_dir
             self._space = None
             self._index = None
             return self
         metadata, arrays = load_arrays(path)
         meta = metadata.get("meta", {})
         stored = meta.get("squared_weights")
-        if stored is not None:
-            self.weights = Weights(stored)
-            self._space = None
+        weights = self.weights if stored is None else Weights(stored)
         stored_kind = meta.get("compression", "none")
         if stored_kind != "none":
             require(
@@ -737,15 +816,64 @@ class MUST:
                 f"build supports {sorted(STORE_KINDS)} — upgrade the "
                 f"library or rebuild the index",
             )
-            self.compression = stored_kind
             # Restore the saved codec options too: retraining with
             # different ones would silently serve different codes than
             # the index was built and benchmarked with.
-            self.store_options = dict(meta.get("store_options", {}))
-        self._index = reseat_on_store(
-            GraphIndex.from_arrays(metadata, arrays, self.space),
-            self.compression,
-            self.store_options,
+            compression = stored_kind
+            store_options = dict(meta.get("store_options", {}))
+        else:
+            compression = self.compression
+            store_options = self.store_options
+        space = JointSpace(self.objects, weights)
+        index = reseat_on_store(
+            GraphIndex.from_arrays(metadata, arrays, space),
+            compression,
+            store_options,
         )
+        if self.cold_storage == "mmap":
+            index = self._spill_index(index)
+        # All fallible work is done — commit.
+        self.weights = weights
+        self.compression = compression
+        self.store_options = store_options
+        self._space = space
+        self._index = index
         self._segments = None
         return self
+
+    @classmethod
+    def from_saved(cls, path: str | Path, builder=None) -> "MUST":
+        """Serve a saved *segmented* index without the original corpus.
+
+        Segment archives carry their vectors, so a serving process
+        never needs the corpus the index was built from — the seam that
+        lets a beyond-RAM index load on a machine that could not hold
+        the float32 corpus in the first place.  The returned instance
+        holds a placeholder one-row corpus: query/serve/insert/compact
+        all work (they read the segments), but corpus-bound stages
+        (``fit_weights``, ``build``) need the real objects.
+        """
+        path = Path(path)
+        require(
+            path.is_dir() or (path / MANIFEST_NAME).exists(),
+            f"{path} is not a segmented index directory — from_saved "
+            f"restores directory saves (MUST.save_index of a segmented "
+            f"instance); for single-graph archives construct MUST with "
+            f"the corpus and call load_index",
+        )
+        segments = SegmentedIndex.load(path, builder=builder)
+        dims = segments._modality_dims()
+        placeholder = MultiVectorSet(
+            [np.zeros((1, d), dtype=np.float32) for d in dims]
+        )
+        must = cls(
+            placeholder,
+            weights=segments.weights,
+            builder=builder,
+            compression=segments.compression,
+            store_options=segments.store_options,
+            cold_storage=segments.cold_storage,
+            data_dir=segments.data_dir,
+        )
+        must._segments = segments
+        return must

@@ -45,6 +45,22 @@ def _f64_cache_limit_bytes() -> int:
     return int(os.environ.get("REPRO_F64_CACHE_MB", "256")) * (1 << 20)
 
 
+def _mmap_backed(arr: np.ndarray) -> bool:
+    """True when *arr* is (a view over) a ``np.memmap``.
+
+    Such matrices are deliberately never promoted into the float64
+    cache: the conversion would silently page the whole mapping in and
+    pin ``2×`` its bytes as process-resident copies, defeating the
+    beyond-RAM layout.
+    """
+    base: object = arr
+    while base is not None:
+        if isinstance(base, np.memmap):
+            return True
+        base = getattr(base, "base", None)
+    return False
+
+
 class JointSpace:
     """Similarity oracle for one object set under one weight configuration."""
 
@@ -304,14 +320,14 @@ class JointSpace:
         the row-independence property over the reconstructed values.
         """
         w2 = self._effective_weights(query, weights)
-        count = self.n if ids is None else int(np.asarray(ids).shape[0])
+        ids_arr = None if ids is None else np.asarray(ids)
+        count = self.n if ids_arr is None else int(ids_arr.shape[0])
         out = np.zeros(count, dtype=np.float64)
         active = 0
-        mats = self._f64_matrices()
-        for i, (mat, q) in enumerate(zip(mats, query.vectors)):
+        for i, q in enumerate(query.vectors):
             if q is None or w2[i] == 0.0:
                 continue
-            rows = mat if ids is None else mat[np.asarray(ids)]
+            rows = self._f64_rows(i, ids_arr)
             prod = rows * q.astype(np.float64)
             out += w2[i] * np.add.reduce(prod, axis=1)
             active += 1
@@ -320,25 +336,50 @@ class JointSpace:
             stats.modality_evals += count * active
         return out
 
-    def _f64_matrices(self) -> list[np.ndarray]:
-        """Float64 modality matrices for the deterministic scan.
+    def _f64_cacheable(self) -> bool:
+        """Whether the float64 scan cache may be built for this corpus.
 
-        Cached only while the copies fit under the
-        ``REPRO_F64_CACHE_MB`` cap — the cache doubles corpus memory, so
-        oversized corpora (and decoded compressed stores, which would
-        additionally materialise their reconstruction) recompute per
-        call instead of silently pinning the bytes.
+        The decision is made from the *projected* size (``8·n·Σd``)
+        before anything is materialised — the historical implementation
+        converted the whole corpus first and only then checked the cap,
+        transiently tripling resident bytes right at the limit.  The
+        cache is per-tier by construction: it only ever covers the
+        resident dense hot tier — compressed stores (whose decode would
+        pin a full reconstruction) and mmap-backed matrices (whose
+        conversion would page the whole mapping into pinned RAM copies)
+        always recompute per call, row-subset first.
+        """
+        if self.is_compressed:
+            return False
+        projected = 8 * self.n * int(sum(self._vectors.dims))
+        if projected > _f64_cache_limit_bytes():
+            return False
+        store = self._vectors.store
+        return not any(
+            _mmap_backed(store.modality(i))
+            for i in range(self.num_modalities)
+        )
+
+    def _f64_rows(self, i: int, ids: np.ndarray | None) -> np.ndarray:
+        """Float64 rows of modality *i* for the deterministic scan.
+
+        Bit-identical either way — ``mat.astype(f64)[ids]`` equals
+        ``mat[ids].astype(f64)`` elementwise, and every backend's row
+        decode is an elementwise/gather transform — so subsetting
+        *before* the conversion changes no result while keeping a
+        40-row rerank from converting (or decoding) the whole corpus.
         """
         cached = self._f64  # single read: safe vs concurrent drop_caches
+        if cached is None and self._f64_cacheable():
+            cached = [m.astype(np.float64) for m in self._vectors.matrices]
+            self._f64 = cached
         if cached is not None:
-            return cached
-        mats = [m.astype(np.float64) for m in self._vectors.matrices]
-        if (
-            not self.is_compressed
-            and sum(m.nbytes for m in mats) <= _f64_cache_limit_bytes()
-        ):
-            self._f64 = mats
-        return mats
+            mat = cached[i]
+            return mat if ids is None else mat[ids]
+        store = self._vectors.store
+        if ids is None:
+            return store.modality(i).astype(np.float64)
+        return store.rows(i, ids).astype(np.float64)
 
     def query_ids_early_stop(
         self,

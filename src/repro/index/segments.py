@@ -55,6 +55,8 @@ from __future__ import annotations
 
 import dataclasses
 import json
+import shutil
+import zipfile
 from dataclasses import dataclass
 from pathlib import Path
 
@@ -72,7 +74,13 @@ from repro.index.graphs.hnsw import HNSWBuilder, HNSWGraph
 from repro.index.pipeline import FusedIndexBuilder
 from repro.index.scoring import batch_score_all, rerank_exact
 from repro.index.search import joint_search
-from repro.store import STORE_KINDS, store_from_arrays
+from repro.store import (
+    STORE_KINDS,
+    ColdPlane,
+    MmapPlane,
+    spill_cold,
+    store_from_arrays,
+)
 from repro.utils.io import load_arrays, pack_adjacency, save_arrays
 from repro.utils.rng import spawn, spawn_seed_sequences
 from repro.utils.validation import require
@@ -88,10 +96,16 @@ __all__ = [
 
 MANIFEST_NAME = "manifest.json"
 #: current manifest format; v1 archives (pre-store, implicitly dense
-#: float32) are still readable.
+#: float32) and v2 archives (store-aware, all-resident) are still
+#: readable.  v3 adds per-segment storage mode: segments whose cold
+#: tier lives in sidecar ``.npy`` files carry ``"storage": "mmap"`` and
+#: a ``"cold_files"`` list; everything else loads exactly as v2.
+#: Resident indexes keep *writing* v2, so their archives stay
+#: bit-identical to previous releases.
 _FORMAT_V1 = "must-segments-v1"
 _FORMAT = "must-segments-v2"
-FORMAT_VERSION = 2
+_FORMAT_V3 = "must-segments-v3"
+FORMAT_VERSION = 3
 
 
 @dataclass
@@ -340,6 +354,26 @@ class SegmentView:
         for seg in self.segments:
             if not seg.space.is_compressed:
                 seg.space.concatenated
+
+    def memory_stats(self) -> dict:
+        """Byte accounting split by tier, summed over the segments.
+
+        ``hot_bytes`` (codes + codebooks, always resident),
+        ``cold_bytes`` (logical size of the exact tier wherever it
+        lives) and ``resident_bytes`` (hot plus the RAM-resident part
+        of cold — equal to hot for fully memory-mapped cold tiers).
+        """
+        hot = cold = resident = 0
+        for seg in self.segments:
+            store = seg.space.vectors.store
+            hot += store.hot_bytes()
+            cold += store.cold_bytes()
+            resident += store.resident_bytes()
+        return {
+            "hot_bytes": int(hot),
+            "cold_bytes": int(cold),
+            "resident_bytes": int(resident),
+        }
 
     # ------------------------------------------------------------------
     # Searching
@@ -737,12 +771,37 @@ class SegmentedIndex:
         seed: int = 0,
         compression: str = "none",
         store_options: dict | None = None,
+        cold_storage: str = "resident",
+        data_dir: str | Path | None = None,
     ):
         require(
             compression in STORE_KINDS,
             f"unknown compression {compression!r}; supported: "
             f"{sorted(STORE_KINDS)}",
         )
+        require(
+            cold_storage in ("resident", "mmap"),
+            f"unknown cold_storage {cold_storage!r}; supported: "
+            f"'resident', 'mmap'",
+        )
+        if cold_storage == "mmap":
+            require(
+                compression != "none",
+                "cold_storage='mmap' requires a compressed hot tier "
+                "(float16/int8/pq) — a dense store serves graph "
+                "traversal from the float32 corpus itself, which must "
+                "stay resident",
+            )
+            require(
+                data_dir is not None,
+                "cold_storage='mmap' requires data_dir= (the directory "
+                "that receives the per-segment cold-tier .npy files)",
+            )
+            require(
+                bool((store_options or {}).get("keep_exact", True)),
+                "cold_storage='mmap' spills the exact cold tier to disk "
+                "— keep_exact=False leaves nothing to spill",
+            )
         self.weights = weights
         self.builder = builder if builder is not None else FusedIndexBuilder()
         self.policy = policy if policy is not None else SegmentPolicy()
@@ -756,6 +815,19 @@ class SegmentedIndex:
         #: the LSM moment the slice becomes immutable.
         self.compression = compression
         self.store_options = dict(store_options or {})
+        #: where sealed segments' exact cold tier lives: ``"resident"``
+        #: keeps float32 matrices in RAM (historical behaviour),
+        #: ``"mmap"`` spills them to per-segment ``.npy`` files under
+        #: :attr:`data_dir` at seal/compact time and serves rerank reads
+        #: through lazy memory mappings — bit-identical results, O(hot)
+        #: resident bytes.
+        self.cold_storage = cold_storage
+        self.data_dir = None if data_dir is None else Path(data_dir)
+        if cold_storage == "mmap":
+            self.data_dir.mkdir(parents=True, exist_ok=True)
+            self._cold_seq = self._scan_cold_seq(self.data_dir)
+        else:
+            self._cold_seq = 0
         self.sealed: list[Segment] = []
         self.delta = _DeltaSegment(weights)
         self._next_ext = 0
@@ -782,6 +854,8 @@ class SegmentedIndex:
         compression: str = "none",
         store_options: dict | None = None,
         ext_ids: np.ndarray | None = None,
+        cold_storage: str = "resident",
+        data_dir: str | Path | None = None,
     ) -> "SegmentedIndex":
         """Wrap a built single-graph index as the first sealed segment.
 
@@ -790,11 +864,14 @@ class SegmentedIndex:
         segment serves from those codes.  ``ext_ids`` maps graph rows to
         explicit external ids (default ``0..n-1``) — a shard's rows keep
         their *global* ids this way, so cross-shard merges and
-        id-routed writes stay coherent.
+        id-routed writes stay coherent.  With ``cold_storage="mmap"``
+        the wrapped index's resident cold tier (if any) is spilled to
+        ``data_dir`` immediately.
         """
         seg = cls(index.space.weights, builder=builder, policy=policy,
                   hnsw=hnsw, seed=seed, compression=compression,
-                  store_options=store_options)
+                  store_options=store_options, cold_storage=cold_storage,
+                  data_dir=data_dir)
         if ext_ids is None:
             ids = np.arange(index.n, dtype=np.int64)
         else:
@@ -812,6 +889,8 @@ class SegmentedIndex:
                 np.unique(ids).size == ids.size,
                 "explicit ext_ids contain duplicates",
             )
+        if cold_storage == "mmap" and index.space.vectors.store.kind != "none":
+            seg._spill_segment(index)
         seg.sealed.append(Segment(index, ids))
         seg._next_ext = int(ids.max()) + 1 if ids.size else 0
         return seg
@@ -823,9 +902,76 @@ class SegmentedIndex:
         The graph was built over full-precision vectors; only the
         serving representation changes.  The original float32 matrices
         become the store's cold exact tier (rerank + future compaction),
-        unless ``store_options['keep_exact']`` says otherwise.
+        unless ``store_options['keep_exact']`` says otherwise.  Under
+        ``cold_storage="mmap"`` that cold tier is then spilled to
+        sidecar files, leaving only the compressed codes resident.
         """
-        return reseat_on_store(index, self.compression, self.store_options)
+        index = reseat_on_store(index, self.compression, self.store_options)
+        if self.cold_storage == "mmap":
+            index = self._spill_segment(index)
+        return index
+
+    @staticmethod
+    def _scan_cold_seq(data_dir: Path) -> int:
+        """First unused cold-file sequence number in *data_dir* — never
+        reuse a name: an older live index (or a frozen snapshot) may
+        still be serving from a file with a lower sequence."""
+        seq = 0
+        for f in data_dir.glob("seg_*.cold_0.npy"):
+            try:
+                seq = max(seq, int(f.name.split(".")[0][4:]) + 1)
+            except ValueError:
+                continue
+        return seq
+
+    def _next_cold_paths(self, dims: tuple[int, ...]) -> list[Path]:
+        """Reserve sidecar file names for one segment's cold tier."""
+        stem = f"seg_{self._cold_seq:06d}"
+        self._cold_seq += 1
+        return [
+            self.data_dir / f"{stem}.cold_{i}.npy" for i in range(len(dims))
+        ]
+
+    def _spill_segment(self, index: GraphIndex) -> GraphIndex:
+        """Spill a segment's resident cold tier to ``data_dir`` and
+        re-seat the store on the resulting memory mapping (no-op when
+        the cold tier is absent or already mapped)."""
+        vectors = index.space.vectors
+        store = vectors.store
+        plane = store.cold_plane
+        if plane is None or not plane.is_resident:
+            return index
+        stem = f"seg_{self._cold_seq:06d}"
+        self._cold_seq += 1
+        spilled = spill_cold(store, self.data_dir, stem)
+        index.space = JointSpace(
+            MultiVectorSet.from_store(
+                spilled, attributes=vectors.attributes
+            ),
+            index.space.weights,
+        )
+        return index
+
+    def _retire_cold_files(
+        self, planes: list[ColdPlane | None], keep: set[Path]
+    ) -> None:
+        """Unlink sidecar files of replaced segments.
+
+        Frozen snapshots may still hold these planes; mapping every
+        modality first pins the inodes, so their lazily-deferred first
+        probe keeps working after the unlink (POSIX semantics).
+        """
+        for plane in planes:
+            if not isinstance(plane, MmapPlane):
+                continue
+            for i, path in enumerate(plane.paths):
+                if path in keep:
+                    continue
+                plane.modality(i)
+                try:
+                    path.unlink()
+                except FileNotFoundError:
+                    pass
 
     # ------------------------------------------------------------------
     # Introspection
@@ -904,6 +1050,10 @@ class SegmentedIndex:
     def active_ext_ids(self) -> np.ndarray:
         """External ids of all live objects, ascending."""
         return self.view().active_ext_ids()
+
+    def memory_stats(self) -> dict:
+        """Per-tier byte accounting — see :meth:`SegmentView.memory_stats`."""
+        return self.view().memory_stats()
 
     def describe(self) -> dict:
         """JSON-ready summary (used by the manifest and the benchmarks)."""
@@ -1075,12 +1225,20 @@ class SegmentedIndex:
         """Rebuild one sealed segment over every live object (§IX
         periodic reconstruction); drops all tombstones and empties the
         delta.  Returns the surviving external ids, ascending — row ``j``
-        of the new segment is external id ``active[j]``."""
+        of the new segment is external id ``active[j]``.
+
+        Under ``cold_storage="mmap"`` the merged cold tier is streamed
+        segment-at-a-time into freshly pre-sized ``.npy`` files —
+        peak extra RAM is one segment's live rows, not the corpus —
+        and the replaced segments' sidecar files are unlinked."""
         segs = self.searchable_segments()
         if not segs:
             return np.zeros(0, dtype=np.int64)
         num_modalities = segs[0].space.num_modalities
+        streaming = self.cold_storage == "mmap"
+        old_planes = [seg.space.vectors.store.cold_plane for seg in segs]
         ext_parts: list[np.ndarray] = []
+        alive_parts: list[tuple[Segment, np.ndarray]] = []
         mat_parts: list[list[np.ndarray]] = [[] for _ in range(num_modalities)]
         attr_parts: list[AttributeTable] = []
         contributing = 0
@@ -1094,15 +1252,18 @@ class SegmentedIndex:
                 continue
             contributing += 1
             ext_parts.append(seg.ext_ids[alive])
+            alive_parts.append((seg, alive))
             seg_attrs = seg.space.vectors.attributes
             if seg_attrs is not None:
                 attr_parts.append(seg_attrs.subset(alive))
-            for i in range(num_modalities):
-                # Rebuild from the exact cold tier, not the hot codes —
-                # compaction must never accumulate quantisation error.
-                mat_parts[i].append(
-                    seg.space.vectors.exact_modality(i)[alive]
-                )
+            if not streaming:
+                for i in range(num_modalities):
+                    # Rebuild from the exact cold tier, not the hot
+                    # codes — compaction must never accumulate
+                    # quantisation error.
+                    mat_parts[i].append(
+                        seg.space.vectors.exact_modality(i)[alive]
+                    )
         if not ext_parts:
             # Every object is dead (possible only via allow_empty
             # shard deletes): drop all segments instead of crashing on
@@ -1111,6 +1272,8 @@ class SegmentedIndex:
             self.sealed = []
             self.delta.reset()
             self.num_compactions += 1
+            if streaming:
+                self._retire_cold_files(old_planes, keep=set())
             return np.zeros(0, dtype=np.int64)
         ext = np.concatenate(ext_parts)
         order = np.argsort(ext)
@@ -1123,16 +1286,76 @@ class SegmentedIndex:
                 "inconsistent",
             )
             attributes = AttributeTable.concat(attr_parts).subset(order)
-        objects = MultiVectorSet(
-            [np.concatenate(parts)[order] for parts in mat_parts],
-            attributes=attributes,
-        )
+        if streaming:
+            mats, out_paths = self._stream_merged_cold(
+                alive_parts, order, num_modalities
+            )
+        else:
+            mats = [np.concatenate(parts)[order] for parts in mat_parts]
+            out_paths = []
+        objects = MultiVectorSet(mats, attributes=attributes)
         space = JointSpace(objects, self.weights)
-        index = self._compress_sealed(self.builder.build(space))
+        index = self.builder.build(space)
+        if streaming:
+            # Train the compressed hot tier from the merged (mapped)
+            # matrices, then attach the freshly written files directly
+            # as the cold plane — same bytes, no second spill.
+            index = reseat_on_store(
+                index, self.compression, self.store_options
+            )
+            store = index.space.vectors.store.with_cold_plane(
+                MmapPlane(out_paths)
+            )
+            index.space = JointSpace(
+                MultiVectorSet.from_store(store, attributes=attributes),
+                self.weights,
+            )
+        else:
+            index = self._compress_sealed(index)
         self.sealed = [Segment(index, ext[order])]
         self.delta.reset()
         self.num_compactions += 1
+        if streaming:
+            self._retire_cold_files(old_planes, keep=set(out_paths))
         return ext[order]
+
+    def _stream_merged_cold(
+        self,
+        alive_parts: list[tuple[Segment, np.ndarray]],
+        order: np.ndarray,
+        num_modalities: int,
+    ) -> tuple[list[np.ndarray], list[Path]]:
+        """Merge the live cold rows of *alive_parts* into pre-sized
+        sidecar ``.npy`` files, one source segment at a time.
+
+        Row ``j`` of the output is row ``order[j]`` of the source
+        concatenation — byte-identical to the in-RAM
+        ``concatenate(parts)[order]`` merge, without ever holding more
+        than one segment's rows in memory.  Returns the read-only
+        mappings plus their paths.
+        """
+        total = int(order.size)
+        inv = np.empty(total, dtype=np.int64)
+        inv[order] = np.arange(total, dtype=np.int64)
+        dims = alive_parts[0][0].space.vectors.dims
+        out_paths = self._next_cold_paths(dims)
+        outs = [
+            np.lib.format.open_memmap(
+                path, mode="w+", dtype=np.float32, shape=(total, d)
+            )
+            for path, d in zip(out_paths, dims)
+        ]
+        offset = 0
+        for seg, alive in alive_parts:
+            target = inv[offset:offset + alive.size]
+            for i in range(num_modalities):
+                outs[i][target] = seg.space.vectors.exact_modality(i)[alive]
+            offset += alive.size
+        for out in outs:
+            out.flush()
+        del outs
+        mats = [np.load(path, mmap_mode="r") for path in out_paths]
+        return mats, out_paths
 
     def _modality_dims(self) -> tuple[int, ...]:
         if self.delta.n:
@@ -1248,23 +1471,43 @@ class SegmentedIndex:
         ``manifest.json`` plus one ``.npz`` per segment (vectors,
         adjacency, external ids, deletion bitset; the delta additionally
         stores its multi-layer HNSW state so reloads resume insertion
-        exactly where they left off)."""
+        exactly where they left off).
+
+        Memory-mapped cold tiers ride as sidecar
+        ``segment_{i:03d}.cold_{m}.npy`` files next to the archives
+        (``.npz`` is a zip and cannot be mapped); their segments are
+        recorded with ``"storage": "mmap"`` and the manifest format
+        becomes ``must-segments-v3``.  All-resident indexes keep
+        writing v2 archives, byte-identical to previous releases."""
         path = Path(path)
         path.mkdir(parents=True, exist_ok=True)
         entries = []
         for i, seg in enumerate(self.sealed):
             fname = f"segment_{i:03d}.npz"
             self._save_segment(path / fname, seg.index, seg.ext_ids)
-            entries.append({"file": fname, "kind": "sealed", "n": int(seg.n)})
+            entry: dict = {"file": fname, "kind": "sealed", "n": int(seg.n)}
+            plane = seg.space.vectors.store.cold_plane
+            if isinstance(plane, MmapPlane):
+                cold_files = []
+                for m, src in enumerate(plane.paths):
+                    dst = path / f"segment_{i:03d}.cold_{m}.npy"
+                    if src.resolve() != dst.resolve():
+                        shutil.copyfile(src, dst)
+                    cold_files.append(dst.name)
+                entry["storage"] = "mmap"
+                entry["cold_files"] = cold_files
+            entries.append(entry)
         if self.delta.n:
             fname = f"segment_{len(self.sealed):03d}.npz"
             self._save_delta(path / fname)
             entries.append(
                 {"file": fname, "kind": "delta", "n": int(self.delta.n)}
             )
+        mapped = any(e.get("storage") == "mmap" for e in entries)
+        v3 = self.cold_storage == "mmap" or mapped
         manifest = {
-            "format": _FORMAT,
-            "format_version": FORMAT_VERSION,
+            "format": _FORMAT_V3 if v3 else _FORMAT,
+            "format_version": 3 if v3 else 2,
             "compression": self.compression,
             "store_options": {
                 k: v
@@ -1287,6 +1530,8 @@ class SegmentedIndex:
             },
             "segments": entries,
         }
+        if v3:
+            manifest["cold_storage"] = self.cold_storage
         if self.shard is not None:
             manifest["shard"] = {
                 "index": int(self.shard[0]),
@@ -1363,17 +1608,19 @@ class SegmentedIndex:
             )
         manifest = json.loads(manifest_file.read_text())
         fmt = manifest.get("format")
-        if fmt not in (_FORMAT_V1, _FORMAT):
+        if fmt not in (_FORMAT_V1, _FORMAT, _FORMAT_V3):
             raise ValueError(
                 f"unsupported segment manifest format {fmt!r} "
                 f"(format_version {manifest.get('format_version')!r}) at "
                 f"{manifest_file} — this build reads "
-                f"{_FORMAT_V1!r}/{_FORMAT!r} (format_version ≤ "
-                f"{FORMAT_VERSION}); the index was written by a newer "
-                f"library version, upgrade it or re-save the index"
+                f"{_FORMAT_V1!r}/{_FORMAT!r}/{_FORMAT_V3!r} "
+                f"(format_version ≤ {FORMAT_VERSION}); the index was "
+                f"written by a newer library version, upgrade it or "
+                f"re-save the index"
             )
         weights = Weights(manifest["squared_weights"])
         hnsw_cfg = manifest["hnsw"]
+        cold_storage = manifest.get("cold_storage", "resident")
         seg_index = cls(
             weights,
             builder=builder,
@@ -1387,6 +1634,8 @@ class SegmentedIndex:
             seed=int(manifest["seed"]),
             compression=manifest.get("compression", "none"),
             store_options=manifest.get("store_options"),
+            cold_storage=cold_storage,
+            data_dir=path if cold_storage == "mmap" else None,
         )
         seg_index._next_ext = int(manifest["next_ext_id"])
         shard = manifest.get("shard")
@@ -1403,8 +1652,28 @@ class SegmentedIndex:
                     f"{manifest_file} is missing from {path} — the index "
                     f"directory is incomplete"
                 )
-            metadata, arrays = load_arrays(file)
+            try:
+                metadata, arrays = load_arrays(file)
+            except (zipfile.BadZipFile, ValueError, OSError, KeyError) as exc:
+                raise ValueError(
+                    f"segment file {entry['file']!r} in {path} is "
+                    f"unreadable ({exc}) — the archive is corrupt or "
+                    f"truncated; restore it from a backup or re-save "
+                    f"the index"
+                ) from exc
             vectors = cls._load_vectors(metadata, arrays)
+            if entry.get("storage") == "mmap":
+                # Sidecar cold tier: headers are validated eagerly
+                # (missing/truncated files fail here, with the file
+                # named), the data mapping is deferred to first probe —
+                # loading a sealed segment never pages its cold bytes.
+                plane = MmapPlane(
+                    [path / f for f in entry["cold_files"]]
+                )
+                store = vectors.store.with_cold_plane(plane)
+                vectors = MultiVectorSet.from_store(
+                    store, attributes=vectors.attributes
+                )
             space = JointSpace(vectors, weights)
             if entry["kind"] == "sealed":
                 index = GraphIndex.from_arrays(metadata, arrays, space)

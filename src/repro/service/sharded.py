@@ -16,6 +16,16 @@ once, at spawn:
   zero-copy views and builds its graph over them.  After every worker
   acknowledges, the parent unlinks the block — it lives exactly as long
   as its mappings;
+* with an mmap-backed template (``cold_storage="mmap"``) the block
+  shrinks from O(corpus) to O(hot): it carries only ids, attributes, a
+  per-row ``(source, row)`` map into the on-disk cold files, and any
+  rows still resident in the parent (the delta "tail").  Each worker
+  opens the cold ``.npy`` files read-only via mmap
+  (:class:`~repro.store.GatherPlane` over
+  :class:`~repro.store.MmapPlane` sources), gathers its slice once to
+  build the graph — the same bytes the resident protocol ships — and
+  serves refine/exact reranks straight from the shared page cache.
+  ``spawn_shm_bytes`` records what actually crossed;
 * at serve time only queries travel down and top-k ``(id, score)``
   pairs travel up — a few hundred bytes per request, never a vector
   plane.
@@ -70,6 +80,7 @@ from repro.core.weights import Weights
 from repro.index.base import reseat_on_store
 from repro.index.segments import SegmentedIndex, _merge_candidates
 from repro.service.service import MustService, ServiceConfig, _Request
+from repro.store import GatherPlane, MmapPlane, ResidentPlane
 from repro.utils.rng import spawn_seed_sequences
 from repro.utils.shm import SharedArrays
 from repro.utils.validation import require
@@ -160,10 +171,36 @@ class _ShardWorker:
         if self.pack is not None:
             arrays = self.pack.arrays
             ext_ids = np.asarray(arrays["ext_ids"], dtype=np.int64)
-            mats = [
-                np.asarray(arrays[f"mod_{i}"])
-                for i in range(meta["num_modalities"])
-            ]
+            num_modalities = meta["num_modalities"]
+            plane = None
+            if meta.get("cold_storage") == "mmap":
+                # The cold tier stays on disk: the shm pack carries only a
+                # per-row (source, row) map plus any rows whose source
+                # segment was still resident in the parent (the "tail").
+                # The worker opens the parent's cold files read-only and
+                # gathers its slice once to build the graph — identical
+                # bytes to the resident protocol, O(hot) shm instead of
+                # O(corpus).
+                sources: list = [MmapPlane(p) for p in meta["cold_sources"]]
+                if "tail_mod_0" in arrays:
+                    sources.append(
+                        ResidentPlane(
+                            [
+                                np.asarray(arrays[f"tail_mod_{i}"])
+                                for i in range(num_modalities)
+                            ]
+                        )
+                    )
+                plane = GatherPlane(
+                    sources,
+                    np.asarray(arrays["cold_src"], dtype=np.int64),
+                    np.asarray(arrays["cold_row"], dtype=np.int64),
+                )
+                mats = [plane.modality(i) for i in range(num_modalities)]
+            else:
+                mats = [
+                    np.asarray(arrays[f"mod_{i}"]) for i in range(num_modalities)
+                ]
             attributes = AttributeTable.from_arrays(arrays)
             space = JointSpace(
                 MultiVectorSet(mats, attributes=attributes), weights
@@ -171,6 +208,16 @@ class _ShardWorker:
             index = reseat_on_store(
                 builder.build(space), meta["compression"], meta["store_options"]
             )
+            if plane is not None:
+                store = index.space.vectors.store
+                if store.cold_plane is not None:
+                    index.space = JointSpace(
+                        MultiVectorSet.from_store(
+                            store.with_cold_plane(plane),
+                            attributes=attributes,
+                        ),
+                        weights,
+                    )
             self.seg = SegmentedIndex.from_graph(
                 index, ext_ids=ext_ids, **kwargs
             )
@@ -419,6 +466,94 @@ def _corpus_slices(must):
     return alive.astype(np.int64), mats, attributes, int(index.n)
 
 
+def _corpus_slices_mmap(must):
+    """Cold-tier *provenance* for an mmap-backed corpus.
+
+    Instead of gathering the full-precision rows (O(corpus) bytes
+    through shared memory), returns, sorted by external id::
+
+        (ext_ids, src_of, row_of, sources, tail_mats, attrs, next_ext)
+
+    where ``sources[s]`` is the path list of the ``s``-th memory-mapped
+    cold plane and ``(src_of[j], row_of[j])`` addresses row ``j``'s
+    exact vectors inside it.  Rows whose segment is still resident in
+    the parent (the delta, or a dense segment) are gathered into
+    ``tail_mats`` and addressed as source ``len(sources)`` — the only
+    vector bytes that ever cross the process boundary.
+    """
+    if must.is_segmented:
+        segs = must.segments.searchable_segments()
+        require(segs, "cannot shard an empty index")
+        entries = [
+            (seg.space.vectors, seg.ext_ids, seg.index.deleted) for seg in segs
+        ]
+        next_ext = int(must.segments._next_ext)
+    else:
+        index = must.index
+        entries = [
+            (
+                index.space.vectors,
+                np.arange(index.n, dtype=np.int64),
+                index.deleted,
+            )
+        ]
+        next_ext = int(index.n)
+    num_modalities = entries[0][0].num_modalities
+    sources: list[list[str]] = []
+    ext_parts: list[np.ndarray] = []
+    src_parts: list[np.ndarray] = []
+    row_parts: list[np.ndarray] = []
+    tail_parts: list[list[np.ndarray]] = [[] for _ in range(num_modalities)]
+    tail_n = 0
+    attr_parts: list[AttributeTable] = []
+    contributing = 0
+    for vectors, ext_ids, deleted in entries:
+        alive = (
+            np.arange(ext_ids.size)
+            if deleted is None
+            else np.flatnonzero(~deleted)
+        )
+        if alive.size == 0:
+            continue
+        contributing += 1
+        ext_parts.append(np.asarray(ext_ids, dtype=np.int64)[alive])
+        attrs = vectors.attributes
+        if attrs is not None:
+            attr_parts.append(attrs.subset(alive))
+        plane = vectors.store.cold_plane
+        if isinstance(plane, MmapPlane):
+            src_parts.append(np.full(alive.size, len(sources), dtype=np.int64))
+            row_parts.append(alive.astype(np.int64))
+            sources.append([str(p) for p in plane.paths])
+        else:
+            # Tail sentinel; renumbered to len(sources) once the source
+            # count is final.
+            src_parts.append(np.full(alive.size, -1, dtype=np.int64))
+            row_parts.append(np.arange(tail_n, tail_n + alive.size, dtype=np.int64))
+            tail_n += alive.size
+            for i in range(num_modalities):
+                tail_parts[i].append(vectors.exact_modality(i)[alive])
+    require(ext_parts, "cannot shard an index with no live objects")
+    ext = np.concatenate(ext_parts)
+    order = np.argsort(ext)
+    src_of = np.concatenate(src_parts)[order]
+    src_of[src_of < 0] = len(sources)
+    row_of = np.concatenate(row_parts)[order]
+    tail_mats = (
+        [np.ascontiguousarray(np.concatenate(p)) for p in tail_parts]
+        if tail_n
+        else None
+    )
+    attributes = None
+    if attr_parts:
+        require(
+            len(attr_parts) == contributing,
+            "cannot shard: inconsistent attribute state across segments",
+        )
+        attributes = AttributeTable.concat(attr_parts).subset(order)
+    return ext[order], src_of, row_of, sources, tail_mats, attributes, next_ext
+
+
 class ShardedService(MustService):
     """N-process sharded serving over one built :class:`MUST`.
 
@@ -479,7 +614,19 @@ class ShardedService(MustService):
     # Spawn
     # ------------------------------------------------------------------
     def _spawn_workers(self, must, spawn_timeout_s: float) -> None:
-        ext, mats, attributes, next_ext = _corpus_slices(must)
+        cold_storage = (
+            must.segments.cold_storage
+            if must.is_segmented
+            else getattr(must, "cold_storage", "resident")
+        )
+        mmap_mode = cold_storage == "mmap"
+        if mmap_mode:
+            (ext, src_of, row_of, cold_sources, tail_mats, attributes, next_ext) = (
+                _corpus_slices_mmap(must)
+            )
+            mats = None
+        else:
+            ext, mats, attributes, next_ext = _corpus_slices(must)
         self._next_ext = next_ext
         if must.is_segmented:
             src = must.segments
@@ -502,9 +649,11 @@ class ShardedService(MustService):
             )
         meta_base.update(
             squared_weights=[float(x) for x in must.weights.squared],
-            num_modalities=len(mats),
+            num_modalities=len(must.weights.squared),
             n_shards=self.n_shards,
         )
+        if mmap_mode:
+            meta_base.update(cold_storage="mmap", cold_sources=cold_sources)
         owners = ext % self.n_shards
         packs: list[SharedArrays | None] = []
         try:
@@ -512,10 +661,30 @@ class ShardedService(MustService):
                 rows = np.flatnonzero(owners == shard)
                 meta = dict(meta_base, shard=shard)
                 if rows.size:
-                    arrays = {
-                        f"mod_{i}": mat[rows] for i, mat in enumerate(mats)
-                    }
-                    arrays["ext_ids"] = ext[rows]
+                    if mmap_mode:
+                        # O(hot): ids, attributes and the (source, row)
+                        # cold map — never a full vector plane.  Tail
+                        # rows (resident in the parent) ride along
+                        # renumbered to the shard-local tail source.
+                        arrays = {"ext_ids": ext[rows]}
+                        shard_src = src_of[rows].copy()
+                        shard_row = row_of[rows].copy()
+                        tmask = shard_src == len(cold_sources)
+                        if tmask.any():
+                            sel = shard_row[tmask]
+                            for i, tmat in enumerate(tail_mats):
+                                arrays[f"tail_mod_{i}"] = tmat[sel]
+                            shard_row[tmask] = np.arange(
+                                int(tmask.sum()), dtype=np.int64
+                            )
+                        arrays["cold_src"] = shard_src
+                        arrays["cold_row"] = shard_row
+                    else:
+                        arrays = {
+                            f"mod_{i}": mat[rows]
+                            for i, mat in enumerate(mats)
+                        }
+                        arrays["ext_ids"] = ext[rows]
                     if attributes is not None:
                         arrays.update(attributes.subset(rows).to_arrays())
                     pack = SharedArrays.create(arrays)
@@ -549,11 +718,24 @@ class ShardedService(MustService):
         finally:
             # Every worker has attached (or spawn failed): drop the
             # parent mappings and unlink — the blocks now live exactly
-            # as long as the worker processes mapping them.
+            # as long as the worker processes mapping them.  Unlink even
+            # if close() raises, and finish the loop even if one pack
+            # fails: a worker that died before its ready-ack must not
+            # leave /dev/shm segments behind.
+            self.spawn_shm_bytes = sum(
+                pack.nbytes for pack in packs if pack is not None
+            )
             for pack in packs:
-                if pack is not None:
+                if pack is None:
+                    continue
+                try:
                     pack.close()
+                except Exception:
+                    pass
+                try:
                     pack.unlink()
+                except Exception:
+                    pass
 
     # ------------------------------------------------------------------
     # Introspection

@@ -22,6 +22,15 @@ holding one pins the captured arrays in memory but costs nothing else.
 Capturing must be serialised with writers (the service takes its write
 lock); once captured, a snapshot is safe to read from any number of
 threads.
+
+Memory-mapped cold tiers need no special casing here: the share-not-copy
+capture (``dataclasses.replace`` / ``SegmentedIndex.snapshot``) keeps the
+*same* :class:`~repro.store.MmapPlane` objects across epochs, so every
+snapshot reads the cold files through one pinned mapping — page-cache
+pages are shared copy-on-write between all live epochs, and a compaction
+that retires a segment's files first pins their mappings (POSIX keeps an
+unlinked inode readable through open maps) so older snapshots keep
+answering bit-identically until they are garbage collected.
 """
 
 from __future__ import annotations

@@ -23,6 +23,15 @@ from repro.store.base import (
     store_from_arrays,
 )
 from repro.store.dense import DenseStore, HalfStore
+from repro.store.mmap import (
+    ColdPlane,
+    GatherPlane,
+    MmapPlane,
+    ResidentPlane,
+    as_cold_plane,
+    evict_page_cache,
+    spill_cold,
+)
 from repro.store.pq import PQStore
 from repro.store.quant import ScalarQuantStore
 
@@ -37,4 +46,11 @@ __all__ = [
     "HalfStore",
     "ScalarQuantStore",
     "PQStore",
+    "ColdPlane",
+    "ResidentPlane",
+    "MmapPlane",
+    "GatherPlane",
+    "as_cold_plane",
+    "spill_cold",
+    "evict_page_cache",
 ]

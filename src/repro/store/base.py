@@ -159,8 +159,37 @@ class VectorStore(abc.ABC):
         """Resident bytes of the hot tier (codes + codebooks/scales)."""
 
     def cold_bytes(self) -> int:
-        """Bytes of the cold exact tier (0 when not kept)."""
+        """Logical bytes of the cold exact tier (0 when not kept).
+
+        Counts the tier wherever it lives — RAM or a memory-mapped
+        sidecar file; :meth:`resident_bytes` is the RAM-only figure.
+        """
         return 0
+
+    def resident_bytes(self) -> int:
+        """RAM-resident bytes: hot tier plus any in-RAM cold tier.
+
+        Equals ``hot_bytes() + cold_bytes()`` for all-resident stores;
+        stores whose cold plane is memory-mapped subtract the mapped
+        portion (the OS page cache is reclaimable, not pinned).
+        """
+        return self.hot_bytes() + self.cold_bytes()
+
+    # ------------------------------------------------------------------
+    # Cold-plane seam (mmap-backed cold tier)
+    # ------------------------------------------------------------------
+    @property
+    def cold_plane(self):
+        """The attached :class:`~repro.store.mmap.ColdPlane`, or None."""
+        return None
+
+    def with_cold_plane(self, plane) -> "VectorStore":
+        """Same hot tier, different cold plane (shares codes/codebooks)."""
+        raise ValueError(
+            f"store kind {self.kind!r} has no detachable cold tier — only "
+            f"compressed backends (float16/int8/pq) separate hot codes "
+            f"from the exact float32 plane"
+        )
 
     # ------------------------------------------------------------------
     # Persistence
@@ -171,7 +200,23 @@ class VectorStore(abc.ABC):
 
     @abc.abstractmethod
     def to_arrays(self) -> dict[str, np.ndarray]:
-        """Array payload for a ``.npz`` segment archive."""
+        """Array payload for a ``.npz`` segment archive.
+
+        Mapped cold planes are *not* serialised here — their bytes
+        already live in sidecar files the manifest records; only
+        resident cold tiers emit ``exact_{i}`` entries.
+        """
+
+    def hot_arrays(self) -> dict[str, np.ndarray]:
+        """The hot-tier subset of :meth:`to_arrays` (no ``exact_{i}``).
+
+        What a v3 (mmap) segment archive stores, and what a sharded
+        spawn ships through shared memory.
+        """
+        return {
+            k: v for k, v in self.to_arrays().items()
+            if not k.startswith("exact_")
+        }
 
     @classmethod
     @abc.abstractmethod

@@ -17,6 +17,7 @@ from typing import Sequence
 import numpy as np
 
 from repro.store.base import ModalityKernel, VectorStore, register_store
+from repro.store.mmap import ColdPlane, as_cold_plane
 from repro.utils.validation import require
 
 __all__ = ["DenseStore", "HalfStore"]
@@ -126,16 +127,14 @@ class HalfStore(VectorStore):
     def __init__(
         self,
         half: Sequence[np.ndarray],
-        exact: Sequence[np.ndarray] | None = None,
+        exact: Sequence[np.ndarray] | ColdPlane | None = None,
     ):
         self._half = _check_matrices(half, np.float16)
-        self._exact = None if exact is None else _check_matrices(exact, np.float32)
-        if self._exact is not None:
-            require(
-                tuple(m.shape for m in self._exact)
-                == tuple(m.shape for m in self._half),
-                "cold tier shape mismatch",
-            )
+        self._exact = as_cold_plane(
+            exact,
+            n=self._half[0].shape[0],
+            dims=tuple(m.shape[1] for m in self._half),
+        )
 
     # -- shape ----------------------------------------------------------
     @property
@@ -159,8 +158,13 @@ class HalfStore(VectorStore):
 
     def exact_modality(self, i: int) -> np.ndarray:
         if self._exact is not None:
-            return self._exact[i]
+            return self._exact.modality(i)
         return self.modality(i)
+
+    def exact_rows(self, i: int, ids: np.ndarray) -> np.ndarray:
+        if self._exact is not None:
+            return self._exact.rows(i, np.asarray(ids))
+        return self.rows(i, np.asarray(ids))
 
     # -- scoring --------------------------------------------------------
     def query_kernel(self, i: int, query: np.ndarray) -> ModalityKernel:
@@ -175,16 +179,25 @@ class HalfStore(VectorStore):
     # -- lifecycle ------------------------------------------------------
     def subset(self, ids: np.ndarray) -> "HalfStore":
         ids = np.asarray(ids)
-        exact = None if self._exact is None else [m[ids] for m in self._exact]
+        exact = None if self._exact is None else self._exact.subset(ids)
         return HalfStore([m[ids] for m in self._half], exact)
 
     def hot_bytes(self) -> int:
         return int(sum(m.nbytes for m in self._half))
 
     def cold_bytes(self) -> int:
-        if self._exact is None:
-            return 0
-        return int(sum(m.nbytes for m in self._exact))
+        return 0 if self._exact is None else self._exact.nbytes()
+
+    def resident_bytes(self) -> int:
+        cold = 0 if self._exact is None else self._exact.resident_bytes()
+        return self.hot_bytes() + cold
+
+    @property
+    def cold_plane(self) -> ColdPlane | None:
+        return self._exact
+
+    def with_cold_plane(self, plane: ColdPlane | None) -> "HalfStore":
+        return HalfStore(self._half, plane)
 
     # -- persistence ----------------------------------------------------
     def store_meta(self) -> dict:
@@ -194,8 +207,13 @@ class HalfStore(VectorStore):
 
     def to_arrays(self) -> dict[str, np.ndarray]:
         out = {f"half_{i}": m for i, m in enumerate(self._half)}
-        if self._exact is not None:
-            out.update({f"exact_{i}": m for i, m in enumerate(self._exact)})
+        if self._exact is not None and self._exact.is_resident:
+            out.update(
+                {
+                    f"exact_{i}": self._exact.modality(i)
+                    for i in range(self.num_modalities)
+                }
+            )
         return out
 
     @classmethod

@@ -20,6 +20,7 @@ from typing import Sequence
 import numpy as np
 
 from repro.store.base import ModalityKernel, VectorStore, register_store
+from repro.store.mmap import ColdPlane, as_cold_plane
 from repro.utils.validation import require
 
 __all__ = ["PQStore"]
@@ -94,7 +95,7 @@ class PQStore(VectorStore):
         codes: Sequence[np.ndarray],
         codebooks: Sequence[np.ndarray],
         dims: Sequence[int],
-        exact: Sequence[np.ndarray] | None = None,
+        exact: Sequence[np.ndarray] | ColdPlane | None = None,
     ):
         self._codes = tuple(np.ascontiguousarray(c, dtype=np.uint8) for c in codes)
         self._books = tuple(
@@ -111,11 +112,7 @@ class PQStore(VectorStore):
                     f"modality {i} codebook must be (M, ncent, ds)")
             require(b.shape[0] * b.shape[2] >= d,
                     f"modality {i} codebook covers fewer than d={d} dims")
-        self._exact = (
-            None
-            if exact is None
-            else tuple(np.ascontiguousarray(m, dtype=np.float32) for m in exact)
-        )
+        self._exact = as_cold_plane(exact, n=n, dims=self._dims)
 
     # -- shape ----------------------------------------------------------
     @property
@@ -147,8 +144,13 @@ class PQStore(VectorStore):
 
     def exact_modality(self, i: int) -> np.ndarray:
         if self._exact is not None:
-            return self._exact[i]
+            return self._exact.modality(i)
         return self.modality(i)
+
+    def exact_rows(self, i: int, ids: np.ndarray) -> np.ndarray:
+        if self._exact is not None:
+            return self._exact.rows(i, np.asarray(ids))
+        return self.rows(i, np.asarray(ids))
 
     # -- scoring --------------------------------------------------------
     def query_kernel(self, i: int, query: np.ndarray) -> ModalityKernel:
@@ -172,7 +174,7 @@ class PQStore(VectorStore):
     # -- lifecycle ------------------------------------------------------
     def subset(self, ids: np.ndarray) -> "PQStore":
         ids = np.asarray(ids)
-        exact = None if self._exact is None else [m[ids] for m in self._exact]
+        exact = None if self._exact is None else self._exact.subset(ids)
         return PQStore(
             [c[ids] for c in self._codes], self._books, self._dims, exact
         )
@@ -184,9 +186,18 @@ class PQStore(VectorStore):
         )
 
     def cold_bytes(self) -> int:
-        if self._exact is None:
-            return 0
-        return int(sum(m.nbytes for m in self._exact))
+        return 0 if self._exact is None else self._exact.nbytes()
+
+    def resident_bytes(self) -> int:
+        cold = 0 if self._exact is None else self._exact.resident_bytes()
+        return self.hot_bytes() + cold
+
+    @property
+    def cold_plane(self) -> ColdPlane | None:
+        return self._exact
+
+    def with_cold_plane(self, plane: ColdPlane | None) -> "PQStore":
+        return PQStore(self._codes, self._books, self._dims, plane)
 
     # -- persistence ----------------------------------------------------
     def store_meta(self) -> dict:
@@ -200,8 +211,8 @@ class PQStore(VectorStore):
         for i in range(self.num_modalities):
             out[f"codes_{i}"] = self._codes[i]
             out[f"codebook_{i}"] = self._books[i]
-            if self._exact is not None:
-                out[f"exact_{i}"] = self._exact[i]
+            if self._exact is not None and self._exact.is_resident:
+                out[f"exact_{i}"] = self._exact.modality(i)
         return out
 
     @classmethod

@@ -21,6 +21,7 @@ from typing import Sequence
 import numpy as np
 
 from repro.store.base import ModalityKernel, VectorStore, register_store
+from repro.store.mmap import ColdPlane, as_cold_plane
 from repro.utils.validation import require
 
 __all__ = ["ScalarQuantStore"]
@@ -55,7 +56,7 @@ class ScalarQuantStore(VectorStore):
         codes: Sequence[np.ndarray],
         lows: Sequence[np.ndarray],
         steps: Sequence[np.ndarray],
-        exact: Sequence[np.ndarray] | None = None,
+        exact: Sequence[np.ndarray] | ColdPlane | None = None,
     ):
         self._codes = tuple(np.ascontiguousarray(c, dtype=np.uint8) for c in codes)
         self._lows = tuple(np.ascontiguousarray(v, dtype=np.float32) for v in lows)
@@ -70,10 +71,8 @@ class ScalarQuantStore(VectorStore):
                     f"modality {i} codes must be (n, d)")
             require(lo.shape == (c.shape[1],) and st.shape == (c.shape[1],),
                     f"modality {i} scale vectors must match its dimension")
-        self._exact = (
-            None
-            if exact is None
-            else tuple(np.ascontiguousarray(m, dtype=np.float32) for m in exact)
+        self._exact = as_cold_plane(
+            exact, n=n, dims=tuple(c.shape[1] for c in self._codes)
         )
 
     # -- shape ----------------------------------------------------------
@@ -101,8 +100,13 @@ class ScalarQuantStore(VectorStore):
 
     def exact_modality(self, i: int) -> np.ndarray:
         if self._exact is not None:
-            return self._exact[i]
+            return self._exact.modality(i)
         return self.modality(i)
+
+    def exact_rows(self, i: int, ids: np.ndarray) -> np.ndarray:
+        if self._exact is not None:
+            return self._exact.rows(i, np.asarray(ids))
+        return self.rows(i, np.asarray(ids))
 
     # -- scoring --------------------------------------------------------
     def query_kernel(self, i: int, query: np.ndarray) -> ModalityKernel:
@@ -117,7 +121,7 @@ class ScalarQuantStore(VectorStore):
     # -- lifecycle ------------------------------------------------------
     def subset(self, ids: np.ndarray) -> "ScalarQuantStore":
         ids = np.asarray(ids)
-        exact = None if self._exact is None else [m[ids] for m in self._exact]
+        exact = None if self._exact is None else self._exact.subset(ids)
         return ScalarQuantStore(
             [c[ids] for c in self._codes], self._lows, self._steps, exact
         )
@@ -130,9 +134,18 @@ class ScalarQuantStore(VectorStore):
         )
 
     def cold_bytes(self) -> int:
-        if self._exact is None:
-            return 0
-        return int(sum(m.nbytes for m in self._exact))
+        return 0 if self._exact is None else self._exact.nbytes()
+
+    def resident_bytes(self) -> int:
+        cold = 0 if self._exact is None else self._exact.resident_bytes()
+        return self.hot_bytes() + cold
+
+    @property
+    def cold_plane(self) -> ColdPlane | None:
+        return self._exact
+
+    def with_cold_plane(self, plane: ColdPlane | None) -> "ScalarQuantStore":
+        return ScalarQuantStore(self._codes, self._lows, self._steps, plane)
 
     # -- persistence ----------------------------------------------------
     def store_meta(self) -> dict:
@@ -146,8 +159,8 @@ class ScalarQuantStore(VectorStore):
             out[f"codes_{i}"] = self._codes[i]
             out[f"qlow_{i}"] = self._lows[i]
             out[f"qstep_{i}"] = self._steps[i]
-            if self._exact is not None:
-                out[f"exact_{i}"] = self._exact[i]
+            if self._exact is not None and self._exact.is_resident:
+                out[f"exact_{i}"] = self._exact.modality(i)
         return out
 
     @classmethod

@@ -81,14 +81,30 @@ class SharedArrays:
         # A zero-byte block is invalid on every platform; empty arrays
         # still get well-formed (zero-length) views into a 1-byte block.
         shm = shared_memory.SharedMemory(create=True, size=max(int(offset), 1))
-        views: dict[str, np.ndarray] = {}
-        for entry in entries:
-            arr = prepared[entry["key"]]
-            view = np.ndarray(
-                arr.shape, dtype=arr.dtype, buffer=shm.buf, offset=entry["offset"]
-            )
-            view[...] = arr
-            views[entry["key"]] = view
+        try:
+            views: dict[str, np.ndarray] = {}
+            for entry in entries:
+                arr = prepared[entry["key"]]
+                view = np.ndarray(
+                    arr.shape,
+                    dtype=arr.dtype,
+                    buffer=shm.buf,
+                    offset=entry["offset"],
+                )
+                view[...] = arr
+                views[entry["key"]] = view
+        except BaseException:
+            # Population failed after the named block was created: the
+            # caller never sees the handle, so unlink here or the
+            # segment leaks until process exit.
+            views.clear()
+            view = None  # noqa: F841 — drop the exported buffer view
+            try:
+                shm.close()
+            except Exception:
+                pass
+            shm.unlink()
+            raise
         spec = {"name": shm.name, "entries": entries}
         return cls(shm, views, spec, owner=True)
 

@@ -17,6 +17,8 @@ the service keeps serving from the survivors).
 
 from __future__ import annotations
 
+import os
+
 import numpy as np
 import pytest
 
@@ -39,6 +41,14 @@ CATEGORIES = np.array(["alpha", "beta", "gamma"])
 #: cheap graph build for spawn speed — the exact path never touches the
 #: graph, and every worker spawn rebuilds its shard's graph.
 CHEAP_BUILDER = FusedIndexBuilder(gamma=8, epsilon=1, max_candidates=16)
+
+
+class _DyingBuilder(FusedIndexBuilder):
+    """Hard-exits during the worker-side graph build — a worker crash
+    before the ready-ack, as seen from the spawning parent."""
+
+    def build(self, space):
+        os._exit(13)
 
 
 def _attributed_set(n: int, seed: int) -> MultiVectorSet:
@@ -277,6 +287,43 @@ class TestSharedArrays:
             attached.close()
             pack.close()
             pack.unlink()
+
+    def test_create_failure_unlinks_block(self, monkeypatch):
+        """A failure while populating the block must not leak the named
+        POSIX segment (it outlives the process otherwise)."""
+        before = set(os.listdir("/dev/shm"))
+        real_ndarray = np.ndarray
+        calls = {"n": 0}
+
+        def exploding(*args, **kwargs):
+            # First view maps fine, second dies — mid-population, after
+            # the named block exists.
+            calls["n"] += 1
+            if calls["n"] >= 2:
+                raise RuntimeError("population boom")
+            return real_ndarray(*args, **kwargs)
+
+        monkeypatch.setattr(np, "ndarray", exploding)
+        with pytest.raises(RuntimeError, match="population boom"):
+            SharedArrays.create(
+                {
+                    "a": np.arange(8, dtype=np.int64),
+                    "b": np.arange(8, dtype=np.int64),
+                }
+            )
+        monkeypatch.undo()
+        assert set(os.listdir("/dev/shm")) == before
+
+    def test_spawn_failure_leaves_no_shm(self):
+        """A worker that dies before its ready-ack (here: hard-exits in
+        the graph build) must not leave shared-memory blocks behind —
+        the spawn-failure path unlinks every pack it created."""
+        must = _segmented_must(n=80, tail=20, seed=21)
+        must.segments.builder = _DyingBuilder()
+        before = set(os.listdir("/dev/shm"))
+        with pytest.raises(Exception):
+            ShardedService(must, n_shards=2)
+        assert set(os.listdir("/dev/shm")) == before
 
 
 class TestShardingHooks:
