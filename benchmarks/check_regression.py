@@ -33,7 +33,7 @@ scale and commit the refreshed baselines::
 
     REPRO_LARGESCALE_N=2500 REPRO_LARGESCALE_QUERIES=16 \
     REPRO_DYNAMIC_N=2500 REPRO_COMPRESSION_N=2500 REPRO_SERVING_N=2500 \
-    REPRO_FILTERED_N=2500 REPRO_MMAP_N=2500 \
+    REPRO_FILTERED_N=2500 REPRO_MMAP_N=2500 REPRO_MULTITENANT_N=2500 \
     REPRO_WEIGHT_EPOCHS=60 PYTHONPATH=src sh -c '
         python benchmarks/bench_batch_qps.py &&
         python benchmarks/bench_dynamic_updates.py &&
@@ -41,7 +41,8 @@ scale and commit the refreshed baselines::
         python benchmarks/bench_serving.py &&
         python benchmarks/bench_filtered_qps.py &&
         python benchmarks/bench_sharded_qps.py &&
-        python benchmarks/bench_mmap_qps.py'
+        python benchmarks/bench_mmap_qps.py &&
+        python benchmarks/bench_multitenant_qps.py'
     PYTHONPATH=src python benchmarks/check_regression.py --update
     git add benchmarks/baselines/ && git commit
 
@@ -77,6 +78,7 @@ ARTIFACTS = {
     "BENCH_filtered_qps.json": "filtered_qps.json",
     "BENCH_sharded_qps.json": "sharded_qps.json",
     "BENCH_mmap_qps.json": "mmap_qps.json",
+    "BENCH_multitenant_qps.json": "multitenant_qps.json",
 }
 
 _THROUGHPUT_MARKERS = ("qps", "speedup", "ratio", "_vs_")

@@ -37,7 +37,11 @@ def _evaluate(name, framework, target, auxiliaries, ks, opt2):
     """(recalls at ks, SME) for one framework row."""
     enc = cache.encoded(name, target, auxiliaries)
     _, test = cache.train_test_split(name)
-    queries_all = enc.queries_option2 if (opt2 and enc.queries_option2) else enc.queries_option1
+    queries_all = (
+        enc.queries_option2
+        if (opt2 and enc.queries_option2)
+        else enc.queries_option1
+    )
     queries = [queries_all[i] for i in test]
     gt = [enc.ground_truth[i] for i in test]
 

@@ -63,6 +63,10 @@ FILTERED_N = _int_knob("REPRO_FILTERED_N", 6_000)
 #: Corpus size for the memory-mapped cold-tier benchmark.
 MMAP_N = _int_knob("REPRO_MMAP_N", 6_000)
 SERVING_CLIENTS = _int_knob("REPRO_SERVING_CLIENTS", 32)
+#: Corpus size (split across tenants) and per-tenant client count for
+#: the multi-tenant collections benchmark.
+MULTITENANT_N = _int_knob("REPRO_MULTITENANT_N", 6_000)
+MULTITENANT_CLIENTS = _int_knob("REPRO_MULTITENANT_CLIENTS", 16)
 #: Corpus size for the process-sharded serving benchmark.  Larger than
 #: the other serving corpora on purpose: the scaling gate measures how
 #: the O(n) per-shard scan shrinks with the shard count, and at small n

@@ -328,6 +328,13 @@ class SearchOptions:
     names — the gate every legacy ``**search_kwargs`` entry point now
     funnels through, so a typo'd ``early_terminatoin=`` fails loudly
     instead of being silently dropped.
+
+    ``collection`` names the target workspace when the request is
+    served by a multi-tenant :class:`~repro.service.MustService`
+    (``None`` means the service's default collection).  A standalone
+    :class:`~repro.core.framework.MUST` *is* a single collection, so
+    the field is ignored on direct queries — routing is a service-level
+    concern.
     """
 
     k: int = 10
@@ -339,6 +346,7 @@ class SearchOptions:
     n_jobs: int = 1
     rng: RngLike = 0
     check_monotone: bool = False
+    collection: "str | None" = None
 
     def __post_init__(self) -> None:
         require(
@@ -381,6 +389,12 @@ class SearchOptions:
             isinstance(self.check_monotone, bool),
             f"SearchOptions.check_monotone must be a bool, got "
             f"{self.check_monotone!r}",
+        )
+        require(
+            self.collection is None
+            or (isinstance(self.collection, str) and self.collection),
+            f"SearchOptions.collection must be a non-empty str or None, "
+            f"got {self.collection!r}",
         )
 
     @classmethod

@@ -74,7 +74,9 @@ def _build_variants(
         for v in range(1, variants):
             candidate = base.copy()
             while candidate.tobytes() in seen:
-                flips = rng.choice(num_attrs, size=int(rng.integers(1, 4)), replace=False)
+                flips = rng.choice(
+                    num_attrs, size=int(rng.integers(1, 4)), replace=False
+                )
                 candidate = base.copy()
                 candidate[flips] ^= 1
             out[i, v] = candidate

@@ -20,7 +20,12 @@ import numpy as np
 from repro.core.multivector import MultiVector
 from repro.core.space import JointSpace
 from repro.core.weights import Weights
-from repro.datasets.base import EncodedDataset, EncoderCombo, SemanticDataset, encode_dataset
+from repro.datasets.base import (
+    EncodedDataset,
+    EncoderCombo,
+    SemanticDataset,
+    encode_dataset,
+)
 from repro.embedding.concepts import LatentConceptSpace
 from repro.metrics.groundtruth import exact_top_k
 from repro.utils.rng import derive_seed, spawn

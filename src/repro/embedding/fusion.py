@@ -101,9 +101,15 @@ class FusionSpec:
 #: TIRG leaks more towards the reference, MPC's three-way fusion is the
 #: weakest (Tab. VI: JE/MPC far below MR/MUST).
 FUSION_SPECS: dict[str, FusionSpec] = {
-    "tirg": FusionSpec(tower_dim=96, tower_noise=0.65, fusion_noise=0.70, semantic_leak=0.40),
-    "clip": FusionSpec(tower_dim=128, tower_noise=0.50, fusion_noise=0.60, semantic_leak=0.30),
-    "mpc": FusionSpec(tower_dim=96, tower_noise=0.65, fusion_noise=1.30, semantic_leak=0.55),
+    "tirg": FusionSpec(
+        tower_dim=96, tower_noise=0.65, fusion_noise=0.70, semantic_leak=0.40
+    ),
+    "clip": FusionSpec(
+        tower_dim=128, tower_noise=0.50, fusion_noise=0.60, semantic_leak=0.30
+    ),
+    "mpc": FusionSpec(
+        tower_dim=96, tower_noise=0.65, fusion_noise=1.30, semantic_leak=0.55
+    ),
 }
 
 

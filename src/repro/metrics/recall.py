@@ -8,7 +8,14 @@ import numpy as np
 
 from repro.utils.validation import require
 
-__all__ = ["recall_at_k", "hit_rate_at_k", "mean_recall", "mean_hit_rate", "sme", "mean_sme"]
+__all__ = [
+    "recall_at_k",
+    "hit_rate_at_k",
+    "mean_recall",
+    "mean_hit_rate",
+    "sme",
+    "mean_sme",
+]
 
 
 def recall_at_k(
@@ -27,7 +34,9 @@ def recall_at_k(
     return hits / gt.size
 
 
-def hit_rate_at_k(result_ids: np.ndarray, ground_truth_ids: np.ndarray, k: int) -> float:
+def hit_rate_at_k(
+    result_ids: np.ndarray, ground_truth_ids: np.ndarray, k: int
+) -> float:
     """``Recall@k(1)``: 1.0 when any ground-truth object appears in the top-k.
 
     The paper's accuracy tables (III–VI) report ``Recall@k(1)`` — a query

@@ -5,13 +5,24 @@ many independent callers submit single queries, a dispatcher thread
 coalesces them into batched GEMM waves against immutable index
 snapshots, and writers stream inserts/deletes/compactions concurrently
 without ever locking the read path.  See
-:class:`~repro.service.service.MustService` for the full model, and
+:class:`~repro.service.service.MustService` for the full model,
 :class:`~repro.service.sharded.ShardedService` for the process-sharded
 tier that partitions the corpus across worker processes (shared-memory
-vector planes, scatter/gather waves, bit-identical exact merges).
+vector planes, scatter/gather waves, bit-identical exact merges), and
+:class:`~repro.service.collections.CollectionManager` for hosting many
+named collections (workspaces) behind one service with per-tenant
+admission quotas.
 """
 
+from repro.service.collections import (
+    DEFAULT_COLLECTION,
+    Collection,
+    CollectionManager,
+    CollectionQuota,
+    UnknownCollection,
+)
 from repro.service.service import (
+    CollectionOverloaded,
     MustService,
     ServiceClosed,
     ServiceConfig,
@@ -26,8 +37,14 @@ __all__ = [
     "ServiceConfig",
     "ServiceClosed",
     "ServiceOverloaded",
+    "CollectionOverloaded",
     "ShardedService",
     "ShardFailed",
     "IndexSnapshot",
     "ServiceStats",
+    "Collection",
+    "CollectionManager",
+    "CollectionQuota",
+    "UnknownCollection",
+    "DEFAULT_COLLECTION",
 ]

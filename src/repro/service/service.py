@@ -25,6 +25,16 @@ code.  Three mechanisms, each visible in :class:`ServiceStats`:
   beyond it, submits either block (``backpressure="block"``, up to
   ``submit_timeout_s``) or fail fast (``"reject"``), both surfacing
   :class:`ServiceOverloaded` rather than unbounded memory growth.
+* **Multi-tenancy** — one service hosts many named
+  :class:`~repro.service.collections.Collection` workspaces (a bare
+  ``MUST`` becomes the ``"default"`` one).  Requests route by
+  ``SearchOptions(collection=...)``, writes take a ``collection=``
+  argument, and each collection's :class:`CollectionQuota` bounds its
+  queued and unanswered requests — a hot tenant breaching its budget
+  gets :class:`CollectionOverloaded` while its neighbours keep being
+  admitted.  Snapshots, epochs, and a second :class:`ServiceStats` are
+  kept per collection, and a tenant-level execution failure (say a
+  snapshot capture error) fails only that tenant's share of the wave.
 
 Determinism: a request's graph-path init draws come from its own
 ``rng`` argument (default 0, like :meth:`MUST.search`), never from
@@ -40,23 +50,31 @@ import time
 import warnings
 from concurrent.futures import Future, InvalidStateError
 from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Any, cast
 
 import numpy as np
 
-from repro.core.multivector import MultiVector
+from repro.core.multivector import MultiVector, MultiVectorSet
 from repro.core.query import Query, SearchOptions
 from repro.core.results import SearchResult
 from repro.core.weights import Weights
+from repro.service.collections import Collection, CollectionManager
 from repro.service.snapshot import IndexSnapshot
 from repro.service.stats import ServiceStats
 from repro.utils.parallel import thread_map
 from repro.utils.validation import require
+
+if TYPE_CHECKING:
+    from types import TracebackType
+
+    from repro.core.framework import MUST
 
 __all__ = [
     "ServiceConfig",
     "MustService",
     "ServiceClosed",
     "ServiceOverloaded",
+    "CollectionOverloaded",
 ]
 
 
@@ -66,6 +84,16 @@ class ServiceClosed(RuntimeError):
 
 class ServiceOverloaded(RuntimeError):
     """Raised when admission control drops a request (queue full)."""
+
+
+class CollectionOverloaded(ServiceOverloaded):
+    """One tenant's quota is exhausted — the service itself has room.
+
+    Subclasses :class:`ServiceOverloaded`, so callers treating any
+    admission drop uniformly keep working; callers that care which
+    budget fired can catch this one and read the collection name from
+    the message.
+    """
 
 
 @dataclass
@@ -120,15 +148,16 @@ class _Request:
     """
 
     query: MultiVector | Query
-    kwargs: dict
-    future: Future = field(default_factory=Future)
+    kwargs: dict[str, Any]
+    collection: Collection
+    future: "Future[SearchResult]" = field(default_factory=Future)
     submitted: float = field(default_factory=time.perf_counter)
 
 
 _STOP = object()  # queue sentinel: drain everything before it, then exit
 
 
-def _weights_key(weights) -> tuple | None:
+def _weights_key(weights: object) -> tuple[Any, ...] | None:
     """Hashable plan-grouping key for a request's ``weights`` slot.
 
     Normalisation at submit means this is a :class:`Weights` or ``None``
@@ -143,7 +172,7 @@ def _weights_key(weights) -> tuple | None:
     return ("unnormalised", id(weights))
 
 
-def _plan(options: SearchOptions) -> dict:
+def _plan(options: SearchOptions) -> dict[str, Any]:
     """The dispatcher's execution plan for one request.
 
     Derived from the dataclass fields (plus the legacy batch-level
@@ -158,14 +187,18 @@ def _plan(options: SearchOptions) -> dict:
 
 
 class MustService:
-    """Concurrent serving wrapper around one built :class:`MUST`.
+    """Concurrent serving wrapper over one or many built :class:`MUST`.
 
-    Reads (:meth:`search` / :meth:`submit`) go through the coalescing
-    dispatcher; writes (:meth:`insert` / :meth:`mark_deleted` /
-    :meth:`compact`) mutate the wrapped instance under the service's
-    write lock and advance the snapshot epoch, so the next wave serves
+    Construct with a single built instance (served as the ``"default"``
+    collection) or a :class:`~repro.service.CollectionManager` hosting
+    many named workspaces.  Reads (:meth:`search` / :meth:`submit`) go
+    through the coalescing dispatcher and route to their collection via
+    ``SearchOptions(collection=...)``; writes (:meth:`insert` /
+    :meth:`mark_deleted` / :meth:`compact`) take a ``collection=``
+    argument, mutate that collection's instance under the service's
+    write lock, and advance its snapshot epoch, so the next wave serves
     the new state while in-flight waves finish on the old one.  Do not
-    mutate the wrapped instance directly while the service is running —
+    mutate a wrapped instance directly while the service is running —
     route writes through the service so they serialise with snapshot
     capture.
 
@@ -184,30 +217,53 @@ class MustService:
 
     def __init__(
         self,
-        must,
+        must: "MUST | CollectionManager",
         config: ServiceConfig | None = None,
         start: bool = True,
-    ):
+    ) -> None:
+        self.collections = CollectionManager.of(must)
         require(
-            must.is_built,
-            "MustService needs a built index — call MUST.build() first",
+            len(self.collections) >= 1,
+            "MustService needs at least one collection — "
+            "CollectionManager.create() one first",
         )
-        self.must = must
+        for collection in self.collections:
+            require(
+                collection.must.is_built,
+                f"MustService needs built indexes — collection "
+                f"{collection.name!r} is unbuilt; call MUST.build() first",
+            )
         self.config = config or ServiceConfig()
         self.stats = ServiceStats(self.config.latency_window)
-        self._queue: queue.Queue = queue.Queue(maxsize=self.config.max_queue)
+        self._queue: "queue.Queue[Any]" = queue.Queue(
+            maxsize=self.config.max_queue
+        )
         #: serialises the closing-flag check with queue puts, so a racing
         #: submit can never slip a request in after close()'s final drain
-        #: (which would leave its future unresolved forever).
+        #: (which would leave its future unresolved forever).  The
+        #: per-collection pending/inflight quota counters mutate under
+        #: the same lock, so an admit decision always sees a consistent
+        #: census.
         self._admit_lock = threading.Lock()
         self._write_lock = threading.RLock()
-        self._epoch = 0
-        self._snap: IndexSnapshot | None = None
-        self._snap_epoch = -1
         self._closing = False
         self._thread: threading.Thread | None = None
         if start:
             self.start()
+
+    @property
+    def must(self) -> "MUST":
+        """The ``"default"`` collection's instance (single-tenant compat).
+
+        Raises :class:`~repro.service.UnknownCollection` on a service
+        with no ``"default"`` collection — address instances through
+        ``service.collections.get(name).must`` there.
+        """
+        return self.collections.get(None).must
+
+    @must.setter
+    def must(self, value: "MUST") -> None:
+        self.collections.get(None).must = value
 
     # ------------------------------------------------------------------
     # Lifecycle
@@ -253,12 +309,18 @@ class MustService:
                 return
             if req is _STOP:
                 continue
+            self._note_dispatched([req])
             self._resolve(req, exc)
 
     def __enter__(self) -> "MustService":
         return self.start()
 
-    def __exit__(self, exc_type, exc, tb) -> None:
+    def __exit__(
+        self,
+        exc_type: "type[BaseException] | None",
+        exc: BaseException | None,
+        tb: "TracebackType | None",
+    ) -> None:
         self.close()
 
     # ------------------------------------------------------------------
@@ -268,8 +330,8 @@ class MustService:
         self,
         query: MultiVector | Query,
         options: SearchOptions | None = None,
-        **legacy_kwargs,
-    ) -> Future:
+        **legacy_kwargs: Any,
+    ) -> "Future[SearchResult]":
         """Enqueue one search; returns a future resolving to its
         :class:`~repro.core.results.SearchResult`.
 
@@ -277,12 +339,17 @@ class MustService:
         SearchOptions(k=5, exact=True))`` — is preferred; per-query
         weights/filter/k ride inside the :class:`Query` and
         ``options.rng`` seeds this request's graph-path init draws
-        (exact requests ignore it).  Legacy keyword arguments mirroring
+        (exact requests ignore it).  ``options.collection`` routes the
+        request to a named collection (``None`` → ``"default"``); an
+        unknown name raises :class:`~repro.service.UnknownCollection`
+        here, before the queue.  Legacy keyword arguments mirroring
         :meth:`MUST.search` (``k=, l=, weights=, exact=, ...``) still
         work as a deprecation shim, answering bit-identically; unknown
         names raise with a did-you-mean hint.  Raises
         :class:`ServiceOverloaded` when admission control drops the
-        request and :class:`ServiceClosed` after :meth:`close`.
+        request (its :class:`CollectionOverloaded` subclass when the
+        request's own tenant budget is the one exhausted) and
+        :class:`ServiceClosed` after :meth:`close`.
         """
         if legacy_kwargs:
             require(
@@ -335,7 +402,17 @@ class MustService:
                 "request",
             )
             kwargs = _plan(opts)
-        req = _Request(query=query, kwargs=kwargs)
+        # Resolve the collection eagerly: addressing errors (unknown
+        # name) fail fast at the call site like unknown kwargs do, and
+        # the admission path needs the Collection for its quota census.
+        name = kwargs.get("collection")
+        require(
+            name is None or isinstance(name, str),
+            f"collection must be a str or None, got {name!r}",
+        )
+        collection = self.collections.get(name)
+        kwargs["collection"] = collection.name
+        req = _Request(query=query, kwargs=kwargs, collection=collection)
         self._admit(req)  # counts the submit inside its critical section
         return req.future
 
@@ -349,37 +426,94 @@ class MustService:
         The ``"block"`` path waits for queue space in short slices
         outside the lock (overload is the slow path already), re-checking
         the flag each round.
+
+        Per-tenant budgets gate inside the same critical section: a
+        request whose collection has exhausted its
+        :class:`~repro.service.CollectionQuota` is treated exactly like
+        a full queue — rejected (:class:`CollectionOverloaded`) or
+        blocked until the tenant's own backlog drains — while requests
+        for other collections keep being admitted.
         """
         if self.config.backpressure == "reject":
             with self._admit_lock:
                 if self._closing:
                     raise ServiceClosed("service is closed")
-                try:
-                    self._queue.put_nowait(req)
-                    self.stats.record_submitted()
+                reason = self._try_admit(req)
+                if reason is None:
                     return
-                except queue.Full:
-                    pass
             self.stats.record_rejected()
-            raise self._overloaded()
+            req.collection.stats.record_rejected()
+            raise self._overloaded(req.collection, reason)
         timeout = self.config.submit_timeout_s
         deadline = None if timeout is None else time.perf_counter() + timeout
         while True:
             with self._admit_lock:
                 if self._closing:
                     raise ServiceClosed("service is closed")
-                try:
-                    self._queue.put_nowait(req)
-                    self.stats.record_submitted()
+                reason = self._try_admit(req)
+                if reason is None:
                     return
-                except queue.Full:
-                    pass
             if deadline is not None and time.perf_counter() >= deadline:
                 self.stats.record_rejected()
-                raise self._overloaded()
+                req.collection.stats.record_rejected()
+                raise self._overloaded(req.collection, reason)
             time.sleep(0.002)
 
-    def _overloaded(self) -> ServiceOverloaded:
+    def _try_admit(self, req: _Request) -> str | None:
+        """One admission attempt under :attr:`_admit_lock`.
+
+        Returns ``None`` on success (request enqueued, counters and
+        stats updated) or the refusal reason: ``""`` for the global
+        queue bound, a tenant-budget description otherwise.
+        """
+        collection = req.collection
+        quota = collection.quota
+        if (
+            quota.max_pending is not None
+            and collection.pending >= quota.max_pending
+        ):
+            return (
+                f"queue-depth quota exhausted "
+                f"({collection.pending}/{quota.max_pending} pending)"
+            )
+        if (
+            quota.max_inflight is not None
+            and collection.inflight >= quota.max_inflight
+        ):
+            return (
+                f"in-flight quota exhausted "
+                f"({collection.inflight}/{quota.max_inflight} unanswered)"
+            )
+        try:
+            self._queue.put_nowait(req)
+        except queue.Full:
+            return ""
+        collection.pending += 1
+        collection.inflight += 1
+        self.stats.record_submitted()
+        collection.stats.record_submitted()
+        return None
+
+    def _note_dispatched(self, reqs: list[_Request]) -> None:
+        """Release the requests' queue-depth quota slots.
+
+        Called exactly once per request, when it leaves the queue — by
+        the dispatcher at the head of :meth:`_execute` or by
+        :meth:`_fail_queued` on shutdown.  (The in-flight slot is held
+        until :meth:`_resolve`.)
+        """
+        with self._admit_lock:
+            for req in reqs:
+                req.collection.pending -= 1
+
+    def _overloaded(
+        self, collection: Collection, reason: str
+    ) -> ServiceOverloaded:
+        if reason:
+            return CollectionOverloaded(
+                f"collection {collection.name!r}: {reason}; "
+                f"backpressure={self.config.backpressure!r}"
+            )
         return ServiceOverloaded(
             f"request queue full ({self.config.max_queue} pending); "
             f"backpressure={self.config.backpressure!r}"
@@ -389,7 +523,7 @@ class MustService:
         self,
         query: MultiVector | Query,
         options: SearchOptions | None = None,
-        **params,
+        **params: Any,
     ) -> SearchResult:
         """Blocking single search — :meth:`submit` + ``result()``.
 
@@ -400,60 +534,87 @@ class MustService:
         """
         return self.submit(query, options, **params).result()
 
-    def snapshot(self) -> IndexSnapshot:
-        """The snapshot serving the next wave (captured lazily per epoch)."""
-        with self._write_lock:
-            if self._snap is None or self._snap_epoch != self._epoch:
-                snap = IndexSnapshot.of(self.must)
-                snap.prepare()
-                self._snap = snap
-                self._snap_epoch = self._epoch
-            return self._snap
+    def snapshot(self, collection: str | None = None) -> IndexSnapshot | None:
+        """The snapshot serving a collection's next wave (lazy per epoch)."""
+        return self._snapshot_of(self.collections.get(collection))
 
-    def active_ids(self) -> np.ndarray:
-        """Ids of all live objects, read under the write lock.
+    def _snapshot_of(self, collection: Collection) -> IndexSnapshot | None:
+        with self._write_lock:
+            if (
+                collection.snap is None
+                or collection.snap_epoch != collection.epoch
+            ):
+                snap = IndexSnapshot.of(collection.must)
+                snap.prepare()
+                collection.snap = snap
+                collection.snap_epoch = collection.epoch
+            return collection.snap
+
+    def active_ids(self, collection: str | None = None) -> np.ndarray:
+        """Ids of a collection's live objects, read under the write lock.
 
         The convenience read for writers picking deletion targets:
         inspecting ``service.must`` directly from another thread would
         race the dispatcher's snapshot capture on the delta segment's
         lazily materialised graph, which the lock serialises.
         """
+        col = self.collections.get(collection)
         with self._write_lock:
-            if self.must.is_segmented:
-                return self.must.segments.active_ext_ids()
-            return self.must.index.active_ids()
+            if col.must.is_segmented:
+                ids = col.must.segments.active_ext_ids()
+            else:
+                ids = col.must.index.active_ids()
+            return np.asarray(ids, dtype=np.int64)
 
     # ------------------------------------------------------------------
     # Write path — serialised with snapshot capture, never with reads
     # ------------------------------------------------------------------
-    def insert(self, objects) -> np.ndarray:
-        """Stream objects into the live index; returns their stable ids."""
-        with self._write_lock:
-            out = self.must.insert(objects)
-            self._epoch += 1
-            return out
+    def insert(
+        self,
+        objects: MultiVectorSet | MultiVector,
+        collection: str | None = None,
+    ) -> np.ndarray:
+        """Stream objects into a collection; returns their stable ids.
 
-    def mark_deleted(self, object_ids: np.ndarray) -> None:
-        """Soft-delete objects from the live index."""
+        Ids are per-collection: each workspace owns an independent
+        external-id space, so the same id in two collections names two
+        unrelated objects.
+        """
+        col = self.collections.get(collection)
         with self._write_lock:
-            self.must.mark_deleted(object_ids)
-            self._epoch += 1
+            out = col.must.insert(objects)
+            col.epoch += 1
+            return np.asarray(out, dtype=np.int64)
 
-    def compact(self) -> tuple:
-        """Rebuild over the live objects (see :meth:`MUST.compact`).
+    def mark_deleted(
+        self,
+        object_ids: np.ndarray,
+        collection: str | None = None,
+    ) -> None:
+        """Soft-delete objects from a collection's live index."""
+        col = self.collections.get(collection)
+        with self._write_lock:
+            col.must.mark_deleted(object_ids)
+            col.epoch += 1
+
+    def compact(
+        self, collection: str | None = None
+    ) -> "tuple[MUST, np.ndarray]":
+        """Rebuild a collection's live objects (see :meth:`MUST.compact`).
 
         On a segmented instance the rebuild is in place; on a
-        single-graph instance the service re-binds itself to the fresh
+        single-graph instance the collection re-binds to the fresh
         framework ``MUST.compact`` returns (external ids then remap per
         the returned ``active_ids``, exactly as for a direct call).
         In-flight waves keep answering from their pre-compaction
-        snapshot either way.
+        snapshot either way, and other collections are untouched.
         """
+        col = self.collections.get(collection)
         with self._write_lock:
-            fresh, active = self.must.compact()
-            self.must = fresh
-            self._epoch += 1
-            return fresh, active
+            fresh, active = col.must.compact()
+            col.must = fresh
+            col.epoch += 1
+            return fresh, np.asarray(active, dtype=np.int64)
 
     # ------------------------------------------------------------------
     # Dispatcher
@@ -495,61 +656,96 @@ class MustService:
             self._fail_queued(ServiceClosed("service is closed"))
 
     def _execute(self, batch: list[_Request]) -> None:
+        self._note_dispatched(batch)
         try:
-            snap = self.snapshot()
             self.stats.record_batch(len(batch), self._queue.qsize())
             dispatched = time.perf_counter()
+            groups: dict[str, list[_Request]] = {}
             for req in batch:
-                self.stats.record_wait(dispatched - req.submitted)
-
-            # Only an *explicit* engine="wave" request coalesces into a
-            # lockstep wave; "auto" resolves per-query on the snapshot
-            # read path, preserving the historical bit-parity pins.
-            graph_reqs = [
-                r for r in batch
-                if not r.kwargs["exact"] and r.kwargs.get("engine") != "wave"
-            ]
-            wave_reqs = [
-                r for r in batch
-                if not r.kwargs["exact"] and r.kwargs.get("engine") == "wave"
-            ]
-            exact_reqs = [r for r in batch if r.kwargs["exact"]]
-            if graph_reqs:
-                self._run_graph(snap, graph_reqs)
-            for group in self._wave_groups(wave_reqs):
-                self._run_graph_wave(snap, group)
-            for group in self._exact_groups(exact_reqs):
-                self._run_exact(snap, group)
+                wait = dispatched - req.submitted
+                self.stats.record_wait(wait)
+                req.collection.stats.record_wait(wait)
+                groups.setdefault(req.collection.name, []).append(req)
         except Exception as exc:
-            # Wave-level failure (snapshot capture, plan grouping, …):
-            # fail the batch's unresolved requests instead of letting the
-            # exception kill the dispatcher and strand every caller.
+            # Batch-level failure: fail every unresolved request instead
+            # of letting the exception kill the dispatcher and strand
+            # every caller.
             for req in batch:
                 if not req.future.done():
                     self._resolve(req, exc)
+            return
+        for reqs in groups.values():
+            try:
+                self._execute_collection(reqs)
+            except Exception as exc:
+                # Tenant-level failure (snapshot capture, plan grouping,
+                # …): fail only this collection's share of the wave —
+                # its neighbours' groups still run.
+                for req in reqs:
+                    if not req.future.done():
+                        self._resolve(req, exc)
 
-    def _run_graph(self, snap: IndexSnapshot, reqs: list[_Request]) -> None:
+    def _execute_collection(self, reqs: list[_Request]) -> None:
+        """One collection's share of a dispatched batch."""
+        collection = reqs[0].collection
+        snap = self._snapshot_of(collection)
+        collection.stats.record_batch(len(reqs), collection.pending)
+
+        # Only an *explicit* engine="wave" request coalesces into a
+        # lockstep wave; "auto" resolves per-query on the snapshot
+        # read path, preserving the historical bit-parity pins.
+        graph_reqs = [
+            r for r in reqs
+            if not r.kwargs["exact"] and r.kwargs.get("engine") != "wave"
+        ]
+        wave_reqs = [
+            r for r in reqs
+            if not r.kwargs["exact"] and r.kwargs.get("engine") == "wave"
+        ]
+        exact_reqs = [r for r in reqs if r.kwargs["exact"]]
+        if graph_reqs:
+            self._run_graph(snap, graph_reqs)
+        for group in self._wave_groups(wave_reqs):
+            self._run_graph_wave(snap, group)
+        for group in self._exact_groups(exact_reqs):
+            self._run_exact(snap, group)
+
+    def _run_graph(
+        self, snap: IndexSnapshot | None, reqs: list[_Request]
+    ) -> None:
         """Per-query searchers over the shared snapshot, thread-pooled.
 
         Each request keeps its own kwargs (including ``rng``), so the
         wave is arithmetic-identical to dispatching the requests one by
         one — pooling only overlaps them.
         """
+        view = self._require_snap(snap)
 
-        def one(req: _Request):
+        def one(req: _Request) -> SearchResult | Exception:
             try:
                 kwargs = {
                     key: value
                     for key, value in req.kwargs.items()
-                    if key != "exact"
+                    if key not in ("exact", "collection")
                 }
-                return snap.search(req.query, **kwargs)
+                return view.search(req.query, **kwargs)
             except Exception as exc:  # propagate per request, not per wave
                 return exc
 
         outcomes = thread_map(one, reqs, n_jobs=self.config.n_jobs)
         for req, outcome in zip(reqs, outcomes):
             self._resolve(req, outcome)
+
+    @staticmethod
+    def _require_snap(snap: IndexSnapshot | None) -> IndexSnapshot:
+        """Narrow the optional snapshot the executor signatures carry.
+
+        ``None`` only ever flows through :class:`ShardedService`, whose
+        executor overrides never call back into these.
+        """
+        if snap is None:  # pragma: no cover - in-process always captures
+            raise RuntimeError("in-process executors need a snapshot")
+        return snap
 
     def _wave_groups(self, reqs: list[_Request]) -> list[list[_Request]]:
         """Group ``engine="wave"`` requests sharing one lockstep plan.
@@ -559,7 +755,7 @@ class MustService:
         ride inside each :class:`Query`; only the plan-level parameters
         that parameterise the traversal itself must match.
         """
-        groups: dict[tuple, list[_Request]] = {}
+        groups: dict[tuple[Any, ...], list[_Request]] = {}
         for req in reqs:
             key = (
                 req.kwargs["k"],
@@ -572,7 +768,9 @@ class MustService:
             groups.setdefault(key, []).append(req)
         return list(groups.values())
 
-    def _run_graph_wave(self, snap: IndexSnapshot, reqs: list[_Request]) -> None:
+    def _run_graph_wave(
+        self, snap: IndexSnapshot | None, reqs: list[_Request]
+    ) -> None:
         """One lockstep traversal answers every request in the group.
 
         Each request keeps its own ``rng``, and the wave engine is
@@ -580,9 +778,10 @@ class MustService:
         bit-identical to dispatching the request alone — pooling many
         callers only amortises the traversal, never changes a result.
         """
+        view = self._require_snap(snap)
         kwargs = reqs[0].kwargs
         try:
-            results, wave_stats = snap.graph_wave(
+            results, wave_stats = view.graph_wave(
                 [r.query for r in reqs],
                 k=kwargs["k"],
                 l=kwargs["l"],
@@ -601,13 +800,16 @@ class MustService:
                     retry = {
                         key: value
                         for key, value in req.kwargs.items()
-                        if key != "exact"
+                        if key not in ("exact", "collection")
                     }
-                    self._resolve(req, snap.search(req.query, **retry))
+                    self._resolve(req, view.search(req.query, **retry))
                 except Exception as exc:
                     self._resolve(req, exc)
             return
         self.stats.record_graph_wave(
+            wave_stats.waves, wave_stats.frontier_sizes
+        )
+        reqs[0].collection.stats.record_graph_wave(
             wave_stats.waves, wave_stats.frontier_sizes
         )
         for req, res in zip(reqs, results):
@@ -622,7 +824,7 @@ class MustService:
         wave, so they never fragment a group; only the plan-level
         (legacy batch) parameters must match.
         """
-        groups: dict[tuple, list[_Request]] = {}
+        groups: dict[tuple[Any, ...], list[_Request]] = {}
         for req in reqs:
             key = (
                 req.kwargs["k"],
@@ -632,10 +834,13 @@ class MustService:
             groups.setdefault(key, []).append(req)
         return list(groups.values())
 
-    def _run_exact(self, snap: IndexSnapshot, reqs: list[_Request]) -> None:
+    def _run_exact(
+        self, snap: IndexSnapshot | None, reqs: list[_Request]
+    ) -> None:
+        view = self._require_snap(snap)
         kwargs = reqs[0].kwargs
         try:
-            results = snap.exact_wave(
+            results = view.exact_wave(
                 [r.query for r in reqs],
                 kwargs["k"],
                 weights=kwargs["weights"],
@@ -650,14 +855,19 @@ class MustService:
             # containment contract).
             for req in reqs:
                 try:
-                    self._resolve(req, snap.search(req.query, **req.kwargs))
+                    retry = {
+                        key: value
+                        for key, value in req.kwargs.items()
+                        if key != "collection"
+                    }
+                    self._resolve(req, view.search(req.query, **retry))
                 except Exception as exc:
                     self._resolve(req, exc)
             return
         for req, res in zip(reqs, results):
             self._resolve(req, res)
 
-    def _resolve(self, req: _Request, outcome) -> None:
+    def _resolve(self, req: _Request, outcome: object) -> None:
         """Deliver *outcome* through the request's future.
 
         A client may ``cancel()`` a queued future at any time;
@@ -677,11 +887,18 @@ class MustService:
             # Already RUNNING/finished — a double resolve; never
             # overwrite the first delivery.
             return
+        # Exactly one call per request reaches this point (the double
+        # resolve returned above), so the in-flight quota slot releases
+        # exactly once.
+        with self._admit_lock:
+            req.collection.inflight -= 1
         if not claimed:
             self.stats.record_done(latency, ok=False)
+            req.collection.stats.record_done(latency, ok=False)
             return
         self.stats.record_done(latency, ok=ok)
-        if ok:
-            req.future.set_result(outcome)
-        else:
+        req.collection.stats.record_done(latency, ok=ok)
+        if isinstance(outcome, Exception):
             req.future.set_exception(outcome)
+        else:
+            req.future.set_result(cast(SearchResult, outcome))

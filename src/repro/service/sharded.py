@@ -60,6 +60,16 @@ keep answering from the surviving shards (degraded: their slice of the
 corpus is gone from results until the service is rebuilt).  Writes
 route by external id to the owning shard under per-shard epochs; a
 write touching a dead shard raises.
+
+**Multi-tenancy.**  Constructed from a
+:class:`~repro.service.CollectionManager`, every worker process holds
+one shard slice of *every* collection (its own
+:class:`~repro.index.segments.SegmentedIndex`, id space, and shm pack
+per collection), and every hot-path command carries the collection
+name.  Requests route exactly as in :class:`MustService`
+(``SearchOptions(collection=...)``), writes take ``collection=``, and
+the per-tenant admission quotas are inherited unchanged — sharding is
+orthogonal to tenancy.
 """
 
 from __future__ import annotations
@@ -68,6 +78,7 @@ import multiprocessing as mp
 import os
 import threading
 import time
+from typing import TYPE_CHECKING, Any
 
 import numpy as np
 
@@ -78,12 +89,17 @@ from repro.core.results import SearchResult, SearchStats
 from repro.core.space import JointSpace
 from repro.core.weights import Weights
 from repro.index.base import reseat_on_store
-from repro.index.segments import SegmentedIndex, _merge_candidates
+from repro.index.segments import SegmentedIndex, SegmentView, _merge_candidates
+from repro.service.collections import Collection, CollectionManager
 from repro.service.service import MustService, ServiceConfig, _Request
+from repro.service.snapshot import IndexSnapshot
 from repro.store import GatherPlane, MmapPlane, ResidentPlane
 from repro.utils.rng import spawn_seed_sequences
 from repro.utils.shm import SharedArrays
 from repro.utils.validation import require
+
+if TYPE_CHECKING:
+    from repro.core.framework import MUST
 
 __all__ = ["ShardedService", "ShardFailed"]
 
@@ -95,14 +111,16 @@ class ShardFailed(RuntimeError):
 # ----------------------------------------------------------------------
 # Worker side
 # ----------------------------------------------------------------------
-def _resolved_k(query, k: int) -> int:
+def _resolved_k(query: MultiVector | Query, k: int) -> int:
     """Per-request k: a typed Query's override wins over the plan k."""
     if isinstance(query, Query) and query.k is not None:
         return int(query.k)
     return int(k)
 
 
-def _view_search(view, query, plan: dict) -> SearchResult:
+def _view_search(
+    view: SegmentView, query: MultiVector | Query, plan: dict[str, Any]
+) -> SearchResult:
     """One request against a shard view, mirroring ``IndexSnapshot.search``.
 
     Used for per-query graph requests and for containment retries of a
@@ -110,6 +128,7 @@ def _view_search(view, query, plan: dict) -> SearchResult:
     against a single-process snapshot of this shard's slice.
     """
     kwargs = dict(plan)
+    kwargs.pop("collection", None)  # routing already happened
     exact = bool(kwargs.pop("exact", False))
     engine = kwargs.pop("engine", "auto")
     weights = kwargs.pop("weights", None)
@@ -152,10 +171,10 @@ def _empty_result() -> SearchResult:
     )
 
 
-class _ShardWorker:
-    """The per-process state machine: one shard index + its epoch."""
+class _ShardCollection:
+    """One collection's shard slice: a segmented index + its epoch."""
 
-    def __init__(self, spec: dict | None, meta: dict):
+    def __init__(self, spec: dict[str, Any] | None, meta: dict[str, Any]):
         self.meta = meta
         self.pack = SharedArrays.attach(spec) if spec is not None else None
         weights = Weights(meta["squared_weights"])
@@ -225,21 +244,29 @@ class _ShardWorker:
             self.seg = SegmentedIndex(weights, **kwargs)
         self.seg.shard = (meta["shard"], meta["n_shards"])
         self.epoch = 0
-        self._view = None
+        self._view: SegmentView | None = None
         self._view_epoch = -1
 
-    def view(self):
+    def view(self) -> SegmentView:
         """The current epoch's frozen view (captured lazily per write)."""
-        if self._view is None or self._view_epoch != self.epoch:
+        view = self._view
+        if view is None or self._view_epoch != self.epoch:
             view = self.seg.snapshot()
             if view.num_segments:
                 view.prepare_search()
             self._view = view
             self._view_epoch = self.epoch
-        return self._view
+        return view
 
     # Commands ---------------------------------------------------------
-    def exact_wave(self, queries, k, weights, refine, margin):
+    def exact_wave(
+        self,
+        queries: list[MultiVector | Query],
+        k: int,
+        weights: Weights | None,
+        refine: int | None,
+        margin: float,
+    ) -> list[SearchResult]:
         view = self.view()
         if view.num_segments == 0:
             return [_empty_result() for _ in queries]
@@ -247,7 +274,12 @@ class _ShardWorker:
             queries, k, weights=weights, refine=refine, margin=margin
         )
 
-    def graph_wave(self, queries, plan: dict, seeds):
+    def graph_wave(
+        self,
+        queries: list[MultiVector | Query],
+        plan: dict[str, Any],
+        seeds: list[Any],
+    ) -> tuple[list[SearchResult], SearchStats]:
         view = self.view()
         if view.num_segments == 0:
             return [_empty_result() for _ in queries], SearchStats()
@@ -262,13 +294,15 @@ class _ShardWorker:
             rngs=seeds,
         )
 
-    def search_many(self, items):
+    def search_many(
+        self, items: list[tuple[MultiVector | Query, dict[str, Any]]]
+    ) -> list[tuple[str, Any]]:
         """Per-item outcomes: ``("ok", result)`` or ``("err", exc)``.
 
         The containment unit — one malformed request errors alone while
         its batch-mates still answer from this shard.
         """
-        out = []
+        out: list[tuple[str, Any]] = []
         for query, plan in items:
             try:
                 view = self.view()
@@ -280,7 +314,12 @@ class _ShardWorker:
                 out.append(("err", exc))
         return out
 
-    def insert(self, mats, ext_ids, attr_arrays):
+    def insert(
+        self,
+        mats: list[np.ndarray],
+        ext_ids: np.ndarray,
+        attr_arrays: dict[str, np.ndarray] | None,
+    ) -> int:
         attributes = (
             AttributeTable.from_arrays(attr_arrays) if attr_arrays else None
         )
@@ -289,7 +328,7 @@ class _ShardWorker:
         self.epoch += 1
         return int(self.seg.num_active)
 
-    def delete_check(self, ids):
+    def delete_check(self, ids: np.ndarray) -> tuple[int, int, int]:
         """Pre-delete census: (ids found here, fresh kills, active now)."""
         ids = np.asarray(ids, dtype=np.int64)
         parts = [s.ext_ids for s in self.seg.sealed]
@@ -303,35 +342,86 @@ class _ShardWorker:
         fresh = int(np.isin(ids, active).sum())
         return found, fresh, int(self.seg.num_active)
 
-    def delete(self, ids):
+    def delete(self, ids: np.ndarray) -> int:
         self.seg.mark_deleted(
             np.asarray(ids, dtype=np.int64), allow_empty=True
         )
         self.epoch += 1
         return int(self.seg.num_active)
 
-    def compact(self):
+    def compact(self) -> np.ndarray:
         survivors = self.seg.compact()
         self.epoch += 1
-        return survivors
+        return np.asarray(survivors, dtype=np.int64)
 
-    def active_ids(self):
+    def active_ids(self) -> np.ndarray:
         if self.seg.num_segments == 0:
             return np.zeros(0, dtype=np.int64)
         return self.seg.active_ext_ids()
 
-    def stats(self, busy_seconds: float):
+    def census(self) -> dict[str, int]:
         return {
-            "shard": self.meta["shard"],
             "n": int(self.seg.num_total),
             "active": int(self.seg.num_active),
             "segments": int(self.seg.num_segments),
             "epoch": int(self.epoch),
-            "busy_seconds": float(busy_seconds),
         }
 
 
-def _worker_main(conn, spec: dict | None, meta: dict) -> None:
+class _ShardWorker:
+    """The per-process state machine: one shard slice of every collection."""
+
+    def __init__(
+        self,
+        specs: dict[str, dict[str, Any] | None],
+        meta: dict[str, Any],
+    ):
+        self.meta = meta
+        shard = meta["shard"]
+        n_shards = meta["n_shards"]
+        self.collections = {
+            name: _ShardCollection(
+                specs.get(name),
+                {**col_meta, "shard": shard, "n_shards": n_shards},
+            )
+            for name, col_meta in meta["collections"].items()
+        }
+
+    def col(self, name: str) -> _ShardCollection:
+        collection = self.collections.get(name)
+        if collection is None:
+            raise ValueError(
+                f"shard {self.meta['shard']} has no collection {name!r} "
+                f"(knows {sorted(self.collections)})"
+            )
+        return collection
+
+    def stats(self, busy_seconds: float) -> dict[str, Any]:
+        per = {
+            name: col.census()
+            for name, col in sorted(self.collections.items())
+        }
+        return {
+            "shard": self.meta["shard"],
+            "busy_seconds": float(busy_seconds),
+            "n": sum(c["n"] for c in per.values()),
+            "active": sum(c["active"] for c in per.values()),
+            "segments": sum(c["segments"] for c in per.values()),
+            "epoch": sum(c["epoch"] for c in per.values()),
+            "collections": per,
+        }
+
+    def close(self) -> None:
+        for collection in self.collections.values():
+            if collection.pack is not None:
+                collection.pack.close()
+
+
+def _worker_main(
+    conn: Any,
+    specs: dict[str, dict[str, Any] | None],
+    meta: dict[str, Any],
+) -> None:
     """Worker process entry: build the shard, then serve the pipe.
 
     Replies are ``("ok", payload)`` or ``("err", exception)``; command
@@ -342,9 +432,13 @@ def _worker_main(conn, spec: dict | None, meta: dict) -> None:
     wall clock: on a host with fewer cores than shards the workers
     timeshare, and wall time inside a descheduled worker would charge
     one shard for another's compute.
+
+    Hot-path commands carry their collection name right after the
+    command word (``("exact_wave", name, ...)``); ``stats`` and ``stop``
+    are worker-wide.
     """
     try:
-        worker = _ShardWorker(spec, meta)
+        worker = _ShardWorker(specs, meta)
     except BaseException as exc:  # noqa: BLE001 - must report boot failure
         try:
             conn.send(("err", RuntimeError(f"shard boot failed: {exc!r}")))
@@ -366,21 +460,21 @@ def _worker_main(conn, spec: dict | None, meta: dict) -> None:
             started = time.process_time()
             try:
                 if cmd == "exact_wave":
-                    payload = worker.exact_wave(*msg[1:])
+                    payload: Any = worker.col(msg[1]).exact_wave(*msg[2:])
                 elif cmd == "graph_wave":
-                    payload = worker.graph_wave(*msg[1:])
+                    payload = worker.col(msg[1]).graph_wave(*msg[2:])
                 elif cmd == "search_many":
-                    payload = worker.search_many(msg[1])
+                    payload = worker.col(msg[1]).search_many(msg[2])
                 elif cmd == "insert":
-                    payload = worker.insert(*msg[1:])
+                    payload = worker.col(msg[1]).insert(*msg[2:])
                 elif cmd == "delete_check":
-                    payload = worker.delete_check(msg[1])
+                    payload = worker.col(msg[1]).delete_check(msg[2])
                 elif cmd == "delete":
-                    payload = worker.delete(msg[1])
+                    payload = worker.col(msg[1]).delete(msg[2])
                 elif cmd == "compact":
-                    payload = worker.compact()
+                    payload = worker.col(msg[1]).compact()
                 elif cmd == "active_ids":
-                    payload = worker.active_ids()
+                    payload = worker.col(msg[1]).active_ids()
                 elif cmd == "stats":
                     payload = worker.stats(busy)
                 else:
@@ -392,15 +486,14 @@ def _worker_main(conn, spec: dict | None, meta: dict) -> None:
             conn.send(reply)
     finally:
         conn.close()
-        if worker.pack is not None:
-            worker.pack.close()
+        worker.close()
 
 
 # ----------------------------------------------------------------------
 # Parent side
 # ----------------------------------------------------------------------
 class _ShardHandle:
-    def __init__(self, shard: int, process, conn):
+    def __init__(self, shard: int, process: Any, conn: Any) -> None:
         self.shard = shard
         self.process = process
         self.conn = conn
@@ -408,7 +501,9 @@ class _ShardHandle:
         self.active = 0
 
 
-def _corpus_slices(must):
+def _corpus_slices(
+    must: "MUST",
+) -> tuple[np.ndarray, list[np.ndarray], AttributeTable | None, int]:
     """The live corpus as flat arrays: (ext_ids, mats, attrs, next_ext).
 
     Rows come out sorted by external id, exact-tier (full-precision)
@@ -466,7 +561,17 @@ def _corpus_slices(must):
     return alive.astype(np.int64), mats, attributes, int(index.n)
 
 
-def _corpus_slices_mmap(must):
+def _corpus_slices_mmap(
+    must: "MUST",
+) -> tuple[
+    np.ndarray,
+    np.ndarray,
+    np.ndarray,
+    list[list[str]],
+    list[np.ndarray] | None,
+    AttributeTable | None,
+    int,
+]:
     """Cold-tier *provenance* for an mmap-backed corpus.
 
     Instead of gathering the full-precision rows (O(corpus) bytes
@@ -555,17 +660,20 @@ def _corpus_slices_mmap(must):
 
 
 class ShardedService(MustService):
-    """N-process sharded serving over one built :class:`MUST`.
+    """N-process sharded serving over built :class:`MUST` instances.
 
     Reuses the :class:`MustService` control plane — queue, admission,
-    coalescing dispatcher, plan grouping, stats — and replaces the group
-    executors with scatter/gather over worker processes.  See the module
-    docstring for the data plane and parity argument.
+    per-tenant quotas, coalescing dispatcher, plan grouping, stats —
+    and replaces the group executors with scatter/gather over worker
+    processes.  See the module docstring for the data plane and parity
+    argument.  Construct with one built instance (the ``"default"``
+    collection) or a :class:`~repro.service.CollectionManager`; each
+    worker then holds one shard slice per collection.
 
-    The wrapped instance is the *spawn template*: its live corpus is
+    The wrapped instances are *spawn templates*: their live corpora are
     partitioned at construction and all subsequent writes must go
-    through the service (they route to the owning shard); the template
-    itself is not kept in sync.
+    through the service (they route to the owning shard); the templates
+    themselves are not kept in sync.
 
     ``worker_timeout_s`` bounds how long a gather waits on one shard
     before declaring it dead.  ``mp_start`` picks the multiprocessing
@@ -575,19 +683,27 @@ class ShardedService(MustService):
 
     def __init__(
         self,
-        must,
+        must: "MUST | CollectionManager",
         n_shards: int = 2,
         config: ServiceConfig | None = None,
         start: bool = True,
         worker_timeout_s: float = 120.0,
         spawn_timeout_s: float = 600.0,
         mp_start: str | None = None,
-    ):
+    ) -> None:
         require(n_shards >= 1, "n_shards must be positive")
+        manager = CollectionManager.of(must)
         require(
-            must.is_built,
-            "ShardedService needs a built index — call MUST.build() first",
+            len(manager) >= 1,
+            "ShardedService needs at least one collection — "
+            "CollectionManager.create() one first",
         )
+        for collection in manager:
+            require(
+                collection.must.is_built,
+                f"ShardedService needs built indexes — collection "
+                f"{collection.name!r} is unbuilt; call MUST.build() first",
+            )
         require(worker_timeout_s > 0.0, "worker_timeout_s must be positive")
         self.n_shards = int(n_shards)
         self.worker_timeout_s = float(worker_timeout_s)
@@ -607,13 +723,21 @@ class ShardedService(MustService):
         self._workers_stopped = False
         # Spawn before the dispatcher thread exists: forking a process
         # while other threads hold locks is the classic fork-safety trap.
-        self._spawn_workers(must, float(spawn_timeout_s))
-        super().__init__(must, config, start=start)
+        self._spawn_workers(manager, float(spawn_timeout_s))
+        super().__init__(manager, config, start=start)
 
     # ------------------------------------------------------------------
     # Spawn
     # ------------------------------------------------------------------
-    def _spawn_workers(self, must, spawn_timeout_s: float) -> None:
+    def _collection_meta_arrays(
+        self, must: "MUST", name: str
+    ) -> tuple[dict[str, Any], list[dict[str, Any] | None]]:
+        """One collection's worker meta + its per-shard shm array dicts.
+
+        Returns ``(meta, shard_arrays)`` where ``shard_arrays[s]`` is
+        the array dict shard ``s``'s pack carries for this collection
+        (``None`` when the shard owns no rows of it).
+        """
         cold_storage = (
             must.segments.cold_storage
             if must.is_segmented
@@ -627,10 +751,12 @@ class ShardedService(MustService):
             mats = None
         else:
             ext, mats, attributes, next_ext = _corpus_slices(must)
-        self._next_ext = next_ext
+            src_of = row_of = None
+            cold_sources, tail_mats = [], None
+        self._next_ext[name] = next_ext
         if must.is_segmented:
             src = must.segments
-            meta_base = dict(
+            meta = dict(
                 builder=src.builder,
                 policy=src.policy,
                 hnsw=src.hnsw,
@@ -639,7 +765,7 @@ class ShardedService(MustService):
                 store_options=src.store_options,
             )
         else:
-            meta_base = dict(
+            meta = dict(
                 builder=must.builder,
                 policy=must.segment_policy,
                 hnsw=None,
@@ -647,55 +773,83 @@ class ShardedService(MustService):
                 compression=must.compression,
                 store_options=must.store_options,
             )
-        meta_base.update(
+        meta.update(
             squared_weights=[float(x) for x in must.weights.squared],
             num_modalities=len(must.weights.squared),
-            n_shards=self.n_shards,
         )
         if mmap_mode:
-            meta_base.update(cold_storage="mmap", cold_sources=cold_sources)
+            meta.update(cold_storage="mmap", cold_sources=cold_sources)
         owners = ext % self.n_shards
+        shard_arrays: list[dict[str, Any] | None] = []
+        for shard in range(self.n_shards):
+            rows = np.flatnonzero(owners == shard)
+            if rows.size == 0:
+                shard_arrays.append(None)
+                continue
+            if mmap_mode:
+                # O(hot): ids, attributes and the (source, row)
+                # cold map — never a full vector plane.  Tail
+                # rows (resident in the parent) ride along
+                # renumbered to the shard-local tail source.
+                assert src_of is not None and row_of is not None
+                arrays: dict[str, Any] = {"ext_ids": ext[rows]}
+                shard_src = src_of[rows].copy()
+                shard_row = row_of[rows].copy()
+                tmask = shard_src == len(cold_sources)
+                if tmask.any():
+                    sel = shard_row[tmask]
+                    assert tail_mats is not None
+                    for i, tmat in enumerate(tail_mats):
+                        arrays[f"tail_mod_{i}"] = tmat[sel]
+                    shard_row[tmask] = np.arange(
+                        int(tmask.sum()), dtype=np.int64
+                    )
+                arrays["cold_src"] = shard_src
+                arrays["cold_row"] = shard_row
+            else:
+                assert mats is not None
+                arrays = {
+                    f"mod_{i}": mat[rows] for i, mat in enumerate(mats)
+                }
+                arrays["ext_ids"] = ext[rows]
+            if attributes is not None:
+                arrays.update(attributes.subset(rows).to_arrays())
+            shard_arrays.append(arrays)
+        return meta, shard_arrays
+
+    def _spawn_workers(
+        self, manager: CollectionManager, spawn_timeout_s: float
+    ) -> None:
+        self._next_ext: dict[str, int] = {}
+        meta_cols: dict[str, dict[str, Any]] = {}
+        arrays_by_col: dict[str, list[dict[str, Any] | None]] = {}
+        for collection in manager:
+            meta, shard_arrays = self._collection_meta_arrays(
+                collection.must, collection.name
+            )
+            meta_cols[collection.name] = meta
+            arrays_by_col[collection.name] = shard_arrays
         packs: list[SharedArrays | None] = []
         try:
             for shard in range(self.n_shards):
-                rows = np.flatnonzero(owners == shard)
-                meta = dict(meta_base, shard=shard)
-                if rows.size:
-                    if mmap_mode:
-                        # O(hot): ids, attributes and the (source, row)
-                        # cold map — never a full vector plane.  Tail
-                        # rows (resident in the parent) ride along
-                        # renumbered to the shard-local tail source.
-                        arrays = {"ext_ids": ext[rows]}
-                        shard_src = src_of[rows].copy()
-                        shard_row = row_of[rows].copy()
-                        tmask = shard_src == len(cold_sources)
-                        if tmask.any():
-                            sel = shard_row[tmask]
-                            for i, tmat in enumerate(tail_mats):
-                                arrays[f"tail_mod_{i}"] = tmat[sel]
-                            shard_row[tmask] = np.arange(
-                                int(tmask.sum()), dtype=np.int64
-                            )
-                        arrays["cold_src"] = shard_src
-                        arrays["cold_row"] = shard_row
-                    else:
-                        arrays = {
-                            f"mod_{i}": mat[rows]
-                            for i, mat in enumerate(mats)
-                        }
-                        arrays["ext_ids"] = ext[rows]
-                    if attributes is not None:
-                        arrays.update(attributes.subset(rows).to_arrays())
+                specs: dict[str, dict[str, Any] | None] = {}
+                for name, shard_arrays in arrays_by_col.items():
+                    arrays = shard_arrays[shard]
+                    if arrays is None:
+                        specs[name] = None
+                        continue
                     pack = SharedArrays.create(arrays)
-                    spec = pack.spec
-                else:
-                    pack, spec = None, None
-                packs.append(pack)
+                    packs.append(pack)
+                    specs[name] = pack.spec
+                meta = {
+                    "shard": shard,
+                    "n_shards": self.n_shards,
+                    "collections": meta_cols,
+                }
                 parent_conn, child_conn = self._ctx.Pipe()
                 process = self._ctx.Process(
                     target=_worker_main,
-                    args=(child_conn, spec, meta),
+                    args=(child_conn, specs, meta),
                     name=f"must-shard-{shard}",
                     daemon=True,
                 )
@@ -749,35 +903,41 @@ class ShardedService(MustService):
         """True once any worker has been declared dead."""
         return any(not h.alive for h in self._handles)
 
-    def snapshot(self):  # type: ignore[override]
+    def _snapshot_of(self, collection: Collection) -> IndexSnapshot | None:
         """Sharded reads have no parent-side snapshot.
 
         Isolation lives in the workers: each holds a frozen
         per-epoch :class:`~repro.index.segments.SegmentView` of its
-        slice, refreshed when a routed write bumps its epoch.  The
-        dispatcher's per-wave capture is therefore a no-op token here.
+        slice of the collection, refreshed when a routed write bumps
+        its epoch.  The dispatcher's per-wave capture is therefore a
+        no-op token here.
         """
         return None
 
-    def shard_stats(self) -> list[dict]:
+    def shard_stats(self) -> list[dict[str, Any]]:
         """One stats dict per live shard (worker-side census).
 
         Includes ``busy_seconds`` — the shard's cumulative command
-        handling time, i.e. its critical-path compute clock.
+        handling time, i.e. its critical-path compute clock — plus a
+        ``collections`` breakdown mapping each collection name to its
+        per-shard ``{n, active, segments, epoch}`` census.  The
+        top-level ``n``/``active``/``segments``/``epoch`` keys stay
+        whole-worker aggregates.
         """
         replies = self._gather(
             {s: (("stats",), 0) for s in self.live_shards}
         )
-        out = []
+        out: list[dict[str, Any]] = []
         for shard in sorted(replies):
             reply = replies[shard]
             if isinstance(reply, tuple) and reply[0] == "ok":
                 out.append(reply[1])
         return out
 
-    def active_ids(self) -> np.ndarray:
+    def active_ids(self, collection: str | None = None) -> np.ndarray:
+        name = self.collections.get(collection).name
         replies = self._gather(
-            {s: (("active_ids",), 0) for s in self.live_shards}
+            {s: (("active_ids", name), 0) for s in self.live_shards}
         )
         parts = []
         for shard, reply in sorted(replies.items()):
@@ -808,7 +968,9 @@ class ShardedService(MustService):
         except Exception:
             pass
 
-    def _gather(self, messages: dict[int, tuple]) -> dict[int, object]:
+    def _gather(
+        self, messages: dict[int, tuple[tuple[Any, ...], int]]
+    ) -> dict[int, Any]:
         """Send one command per shard, then collect every reply.
 
         ``messages`` maps shard → ``(command_tuple, size)`` where size
@@ -854,7 +1016,7 @@ class ShardedService(MustService):
                 out[handle.shard] = reply
         return out
 
-    def _shard_seeds(self, rng) -> list:
+    def _shard_seeds(self, rng: Any) -> list[Any]:
         """One independent seed per shard for one request's init draws.
 
         Mirrors the per-segment spawning of the single-process view one
@@ -871,11 +1033,15 @@ class ShardedService(MustService):
     # ------------------------------------------------------------------
     # Group executors (called by the inherited dispatcher)
     # ------------------------------------------------------------------
-    def _run_exact(self, snap, reqs: list[_Request]) -> None:
+    def _run_exact(
+        self, snap: IndexSnapshot | None, reqs: list[_Request]
+    ) -> None:
         plan = reqs[0].kwargs
+        name = reqs[0].collection.name
         queries = [r.query for r in reqs]
         command = (
             "exact_wave",
+            name,
             queries,
             plan["k"],
             plan["weights"],
@@ -887,8 +1053,11 @@ class ShardedService(MustService):
         )
         self._finish_group(reqs, replies, plan, wave_stats_slot=None)
 
-    def _run_graph_wave(self, snap, reqs: list[_Request]) -> None:
+    def _run_graph_wave(
+        self, snap: IndexSnapshot | None, reqs: list[_Request]
+    ) -> None:
         plan = reqs[0].kwargs
+        name = reqs[0].collection.name
         queries = [r.query for r in reqs]
         seeds = [self._shard_seeds(r.kwargs["rng"]) for r in reqs]
         group_plan = {
@@ -903,6 +1072,7 @@ class ShardedService(MustService):
                 s: (
                     (
                         "graph_wave",
+                        name,
                         queries,
                         group_plan,
                         [per_req[s] for per_req in seeds],
@@ -914,7 +1084,9 @@ class ShardedService(MustService):
         )
         self._finish_group(reqs, replies, plan, wave_stats_slot=1)
 
-    def _run_graph(self, snap, reqs: list[_Request]) -> None:
+    def _run_graph(
+        self, snap: IndexSnapshot | None, reqs: list[_Request]
+    ) -> None:
         """Per-query graph requests: one ``search_many`` per shard.
 
         Each request gets its own per-shard seed child (like the wave
@@ -923,14 +1095,15 @@ class ShardedService(MustService):
         containment the in-process dispatcher guarantees.
         """
         seeds = [self._shard_seeds(r.kwargs["rng"]) for r in reqs]
-        messages = {}
+        name = reqs[0].collection.name
+        messages: dict[int, tuple[tuple[Any, ...], int]] = {}
         for shard in self.live_shards:
             items = []
             for req, per_req in zip(reqs, seeds):
                 plan = dict(req.kwargs)
                 plan["rng"] = per_req[shard]
                 items.append((req.query, plan))
-            messages[shard] = (("search_many", items), len(items))
+            messages[shard] = (("search_many", name, items), len(items))
         replies = self._gather(messages)
         dead = [r for r in replies.values() if isinstance(r, Exception)]
         for j, req in enumerate(reqs):
@@ -969,8 +1142,8 @@ class ShardedService(MustService):
     def _finish_group(
         self,
         reqs: list[_Request],
-        replies: dict[int, object],
-        plan: dict,
+        replies: dict[int, Any],
+        plan: dict[str, Any],
         wave_stats_slot: int | None,
     ) -> None:
         """Merge per-shard pools into per-request answers.
@@ -999,7 +1172,7 @@ class ShardedService(MustService):
             self._retry_individually(reqs)
             return
         batch_stats: list[SearchStats] = []
-        per_shard_results = []
+        per_shard_results: list[Any] = []
         for shard in sorted(replies):
             payload = replies[shard][1]
             if wave_stats_slot is None:
@@ -1037,8 +1210,11 @@ class ShardedService(MustService):
     # ------------------------------------------------------------------
     # Write path — routed by external id to the owning shard
     # ------------------------------------------------------------------
-    def insert(self, objects) -> np.ndarray:
+    def insert(
+        self, objects: Any, collection: str | None = None
+    ) -> np.ndarray:
         """Insert under parent-allocated global ids, routed per shard."""
+        col = self.collections.get(collection)
         if isinstance(objects, MultiVector):
             require(
                 all(v is not None for v in objects.vectors),
@@ -1047,12 +1223,11 @@ class ShardedService(MustService):
             objects = MultiVectorSet([v[None, :] for v in objects.vectors])
         require(objects.n >= 1, "nothing to insert")
         with self._write_lock:
-            ext = np.arange(
-                self._next_ext, self._next_ext + objects.n, dtype=np.int64
-            )
+            next_ext = self._next_ext[col.name]
+            ext = np.arange(next_ext, next_ext + objects.n, dtype=np.int64)
             owners = ext % self.n_shards
             mats = [np.asarray(m) for m in objects.matrices]
-            messages = {}
+            messages: dict[int, tuple[tuple[Any, ...], int]] = {}
             for shard in range(self.n_shards):
                 rows = np.flatnonzero(owners == shard)
                 if rows.size == 0:
@@ -1062,6 +1237,7 @@ class ShardedService(MustService):
                     attr_arrays = objects.attributes.subset(rows).to_arrays()
                 command = (
                     "insert",
+                    col.name,
                     [np.ascontiguousarray(m[rows]) for m in mats],
                     ext[rows],
                     attr_arrays,
@@ -1069,18 +1245,22 @@ class ShardedService(MustService):
                 messages[shard] = (command, int(rows.size))
             replies = self._gather(messages)
             self._raise_write_failures("insert", replies)
-            self._next_ext += objects.n
-            self._epoch += 1
+            self._next_ext[col.name] += objects.n
+            col.epoch += 1
             return ext
 
-    def mark_deleted(self, object_ids: np.ndarray) -> None:
-        """Soft-delete globally, enforcing the whole-corpus guards.
+    def mark_deleted(
+        self, object_ids: np.ndarray, collection: str | None = None
+    ) -> None:
+        """Soft-delete globally, enforcing the whole-collection guards.
 
         Two phases: a census gather validates that every id exists
-        somewhere and that at least one object survives globally (one
-        *shard* may legitimately empty out), then the delete scatters to
-        the owning shards with the per-shard guard relaxed.
+        somewhere and that at least one object survives across the
+        collection (one *shard* may legitimately empty out), then the
+        delete scatters to the owning shards with the per-shard guard
+        relaxed.
         """
+        col = self.collections.get(collection)
         ids = np.unique(np.asarray(object_ids, dtype=np.int64))
         with self._write_lock:
             owners = ids % self.n_shards
@@ -1090,53 +1270,65 @@ class ShardedService(MustService):
                 if np.any(owners == shard)
             }
             census = self._gather(
-                {s: (("delete_check", ids_s), 0) for s, ids_s in targets.items()}
+                {
+                    s: (("delete_check", col.name, ids_s), 0)
+                    for s, ids_s in targets.items()
+                }
             )
             self._raise_write_failures("mark_deleted", census)
             found = sum(census[s][1][0] for s in census)
             fresh = sum(census[s][1][1] for s in census)
-            active = self._total_active()
+            active = self._total_active(col.name)
             require(found == ids.size, "unknown external ids in mark_deleted")
             require(active - fresh > 0, "cannot delete every object")
             replies = self._gather(
-                {s: (("delete", ids_s), 0) for s, ids_s in targets.items()}
+                {
+                    s: (("delete", col.name, ids_s), 0)
+                    for s, ids_s in targets.items()
+                }
             )
             self._raise_write_failures("mark_deleted", replies)
-            self._epoch += 1
+            col.epoch += 1
 
-    def compact(self) -> tuple:
-        """Compact every shard in place; returns ``(self.must, active)``.
+    def compact(
+        self, collection: str | None = None
+    ) -> "tuple[MUST, np.ndarray]":
+        """Compact one collection's shards in place.
 
         Signature mirrors :meth:`MustService.compact`; the template
         instance is returned unchanged (shards own the data), and
-        ``active`` is the globally sorted surviving id array.
+        ``active`` is the collection's globally sorted surviving id
+        array.
         """
+        col = self.collections.get(collection)
         with self._write_lock:
             replies = self._gather(
-                {s: (("compact",), 0) for s in self.live_shards}
+                {s: (("compact", col.name), 0) for s in self.live_shards}
             )
             self._raise_write_failures("compact", replies)
             parts = [
                 np.asarray(replies[s][1], dtype=np.int64)
                 for s in sorted(replies)
             ]
-            self._epoch += 1
+            col.epoch += 1
             active = (
                 np.sort(np.concatenate(parts))
                 if parts
                 else np.zeros(0, dtype=np.int64)
             )
-            return self.must, active
+            return col.must, active
 
-    def _total_active(self) -> int:
+    def _total_active(self, name: str) -> int:
         replies = self._gather(
             {s: (("stats",), 0) for s in self.live_shards}
         )
         self._raise_write_failures("stats", replies)
-        return sum(replies[s][1]["active"] for s in replies)
+        return sum(
+            replies[s][1]["collections"][name]["active"] for s in replies
+        )
 
     @staticmethod
-    def _raise_write_failures(op: str, replies: dict[int, object]) -> None:
+    def _raise_write_failures(op: str, replies: dict[int, Any]) -> None:
         for shard in sorted(replies):
             reply = replies[shard]
             if isinstance(reply, Exception):

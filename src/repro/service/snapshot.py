@@ -36,10 +36,11 @@ answering bit-identically until they are garbage collected.
 from __future__ import annotations
 
 import dataclasses
+from typing import TYPE_CHECKING, Any
 
 from repro.core.multivector import MultiVector
 from repro.core.query import Query, SearchOptions
-from repro.core.results import SearchResult
+from repro.core.results import SearchResult, SearchStats
 from repro.core.space import JointSpace
 from repro.core.weights import Weights
 from repro.index.base import GraphIndex
@@ -47,6 +48,9 @@ from repro.index.flat import FlatIndex
 from repro.index.search import joint_search
 from repro.index.segments import SegmentView
 from repro.utils.validation import require
+
+if TYPE_CHECKING:
+    from repro.core.framework import MUST
 
 __all__ = ["IndexSnapshot"]
 
@@ -66,7 +70,7 @@ class IndexSnapshot:
         view: SegmentView | None = None,
         graph: GraphIndex | None = None,
         exact_space: JointSpace | None = None,
-    ):
+    ) -> None:
         require(
             (view is None) != (graph is None),
             "a snapshot wraps either a segment view or a single graph",
@@ -80,7 +84,7 @@ class IndexSnapshot:
         self.exact_space = exact_space
 
     @classmethod
-    def of(cls, must) -> "IndexSnapshot":
+    def of(cls, must: "MUST") -> "IndexSnapshot":
         """Capture the current state of *must* (which must be built)."""
         require(
             must.is_built,
@@ -102,17 +106,27 @@ class IndexSnapshot:
     def is_segmented(self) -> bool:
         return self.view is not None
 
+    def _graph(self) -> GraphIndex:
+        """The single-graph flavour's index (constructor invariant)."""
+        assert self.graph is not None
+        return self.graph
+
+    def _exact_space(self) -> JointSpace:
+        """The single-graph flavour's exact-scan space."""
+        assert self.exact_space is not None
+        return self.exact_space
+
     @property
     def num_active(self) -> int:
         if self.view is not None:
-            return self.view.num_active
-        return self.graph.num_active
+            return int(self.view.num_active)
+        return int(self._graph().num_active)
 
     @property
     def n(self) -> int:
         if self.view is not None:
-            return self.view.num_total
-        return self.graph.n
+            return int(self.view.num_total)
+        return int(self._graph().n)
 
     def prepare(self) -> None:
         """Materialise lazy per-space artifacts (concat matrices) so a
@@ -120,10 +134,10 @@ class IndexSnapshot:
         if self.view is not None:
             self.view.prepare_search()
             return
-        if not self.graph.space.is_compressed:
-            self.graph.space.concatenated
-        if not self.exact_space.is_compressed:
-            self.exact_space.concatenated
+        if not self._graph().space.is_compressed:
+            self._graph().space.concatenated
+        if not self._exact_space().is_compressed:
+            self._exact_space().concatenated
 
     # ------------------------------------------------------------------
     # Searching — mirrors MUST.search argument for argument
@@ -138,7 +152,7 @@ class IndexSnapshot:
         exact: bool = False,
         refine: int | None = None,
         engine: str = "auto",
-        **search_kwargs,
+        **search_kwargs: Any,
     ) -> SearchResult:
         """Joint top-*k* against the captured state.
 
@@ -188,10 +202,10 @@ class IndexSnapshot:
         if exact:
             return self._flat().search(query, k, weights=weights, refine=refine)
         return joint_search(
-            self.graph,
+            self._graph(),
             query,
             k=k,
-            l=min(l, self.graph.n),
+            l=min(l, self._graph().n),
             weights=weights,
             early_termination=early_termination,
             refine=refine,
@@ -208,28 +222,32 @@ class IndexSnapshot:
 
         Mirrors :meth:`MUST.query` for a single request.  The kwargs
         are derived from the option fields (``n_jobs`` excepted — a
-        snapshot read is single-query), so a new :class:`SearchOptions`
-        field can never be silently dropped on this path.
+        snapshot read is single-query; ``collection`` too — routing is
+        the service's concern, a snapshot *is* one collection's state),
+        so a new :class:`SearchOptions` field can never be silently
+        dropped on this path.
         """
         opts = options if options is not None else SearchOptions()
-        return self.search(query, **opts.to_kwargs(exclude=("n_jobs",)))
+        return self.search(
+            query, **opts.to_kwargs(exclude=("n_jobs", "collection"))
+        )
 
     def _flat(self) -> FlatIndex:
         """The legacy exact scanner over the frozen bitset."""
-        return FlatIndex(self.exact_space, deleted=self.graph.deleted)
+        return FlatIndex(self._exact_space(), deleted=self._graph().deleted)
 
     def graph_wave(
         self,
-        queries: list[MultiVector | Query],
+        queries: "list[MultiVector | Query]",
         k: int = 10,
         l: int = 100,
         weights: Weights | None = None,
         early_termination: bool = False,
         refine: int | None = None,
         check_monotone: bool = False,
-        rng=0,
-        rngs: list | None = None,
-    ):
+        rng: Any = 0,
+        rngs: list[Any] | None = None,
+    ) -> "tuple[list[SearchResult], SearchStats]":
         """Coalesced graph batch — the serving layer's lockstep wave.
 
         One :func:`~repro.index.graph_wave.graph_wave_search` traversal
@@ -254,10 +272,10 @@ class IndexSnapshot:
         from repro.index.graph_wave import graph_wave_search
 
         return graph_wave_search(
-            self.graph,
+            self._graph(),
             queries,
             k=k,
-            l=min(l, self.graph.n),
+            l=min(l, self._graph().n),
             weights=weights,
             early_termination=early_termination,
             rng=rng,
@@ -269,7 +287,7 @@ class IndexSnapshot:
 
     def exact_wave(
         self,
-        queries: list[MultiVector | Query],
+        queries: "list[MultiVector | Query]",
         k: int,
         weights: Weights | None = None,
         refine: int | None = None,

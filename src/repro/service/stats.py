@@ -13,6 +13,7 @@ from __future__ import annotations
 
 import threading
 from collections import Counter
+from typing import Any, Iterable
 
 from repro.metrics.timing import PercentileTracker
 
@@ -40,7 +41,7 @@ class ServiceStats:
       into the wave engine.
     """
 
-    def __init__(self, latency_window: int = 10_000):
+    def __init__(self, latency_window: int = 10_000) -> None:
         self._lock = threading.Lock()
         self._latency_window = latency_window
         self.submitted = 0
@@ -86,7 +87,9 @@ class ServiceStats:
                 self.coalesced_batches += 1
                 self.coalesced_requests += int(size)
 
-    def record_graph_wave(self, waves: int, frontier_sizes) -> None:
+    def record_graph_wave(
+        self, waves: int, frontier_sizes: Iterable[int]
+    ) -> None:
         """One coalesced ``engine="wave"`` group: its wave count and
         the per-wave stacked frontier sizes."""
         with self._lock:
@@ -106,7 +109,7 @@ class ServiceStats:
                 tracker = PercentileTracker(self._latency_window)
                 self.shard_latency[shard] = tracker
             tracker.record(seconds)
-            sizes = self.shard_wave_sizes.get(shard)
+            sizes: Counter[int] | None = self.shard_wave_sizes.get(shard)
             if sizes is None:
                 sizes = Counter()
                 self.shard_wave_sizes[shard] = sizes
@@ -144,7 +147,7 @@ class ServiceStats:
             count = sum(self.batch_sizes.values())
         return total / count if count else float("nan")
 
-    def summary(self) -> dict:
+    def summary(self) -> dict[str, Any]:
         """JSON-ready snapshot of every counter (latencies in ms)."""
         with self._lock:
             batch_sizes = {
