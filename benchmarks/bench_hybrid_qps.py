@@ -1,0 +1,130 @@
+"""Hybrid dense+lexical retrieval — accuracy lift, engine parity, QPS.
+
+Writes the ``BENCH_hybrid_qps.json`` perf-trajectory artifact at the
+repo root so CI can track the sparse subsystem over time (gated by
+``check_regression.py`` on qps/speedup/recall keys).  The run itself
+enforces the subsystem's two hard gates:
+
+* hybrid recall@10 must *strictly* beat dense-only recall on the
+  planted two-level corpus (dense resolves the topic, only the rare
+  lexical terms pin the group — see
+  :mod:`repro.sparse.synthetic`), and
+* the inverted posting-list engine must answer bit-identically to the
+  brute-force CSR oracle while scoring at least 1.5x its throughput.
+
+Runnable standalone (``PYTHONPATH=src python
+benchmarks/bench_hybrid_qps.py``) or through pytest like the other
+bench files; ``REPRO_HYBRID_N`` / ``REPRO_HYBRID_QUERIES`` scale the
+corpus for smoke runs.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+from pathlib import Path
+
+from repro.bench.efficiency import hybrid_throughput
+from repro.bench.harness import format_table, save_table
+
+ARTIFACT = Path(__file__).resolve().parents[1] / "BENCH_hybrid_qps.json"
+
+#: the posting-list engine must clearly beat the full-plane scan.
+MIN_ENGINE_SPEEDUP = 1.5
+
+
+def run() -> dict:
+    """Run the experiment and write the JSON artifact."""
+    table, payload = hybrid_throughput()
+    save_table(table, "hybrid_qps")
+    print(format_table(table))
+    ARTIFACT.write_text(json.dumps(payload, indent=2) + "\n")
+    return payload
+
+
+def _check(payload: dict) -> list[str]:
+    """Acceptance gates as human-readable failures."""
+    failures: list[str] = []
+    if not payload.get("engines_bitwise_equal", False):
+        failures.append(
+            "inverted engine diverged from the brute-force oracle — the "
+            "posting-list scatter-add must be bit-identical"
+        )
+    accuracy = payload.get("accuracy", {})
+    dense = accuracy.get("dense_only_recall", 1.0)
+    hybrid = accuracy.get("hybrid_recall", 0.0)
+    if not hybrid > dense:
+        failures.append(
+            f"hybrid recall {hybrid:.3f} does not beat dense-only "
+            f"{dense:.3f} — lexical fusion is adding cost without signal"
+        )
+    speedup = payload["throughput"]["inverted_speedup_vs_bruteforce"]
+    if speedup < MIN_ENGINE_SPEEDUP:
+        failures.append(
+            f"inverted engine only {speedup:.2f}x the brute-force scan "
+            f"(< {MIN_ENGINE_SPEEDUP}x) — the posting lists are no longer "
+            f"skipping untouched rows"
+        )
+    return failures
+
+
+def test_hybrid_qps(benchmark, capsys):
+    from benchmarks.conftest import emit
+
+    table, payload = hybrid_throughput()
+    emit(table, "hybrid_qps", capsys)
+    ARTIFACT.write_text(json.dumps(payload, indent=2) + "\n")
+    assert not _check(payload), _check(payload)
+
+    import numpy as np
+
+    from repro.bench import cache
+    from repro.core.framework import MUST
+    from repro.core.multivector import MultiVector, MultiVectorSet
+    from repro.core.query import Query, SearchOptions
+    from repro.core.weights import Weights
+    from repro.sparse.synthetic import synthetic_hybrid
+
+    ds = synthetic_hybrid(
+        n_topics=max(2, cache.HYBRID_N // 50),
+        num_queries=min(cache.HYBRID_QUERIES, 16),
+        seed=0,
+    )
+    must = MUST(
+        MultiVectorSet([ds.dense], sparse=ds.sparse),
+        weights=Weights([1.0]),
+    ).build()
+    queries = [
+        Query(MultiVector.from_arrays([qd]), sparse=qs)
+        for qd, qs in zip(ds.query_dense, ds.query_sparse)
+    ]
+    benchmark(lambda: must.query(queries, SearchOptions(k=10, l=80)))
+    assert all(np.all(np.isfinite(r.similarities)) for r in must.query(
+        queries, SearchOptions(k=10, l=80)
+    ))
+
+
+def main() -> int:
+    """Standalone entry point; non-zero exit on a gate failure so the
+    CI bench-smoke job cannot green-wash a failed run."""
+    payload = run()
+    failures = _check(payload)
+    for failure in failures:
+        print(f"bench_hybrid_qps: {failure}", file=sys.stderr)
+    summary = {
+        "dense_only_recall": round(
+            payload["accuracy"]["dense_only_recall"], 4
+        ),
+        "hybrid_recall": round(payload["accuracy"]["hybrid_recall"], 4),
+        "inverted_speedup_vs_bruteforce": round(
+            payload["throughput"]["inverted_speedup_vs_bruteforce"], 2
+        ),
+        "engines_bitwise_equal": payload["engines_bitwise_equal"],
+    }
+    print(json.dumps(summary, indent=2))
+    print(f"wrote {ARTIFACT}")
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

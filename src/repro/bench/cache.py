@@ -73,6 +73,14 @@ MULTITENANT_CLIENTS = _int_knob("REPRO_MULTITENANT_CLIENTS", 16)
 #: the per-wave fixed costs (IPC, per-query rerank bookkeeping) drown
 #: that signal, leaving no margin over the 1.6x/2.5x scaling floors.
 SHARDED_N = _int_knob("REPRO_SHARDED_N", 40_000)
+#: Corpus size and query count for the hybrid dense+lexical benchmark.
+#: Like ``SHARDED_N``, not shrunk in CI smoke runs: the ≥1.5x
+#: inverted-vs-bruteforce gate measures how skipping untouched rows
+#: beats the O(n · terms) scan, and below ~10k rows the per-query fixed
+#: costs (query parsing, the output array, the top-k select) drown that
+#: signal on both engines.
+HYBRID_N = _int_knob("REPRO_HYBRID_N", 20_000)
+HYBRID_QUERIES = _int_knob("REPRO_HYBRID_QUERIES", 40)
 
 
 @lru_cache(maxsize=None)

@@ -33,8 +33,8 @@ import numpy as np
 
 from repro.core.attributes import AttributeTable
 from repro.core.multivector import MultiVector, MultiVectorSet
-from repro.core.query import Query, SearchOptions, as_query
-from repro.core.results import SearchResult
+from repro.core.query import Query, SearchOptions, as_query, compile_filter
+from repro.core.results import SearchResult, SearchStats
 from repro.core.space import JointSpace
 from repro.core.weights import Weights
 from repro.index.base import GraphIndex, reseat_on_store
@@ -45,6 +45,7 @@ from repro.index.search import joint_search
 from repro.index.segments import MANIFEST_NAME, SegmentedIndex, SegmentPolicy
 from repro.store import STORE_KINDS, spill_cold
 from repro.utils.io import load_arrays
+from repro.utils.rng import spawn_seed_sequences
 from repro.utils.validation import require
 from repro.weightlearn.trainer import VectorWeightLearner, WeightLearningResult
 
@@ -77,6 +78,7 @@ class MUST:
         store_options: dict | None = None,
         cold_storage: str = "resident",
         data_dir: str | Path | None = None,
+        metrics: Sequence[str] | None = None,
     ):
         require(
             compression in STORE_KINDS,
@@ -110,6 +112,16 @@ class MUST:
         #: class docstring; ``"mmap"`` makes resident bytes O(hot).
         self.cold_storage = cold_storage
         self.data_dir = None if data_dir is None else Path(data_dir)
+        if metrics is not None:
+            # Per-modality metric declarations are validated at
+            # construction, so a typo ("cosin") fails here with the
+            # registry's did-you-mean hint rather than at first query.
+            objects = MultiVectorSet.from_store(
+                objects.store,
+                attributes=objects.attributes,
+                sparse=objects.sparse,
+                metrics=tuple(metrics),
+            )
         self.objects = objects
         self.weights = weights or Weights.uniform(objects.num_modalities)
         self.builder = builder or FusedIndexBuilder()
@@ -217,6 +229,33 @@ class MUST:
             self._index.space.vectors.set_attributes(self.objects.attributes)
         return self
 
+    def set_sparse(self, sparse) -> "MUST":
+        """Attach the sparse lexical plane hybrid queries score against
+        (row ``j`` of the plane holds object ``j``'s term frequencies,
+        exactly as row ``j`` of each dense matrix holds its vector).
+
+        Accepts a :class:`~repro.sparse.store.SparseStore` (build one
+        with ``SparseStore.from_rows``).  Attach before going dynamic:
+        once streaming inserts have split the corpus into segments, each
+        segment owns its sparse slice and new rows arrive on the
+        inserted :class:`MultiVectorSet` itself.
+        """
+        require(
+            self._segments is None,
+            "cannot attach a sparse plane after streaming inserts — each "
+            "segment owns its sparse slice; pass sparse= on the inserted "
+            "MultiVectorSet instead",
+        )
+        self.objects.set_sparse(sparse)
+        if (
+            self._index is not None
+            and self._index.space.vectors is not self.objects
+        ):
+            # Mirror onto the re-seated serving store, exactly as
+            # set_attributes does for the attribute table.
+            self._index.space.vectors.set_sparse(self.objects.sparse)
+        return self
+
     # ------------------------------------------------------------------
     # Stage 3: indexing (§VII-A)
     # ------------------------------------------------------------------
@@ -263,6 +302,14 @@ class MUST:
             "objects and tombstones (and recycle their external ids) — "
             "use compact() to reconstruct a segmented index",
         )
+        require(
+            self.objects.is_ip_only,
+            f"build() fuses modalities via the Lemma-1 concatenation, "
+            f"which requires metric 'ip' on every dense modality "
+            f"(declared: {list(self.objects.metrics)}) — cosine/l2 "
+            f"modalities are served by the exact paths "
+            f"(SearchOptions(exact=True))",
+        )
         index = reseat_on_store(
             self.builder.build(self.space), self.compression,
             self.store_options,
@@ -285,7 +332,10 @@ class MUST:
         spilled = spill_cold(store, self.data_dir, f"seg_{seq:06d}")
         index.space = JointSpace(
             MultiVectorSet.from_store(
-                spilled, attributes=vectors.attributes
+                spilled,
+                attributes=vectors.attributes,
+                sparse=vectors.sparse,
+                metrics=vectors.declared_metrics,
             ),
             index.space.weights,
         )
@@ -348,13 +398,17 @@ class MUST:
                 engine=engine,
                 exact=opts.exact,
                 refine=opts.refine,
+                sparse_engine=opts.sparse_engine,
                 check_monotone=opts.check_monotone,
             )
         if opts.exact:
             return executor.run_flat(
-                self._flat(), typed, opts.k, refine=opts.refine
+                self._flat(), typed, opts.k, refine=opts.refine,
+                sparse_engine=opts.sparse_engine,
             )
         opts = opts.resolve(self.objects.n)
+        if any(t.sparse is not None for t in typed):
+            return self._batch_graph_hybrid(typed, opts, engine)
         if engine == "wave":
             return executor.run_graph_wave(
                 self.index,
@@ -400,7 +454,8 @@ class MUST:
         if self._segments is not None:
             if opts.exact:
                 return self._segments.exact_search(
-                    q, opts.k, refine=opts.refine
+                    q, opts.k, refine=opts.refine,
+                    sparse_engine=opts.sparse_engine,
                 )
             opts = opts.resolve(self._segments.num_total)
             if engine == "wave":
@@ -412,6 +467,7 @@ class MUST:
                     early_termination=opts.early_termination,
                     rngs=[opts.rng],
                     refine=opts.refine,
+                    sparse_engine=opts.sparse_engine,
                     check_monotone=opts.check_monotone,
                 )
                 results[0].stats.merge(wave_stats)
@@ -424,11 +480,17 @@ class MUST:
                 engine=engine,
                 rng=opts.rng,
                 refine=opts.refine,
+                sparse_engine=opts.sparse_engine,
                 check_monotone=opts.check_monotone,
             )
         if opts.exact:
-            return self._flat().search(q, opts.k, refine=opts.refine)
+            return self._flat().search(
+                q, opts.k, refine=opts.refine,
+                sparse_engine=opts.sparse_engine,
+            )
         opts = opts.resolve(self.objects.n)
+        if q.sparse is not None:
+            return self._hybrid_graph_one(q, opts, engine)
         if engine == "wave":
             from repro.index.graph_wave import graph_wave_search
 
@@ -455,6 +517,119 @@ class MUST:
             refine=opts.refine,
             check_monotone=opts.check_monotone,
         )
+
+    def _hybrid_graph_one(
+        self, q: Query, opts: SearchOptions, engine: str, rng=None
+    ) -> SearchResult:
+        """One hybrid query on a single-graph instance.
+
+        The dense graph traversal proposes a candidate pool of up to
+        ``l`` ids, the sparse engine proposes its own lexical
+        candidates, and the union is exact-rescored under the combined
+        metric — the same union-rescore contract as the segmented
+        hybrid branch, so flat and segmented deployments agree on what
+        a hybrid answer means.  ``rng`` (a batch's per-query SeedSequence
+        child) overrides ``opts.rng`` so results are independent of
+        batch composition.
+        """
+        from repro.sparse.hybrid import hybrid_union_rescore
+
+        index = self.index
+        k = q.resolve_k(opts.k)
+        pool = min(opts.l, index.num_active)
+        dense = joint_search(
+            index,
+            q if q.k is None else _dc_replace(q, k=None),
+            k=pool,
+            l=opts.l,
+            early_termination=opts.early_termination,
+            # The wave engine is a batch layout of the heap traversal;
+            # a routed single query runs the heap engine directly.
+            engine="heap" if engine == "wave" else engine,
+            rng=opts.rng if rng is None else np.random.default_rng(rng),
+        )
+        mask = None
+        if index.deleted is not None:
+            mask = ~index.deleted
+        if q.filter is not None:
+            fmask = compile_filter(
+                q.filter, index.space.vectors.attributes
+            )
+            mask = fmask if mask is None else mask & fmask
+        ids, sims = hybrid_union_rescore(
+            index.space,
+            q,
+            dense.ids,
+            min(k, index.num_active),
+            admissible=mask,
+            weights=q.resolve_weights(None),
+            engine=opts.sparse_engine,
+            stats=dense.stats,
+        )
+        return SearchResult(ids=ids, similarities=sims, stats=dense.stats)
+
+    def _batch_graph_hybrid(
+        self, typed: list[Query], opts: SearchOptions, engine: str
+    ) -> BatchResult:
+        """Batch over a single-graph instance when some queries carry a
+        lexical component.
+
+        Hybrid queries run the per-query union-rescore path under the
+        same per-query SeedSequence child the batch engines would spawn
+        — so every query's answer is bit-identical regardless of its
+        batch-mates — while plain queries keep the batched engine.
+        """
+        from repro.index.graph_wave import graph_wave_search
+
+        seeds = spawn_seed_sequences(opts.rng, len(typed))
+        routed: dict[int, SearchResult] = {}
+        for i, t in enumerate(typed):
+            if t.sparse is not None:
+                routed[i] = self._hybrid_graph_one(
+                    t, opts, engine, rng=seeds[i]
+                )
+        plain = [i for i in range(len(typed)) if i not in routed]
+        plain_results: list[SearchResult] = []
+        wave_stats = None
+        if plain and engine == "wave":
+            plain_results, wave_stats = graph_wave_search(
+                self.index,
+                [typed[i] for i in plain],
+                k=opts.k,
+                l=opts.l,
+                early_termination=opts.early_termination,
+                rngs=[seeds[i] for i in plain],
+                refine=opts.refine,
+                check_monotone=opts.check_monotone,
+            )
+        elif plain:
+            memo: dict = {}
+            plain_results = [
+                joint_search(
+                    self.index,
+                    typed[i],
+                    k=opts.k,
+                    l=opts.l,
+                    early_termination=opts.early_termination,
+                    engine=engine,
+                    rng=np.random.default_rng(seeds[i]),
+                    refine=opts.refine,
+                    check_monotone=opts.check_monotone,
+                    filter_memo=memo,
+                )
+                for i in plain
+            ]
+        results: list[SearchResult] = []
+        it = iter(plain_results)
+        for i in range(len(typed)):
+            results.append(routed[i] if i in routed else next(it))
+        stats = SearchStats.aggregate(r.stats for r in results)
+        if wave_stats is not None:
+            stats.merge(wave_stats)
+        plan = (
+            "graph/wave+hybrid" if engine == "wave" else "graph/hybrid"
+        )
+        return BatchResult(results, stats, plan=plan)
 
     @staticmethod
     def _embed_weights(q: Query, weights: Weights | None) -> Query:

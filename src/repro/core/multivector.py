@@ -17,13 +17,17 @@ precision.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Iterable, Sequence
+from typing import TYPE_CHECKING, Iterable, Sequence
 
 import numpy as np
 
 from repro.core.attributes import AttributeTable
+from repro.core.registry import validate_metrics
 from repro.store import DenseStore, VectorStore
 from repro.utils.validation import as_float_matrix, as_float_vector, require
+
+if TYPE_CHECKING:
+    from repro.sparse.store import SparseStore
 
 __all__ = ["MultiVector", "MultiVectorSet", "normalize_rows"]
 
@@ -101,6 +105,8 @@ class MultiVectorSet:
         matrices: Sequence[np.ndarray],
         normalize: bool = False,
         attributes: AttributeTable | dict | None = None,
+        sparse: "SparseStore | None" = None,
+        metrics: Sequence[str] | None = None,
     ):
         require(len(matrices) >= 1, "at least one modality matrix required")
         mats = [as_float_matrix(m, f"modality {i}") for i, m in enumerate(matrices)]
@@ -114,21 +120,37 @@ class MultiVectorSet:
             mats = [normalize_rows(m) for m in mats]
         self._store: VectorStore = DenseStore(mats)
         self._attributes: AttributeTable | None = None
+        self._sparse: "SparseStore | None" = None
+        self._metrics: tuple[str, ...] | None = (
+            None if metrics is None else validate_metrics(metrics, len(mats))
+        )
         if attributes is not None:
             self.set_attributes(attributes)
+        if sparse is not None:
+            self.set_sparse(sparse)
 
     @classmethod
     def from_store(
         cls,
         store: VectorStore,
         attributes: AttributeTable | None = None,
+        sparse: "SparseStore | None" = None,
+        metrics: "tuple[str, ...] | None" = None,
     ) -> "MultiVectorSet":
         """Wrap an existing (possibly compressed) vector store."""
         out = cls.__new__(cls)
         out._store = store
         out._attributes = None
+        out._sparse = None
+        out._metrics = (
+            None
+            if metrics is None
+            else validate_metrics(metrics, store.num_modalities)
+        )
         if attributes is not None:
             out.set_attributes(attributes)
+        if sparse is not None:
+            out.set_sparse(sparse)
         return out
 
     # ------------------------------------------------------------------
@@ -165,6 +187,63 @@ class MultiVectorSet:
         )
         self._attributes = attributes
         return self
+
+    @property
+    def sparse(self) -> "SparseStore | None":
+        """The optional sparse lexical plane (BM25/TF-IDF rows)."""
+        return self._sparse
+
+    def set_sparse(self, sparse: "SparseStore") -> "MultiVectorSet":
+        """Attach (or replace) the sparse lexical plane; returns ``self``.
+
+        The plane's row count must match the corpus — row ``j`` of the
+        plane is object ``j``'s term frequencies, exactly as row ``j``
+        of every dense modality matrix is its dense vector.  Hybrid
+        queries (:class:`~repro.core.query.Query` with ``sparse=``)
+        require a plane — the hybrid scorer raises an actionable error
+        otherwise.
+        """
+        from repro.sparse.store import SparseStore
+
+        require(
+            isinstance(sparse, SparseStore),
+            f"set_sparse needs a SparseStore, got "
+            f"{type(sparse).__name__} — build one with "
+            f"SparseStore.from_rows(...)",
+        )
+        require(
+            sparse.n == self.n,
+            f"sparse plane covers {sparse.n} objects but the corpus "
+            f"has {self.n}",
+        )
+        self._sparse = sparse
+        return self
+
+    @property
+    def metrics(self) -> tuple[str, ...]:
+        """Registered scoring metric per dense modality (default ``ip``).
+
+        Declared at construction (``metrics=``) and validated against
+        the :mod:`~repro.core.registry`; ``ip`` everywhere reproduces
+        the historical behaviour bit for bit.
+        """
+        if self._metrics is None:
+            return ("ip",) * self.num_modalities
+        return self._metrics
+
+    @property
+    def declared_metrics(self) -> tuple[str, ...] | None:
+        """The explicit ``metrics=`` declaration (``None`` = default
+        ``ip`` everywhere) — what store-rebuild seams must thread
+        through to preserve the declaration."""
+        return self._metrics
+
+    @property
+    def is_ip_only(self) -> bool:
+        """True when every dense modality scores by inner product."""
+        return self._metrics is None or all(
+            m == "ip" for m in self._metrics
+        )
 
     @property
     def is_compressed(self) -> bool:
@@ -226,8 +305,10 @@ class MultiVectorSet:
     def subset(self, ids: np.ndarray) -> "MultiVectorSet":
         """New set containing only the objects in *ids* (row order kept).
 
-        The attribute table, when present, is sliced alongside the
-        vectors so filters keep answering correctly on the subset.
+        The attribute table and the sparse plane, when present, are
+        sliced alongside the vectors so filters and lexical scoring
+        keep answering correctly on the subset (the plane keeps its
+        stamped corpus-global statistics).
         """
         ids = np.asarray(ids)
         return MultiVectorSet.from_store(
@@ -237,6 +318,10 @@ class MultiVectorSet:
                 if self._attributes is None
                 else self._attributes.subset(ids)
             ),
+            sparse=(
+                None if self._sparse is None else self._sparse.subset(ids)
+            ),
+            metrics=self._metrics,
         )
 
     def concatenated(self, scales: Sequence[float] | None = None) -> np.ndarray:

@@ -46,6 +46,7 @@ import numpy.typing as npt
 
 from repro.core.attributes import AttributeTable
 from repro.core.multivector import MultiVector
+from repro.core.registry import resolve_engine
 from repro.core.weights import Weights
 from repro.utils.validation import require
 
@@ -248,12 +249,22 @@ class Query:
     ``filter`` restricts admissible answers via the corpus attribute
     table; ``k`` overrides the wave-level ``SearchOptions.k`` for this
     query only.
+
+    ``sparse`` optionally adds a lexical component — a
+    :class:`~repro.sparse.kernels.SparseQuery`, a ``{term: weight}``
+    mapping, or an ``(indices, values)`` pair, normalised at
+    construction — scored against the corpus's sparse plane and mixed
+    into the joint similarity as ``ω_s²·lex`` with
+    ``ω_s = sparse_weight`` (squared, mirroring the dense ω²
+    convention).
     """
 
     vector: MultiVector
     weights: "Weights | None" = None
     filter: "Filter | None" = None
     k: "int | None" = None
+    sparse: Any = None
+    sparse_weight: float = 1.0
 
     def __post_init__(self) -> None:
         require(
@@ -273,6 +284,20 @@ class Query:
         require(
             self.k is None or (isinstance(self.k, int) and self.k >= 1),
             f"Query.k must be a positive int or None, got {self.k!r}",
+        )
+        if self.sparse is not None:
+            # Normalise once at construction; dataclasses.replace()
+            # re-runs this, where as_sparse_query is the identity on an
+            # already-canonical SparseQuery.
+            from repro.sparse.kernels import as_sparse_query
+
+            object.__setattr__(self, "sparse", as_sparse_query(self.sparse))
+        require(
+            isinstance(self.sparse_weight, (int, float))
+            and np.isfinite(self.sparse_weight)
+            and float(self.sparse_weight) >= 0.0,
+            f"Query.sparse_weight must be a finite non-negative number, "
+            f"got {self.sparse_weight!r}",
         )
 
     def resolve_k(self, default: int) -> int:
@@ -347,6 +372,7 @@ class SearchOptions:
     rng: RngLike = 0
     check_monotone: bool = False
     collection: "str | None" = None
+    sparse_engine: str = "auto"
 
     def __post_init__(self) -> None:
         require(
@@ -375,11 +401,17 @@ class SearchOptions:
             f"SearchOptions.early_termination must be a bool, got "
             f"{self.early_termination!r}",
         )
-        require(
-            self.engine in ("auto", "heap", "paper", "wave"),
-            f"SearchOptions.engine must be one of 'auto', 'heap', "
-            f"'paper', 'wave', got {self.engine!r}",
-        )
+        # Engine names resolve through the metric/engine registry, so a
+        # typo'd engine= fails here with a did-you-mean instead of deep
+        # inside a searcher.
+        try:
+            resolve_engine(self.engine, kind="graph")
+        except ValueError as exc:
+            raise ValueError(f"SearchOptions.engine: {exc}") from None
+        try:
+            resolve_engine(self.sparse_engine, kind="sparse")
+        except ValueError as exc:
+            raise ValueError(f"SearchOptions.sparse_engine: {exc}") from None
         require(
             isinstance(self.n_jobs, int),
             f"SearchOptions.n_jobs must be an int (scikit-learn "

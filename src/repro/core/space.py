@@ -27,6 +27,7 @@ import os
 import numpy as np
 
 from repro.core.multivector import MultiVector, MultiVectorSet
+from repro.core.registry import dense_score_rows
 from repro.core.results import SearchStats
 from repro.core.weights import Weights
 from repro.store import ModalityKernel, VectorStore
@@ -193,7 +194,10 @@ class JointSpace:
         concatenation would silently undo the compression; scoring then
         runs through the store's asymmetric per-modality kernels.
         """
-        if self.is_compressed:
+        if self.is_compressed or not self._vectors.is_ip_only:
+            # Non-IP metrics have no concatenation identity (Lemma 1 is
+            # an inner-product fact); they score through the registry's
+            # row-wise fallback kernels instead.
             return None
         w2 = self._effective_weights(query, weights)
         omegas = self._weights.omegas
@@ -220,6 +224,13 @@ class JointSpace:
         :class:`~repro.index.scoring.Scorer` holds them for its whole
         search.
         """
+        require(
+            self._vectors.is_ip_only,
+            f"graph traversal and compressed scoring require metric 'ip' "
+            f"on every dense modality (declared: "
+            f"{self._vectors.metrics}) — use exact search for "
+            f"cosine/l2 modalities",
+        )
         w2 = self._effective_weights(query, weights)
         store = self.store
         return [
@@ -238,6 +249,21 @@ class JointSpace:
         uncompressed-query-vs-codes elsewhere.
         """
         out = np.zeros(self.n, dtype=np.float64)
+        if not self._vectors.is_ip_only:
+            w2 = self._effective_weights(query, weights)
+            metrics = self._vectors.metrics
+            store = self.store
+            for i, q in enumerate(query.vectors):
+                if q is None or w2[i] == 0.0:
+                    continue
+                if metrics[i] == "ip":
+                    kernel = store.query_kernel(i, q.astype(np.float32))
+                    out += w2[i] * kernel.all().astype(np.float64)
+                else:
+                    out += w2[i] * dense_score_rows(
+                        metrics[i], q, store.modality(i)
+                    )
+            return out
         for _, w2_i, kernel in self.query_kernels(query, weights):
             out += w2_i * kernel.all().astype(np.float64)
         return out
@@ -252,6 +278,26 @@ class JointSpace:
         """Joint similarity against the objects in *ids* (no pruning)."""
         ids = np.asarray(ids)
         out = np.zeros(ids.shape[0], dtype=np.float64)
+        if not self._vectors.is_ip_only:
+            w2 = self._effective_weights(query, weights)
+            metrics = self._vectors.metrics
+            store = self.store
+            active = 0
+            for i, q in enumerate(query.vectors):
+                if q is None or w2[i] == 0.0:
+                    continue
+                active += 1
+                if metrics[i] == "ip":
+                    kernel = store.query_kernel(i, q.astype(np.float32))
+                    out += w2[i] * kernel.ids(ids).astype(np.float64)
+                else:
+                    out += w2[i] * dense_score_rows(
+                        metrics[i], q, store.rows(i, ids)
+                    )
+            if stats is not None:
+                stats.joint_evals += int(ids.shape[0])
+                stats.modality_evals += int(ids.shape[0]) * active
+            return out
         kernels = self.query_kernels(query, weights)
         for _, w2_i, kernel in kernels:
             out += w2_i * kernel.ids(ids).astype(np.float64)
@@ -289,7 +335,13 @@ class JointSpace:
                 if ids is None
                 else store.exact_rows(i, np.asarray(ids))
             )
-            out += w2[i] * (rows @ q.astype(np.float32)).astype(np.float64)
+            metric = self._vectors.metrics[i]
+            if metric == "ip":
+                out += w2[i] * (
+                    rows @ q.astype(np.float32)
+                ).astype(np.float64)
+            else:
+                out += w2[i] * dense_score_rows(metric, q, rows)
             active += 1
         if stats is not None:
             stats.joint_evals += count
@@ -328,8 +380,14 @@ class JointSpace:
             if q is None or w2[i] == 0.0:
                 continue
             rows = self._f64_rows(i, ids_arr)
-            prod = rows * q.astype(np.float64)
-            out += w2[i] * np.add.reduce(prod, axis=1)
+            metric = self._vectors.metrics[i]
+            if metric == "ip":
+                prod = rows * q.astype(np.float64)
+                out += w2[i] * np.add.reduce(prod, axis=1)
+            else:
+                # The registry fallback reduces each row independently
+                # in float64, preserving this route's layout-independence.
+                out += w2[i] * dense_score_rows(metric, q, rows)
             active += 1
         if stats is not None:
             stats.joint_evals += count
@@ -403,6 +461,11 @@ class JointSpace:
         waves for one query — the graph searcher — pays per-query kernel
         preprocessing (PQ ADC tables) once instead of per wave.
         """
+        require(
+            self._vectors.is_ip_only,
+            "Lemma-4 early termination is an inner-product bound — it "
+            "requires metric 'ip' on every dense modality",
+        )
         ids = np.asarray(ids)
         w2 = self._effective_weights(query, weights)
         store = self.store

@@ -35,10 +35,16 @@ def reseat_on_store(
         [vectors.exact_modality(i) for i in range(vectors.num_modalities)],
         **(store_options or {}),
     )
-    # The attribute table rides along: compression changes the vector
-    # representation, never which objects a filter admits.
+    # The attribute table, sparse plane, and metric declaration ride
+    # along: compression changes the dense vector representation, never
+    # which objects a filter admits or how lexical rows score.
     index.space = JointSpace(
-        MultiVectorSet.from_store(store, attributes=vectors.attributes),
+        MultiVectorSet.from_store(
+            store,
+            attributes=vectors.attributes,
+            sparse=vectors.sparse,
+            metrics=vectors.declared_metrics,
+        ),
         index.space.weights,
     )
     return index

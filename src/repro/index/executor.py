@@ -211,6 +211,7 @@ class BatchExecutor:
         engine: str = "heap",
         exact: bool = False,
         refine: int | None = None,
+        sparse_engine: str = "auto",
         **search_kwargs,
     ) -> BatchResult:
         """Batch over a :class:`~repro.index.segments.SegmentedIndex`
@@ -227,7 +228,8 @@ class BatchExecutor:
         queries = list(queries)
         if exact:
             results = segmented.exact_batch(
-                queries, k, weights=weights, refine=refine
+                queries, k, weights=weights, refine=refine,
+                sparse_engine=sparse_engine,
             )
             return BatchResult(
                 results, SearchStats.aggregate(r.stats for r in results),
@@ -243,6 +245,7 @@ class BatchExecutor:
                 early_termination=early_termination,
                 rng=self.rng,
                 refine=refine,
+                sparse_engine=sparse_engine,
                 **search_kwargs,
             )
             stats = SearchStats.aggregate(r.stats for r in results)
@@ -272,6 +275,7 @@ class BatchExecutor:
                 engine=engine,
                 rng=seed,
                 refine=refine,
+                sparse_engine=sparse_engine,
                 filter_memo=memo,
                 **search_kwargs,
             )
@@ -292,6 +296,7 @@ class BatchExecutor:
         weights: Weights | None = None,
         refine: int | None = None,
         margin: float = 1e-4,
+        sparse_engine: str = "auto",
     ) -> BatchResult:
         """Coalesced exact batch over a segment view, bit-identical to
         the per-query exact path.
@@ -305,7 +310,8 @@ class BatchExecutor:
         carries the ~1e-7 similarity caveat.
         """
         results = view.exact_wave(
-            list(queries), k, weights=weights, refine=refine, margin=margin
+            list(queries), k, weights=weights, refine=refine, margin=margin,
+            sparse_engine=sparse_engine,
         )
         return BatchResult(
             results, SearchStats.aggregate(r.stats for r in results),
@@ -322,10 +328,12 @@ class BatchExecutor:
         k: int,
         weights: Weights | None = None,
         refine: int | None = None,
+        sparse_engine: str = "auto",
     ) -> BatchResult:
         """Single-GEMM exact batch over a :class:`FlatIndex`."""
         results = flat.batch_search(
-            list(queries), k, weights=weights, refine=refine
+            list(queries), k, weights=weights, refine=refine,
+            sparse_engine=sparse_engine,
         )
         return BatchResult(
             results, SearchStats.aggregate(r.stats for r in results),

@@ -25,11 +25,12 @@ from __future__ import annotations
 import numpy as np
 
 from repro.core.multivector import MultiVector
-from repro.core.query import Query, unpack_query
+from repro.core.query import Query, as_query, unpack_query
 from repro.core.results import SearchResult
 from repro.core.space import JointSpace
 from repro.core.weights import Weights
 from repro.index.scoring import Scorer, batch_score_all, rerank_exact
+from repro.sparse.hybrid import add_sparse, hybrid_rerank
 from repro.utils.topk import top_k_sorted
 from repro.utils.validation import require
 
@@ -108,20 +109,31 @@ class FlatIndex:
 
     def _refined(
         self,
-        query: MultiVector,
+        typed: Query,
         sims: np.ndarray,
         k: int,
         refine: int,
         weights: Weights | None,
         stats,
         mask: np.ndarray | None = None,
+        sparse_engine: str = "auto",
     ) -> SearchResult:
         """Two-stage rerank: top ``refine·k`` of the scan, re-scored at
-        full precision against the store's exact tier, cut to *k*."""
+        full precision against the store's exact tier, cut to *k*.  On a
+        hybrid query the rerank adds the sparse term at the shortlist
+        rows (the first-stage ``sims`` already contain it, so the
+        shortlist is picked under the combined metric)."""
         shortlist = self._rank(sims, refine * k, mask)
-        local, exact = rerank_exact(
-            self.space, query, shortlist, k, weights=weights, stats=stats
-        )
+        if typed.sparse is not None:
+            local, exact = hybrid_rerank(
+                self.space, typed, shortlist, k, weights=weights,
+                stats=stats, engine=sparse_engine,
+            )
+        else:
+            local, exact = rerank_exact(
+                self.space, typed.vector, shortlist, k, weights=weights,
+                stats=stats,
+            )
         out_ids = local if self.ids is None else self.ids[local]
         return SearchResult(ids=out_ids, similarities=exact, stats=stats)
 
@@ -131,24 +143,32 @@ class FlatIndex:
         k: int = 10,
         weights: Weights | None = None,
         refine: int | None = None,
+        sparse_engine: str = "auto",
     ) -> SearchResult:
         """Exact top-*k* by full scan.
 
         On a compressed space the scan scores the hot codes; pass
         ``refine=r`` to re-score the top ``r·k`` survivors at full
         precision (two-stage rerank) before cutting to *k*.  A typed
-        :class:`Query` supplies per-query ``weights``/``filter``/``k``.
+        :class:`Query` supplies per-query ``weights``/``filter``/``k``
+        and an optional ``sparse=`` lexical component, whose scores are
+        mixed into the scan as ``ω_s²·lex`` (``sparse_engine`` picks the
+        lexical scorer; both engines produce the same bits).
         """
         require(refine is None or refine >= 1, "refine must be >= 1")
+        typed = as_query(query)
         query, k, weights, mask = unpack_query(
-            query, k, weights, self.space.vectors.attributes
+            typed, k, weights, self.space.vectors.attributes
         )
         scorer = Scorer(self.space, query, weights=weights,
                         deterministic=self.deterministic)
         sims = scorer.score_all()
+        if typed.sparse is not None:
+            sims = add_sparse(sims, self.space, typed, engine=sparse_engine)
         if refine is not None:
             return self._refined(
-                query, sims, k, refine, weights, scorer.stats, mask
+                typed, sims, k, refine, weights, scorer.stats, mask,
+                sparse_engine=sparse_engine,
             )
         local = self._rank(sims, k, mask)
         return self._result(local, sims, scorer.stats)
@@ -159,6 +179,7 @@ class FlatIndex:
         k: int = 10,
         weights: Weights | None = None,
         refine: int | None = None,
+        sparse_engine: str = "auto",
     ) -> list[SearchResult]:
         """Exact top-*k* for a whole batch — one GEMM for the wave.
 
@@ -176,21 +197,29 @@ class FlatIndex:
         require(refine is None or refine >= 1, "refine must be >= 1")
         attributes = self.space.vectors.attributes
         memo: dict = {}  # shared filters compile once per wave
+        typed_queries = [as_query(q) for q in queries]
         unpacked = [
             unpack_query(q, k, weights, attributes, memo=memo)
-            for q in queries
+            for q in typed_queries
         ]
         vectors = [u[0] for u in unpacked]
         all_sims, all_stats = batch_score_all(
             self.space, vectors, weights=[u[2] for u in unpacked]
         )
         out = []
-        for (query, k_i, w_i, mask), sims, stats in zip(
-            unpacked, all_sims, all_stats
+        for typed, (query, k_i, w_i, mask), sims, stats in zip(
+            typed_queries, unpacked, all_sims, all_stats
         ):
+            if typed.sparse is not None:
+                sims = add_sparse(
+                    sims, self.space, typed, engine=sparse_engine
+                )
             if refine is not None:
                 out.append(
-                    self._refined(query, sims, k_i, refine, w_i, stats, mask)
+                    self._refined(
+                        typed, sims, k_i, refine, w_i, stats, mask,
+                        sparse_engine=sparse_engine,
+                    )
                 )
                 continue
             local = self._rank(sims, k_i, mask)

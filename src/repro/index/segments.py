@@ -74,6 +74,8 @@ from repro.index.graphs.hnsw import HNSWBuilder, HNSWGraph
 from repro.index.pipeline import FusedIndexBuilder
 from repro.index.scoring import batch_score_all, rerank_exact
 from repro.index.search import joint_search
+from repro.sparse.hybrid import hybrid_union_rescore
+from repro.sparse.store import SparseStats, SparseStore, sum_stats
 from repro.store import (
     STORE_KINDS,
     ColdPlane,
@@ -100,12 +102,16 @@ MANIFEST_NAME = "manifest.json"
 #: readable.  v3 adds per-segment storage mode: segments whose cold
 #: tier lives in sidecar ``.npy`` files carry ``"storage": "mmap"`` and
 #: a ``"cold_files"`` list; everything else loads exactly as v2.
-#: Resident indexes keep *writing* v2, so their archives stay
-#: bit-identical to previous releases.
+#: v4 adds sparse lexical plane descriptors: segments with a sparse
+#: plane carry its CSR arrays under the ``sparse__`` prefix in their
+#: archives.  Indexes without a sparse plane keep *writing* v2 (or v3
+#: when memory-mapped), so their archives stay bit-identical to
+#: previous releases and remain loadable by older library versions.
 _FORMAT_V1 = "must-segments-v1"
 _FORMAT = "must-segments-v2"
 _FORMAT_V3 = "must-segments-v3"
-FORMAT_VERSION = 3
+_FORMAT_V4 = "must-segments-v4"
+FORMAT_VERSION = 4
 
 
 @dataclass
@@ -183,6 +189,7 @@ class _DeltaSegment:
         self.weights = weights
         self.mats: list[np.ndarray] | None = None
         self.attrs: AttributeTable | None = None
+        self.sparse: SparseStore | None = None
         self.ext_ids = np.zeros(0, dtype=np.int64)
         self.deleted = np.zeros(0, dtype=bool)
         self.graph = HNSWGraph()
@@ -213,6 +220,7 @@ class _DeltaSegment:
         if self.mats is None:
             self.mats = [m.copy() for m in objects.matrices]
             self.attrs = objects.attributes
+            self.sparse = objects.sparse
         else:
             require(
                 objects.dims == tuple(m.shape[1] for m in self.mats),
@@ -228,12 +236,26 @@ class _DeltaSegment:
                 self.attrs = AttributeTable.concat(
                     [self.attrs, objects.attributes]
                 )
+            if self.sparse is not None or objects.sparse is not None:
+                # Presence parity is enforced upstream in
+                # SegmentedIndex.insert; concat re-checks vocab/metric.
+                require(
+                    self.sparse is not None and objects.sparse is not None,
+                    "inserted objects must carry a sparse plane exactly "
+                    "when the corpus does",
+                )
+                self.sparse = SparseStore.concat(
+                    [self.sparse, objects.sparse]
+                )
         self.ext_ids = np.concatenate([self.ext_ids, ext_ids])
         self.deleted = np.concatenate(
             [self.deleted, np.zeros(ext_ids.size, dtype=bool)]
         )
         self._space = JointSpace(
-            MultiVectorSet(self.mats, attributes=self.attrs), self.weights
+            MultiVectorSet(
+                self.mats, attributes=self.attrs, sparse=self.sparse
+            ),
+            self.weights,
         )
         self._materialized = None
         for local in range(start, self.n):
@@ -252,6 +274,7 @@ class _DeltaSegment:
     def reset(self) -> None:
         self.mats = None
         self.attrs = None
+        self.sparse = None
         self.ext_ids = np.zeros(0, dtype=np.int64)
         self.deleted = np.zeros(0, dtype=bool)
         self.graph = HNSWGraph()
@@ -280,6 +303,27 @@ def _merge_candidates(
     sims = np.concatenate([p[1] for p in parts])
     order = np.lexsort((ids, -sims))[:k]
     return ids[order], sims[order]
+
+
+def _admissible_mask(
+    seg: Segment, typed: Query, memo: dict | None = None
+) -> np.ndarray | None:
+    """Boolean ``filter ∧ ¬deleted`` mask over a segment's rows.
+
+    The admissibility the sparse candidate generator must honour — the
+    dense graph searcher enforces the same two conditions internally, so
+    the hybrid union draws both candidate sets from one corpus view.
+    ``None`` means every row is admissible."""
+    mask = None
+    if seg.index.deleted is not None:
+        mask = ~seg.index.deleted
+    if typed.filter is not None:
+        fmask = compile_filter(
+            typed.filter, seg.space.vectors.attributes,
+            context=f"{seg.kind} segment", memo=memo,
+        )
+        mask = fmask if mask is None else (mask & fmask)
+    return mask
 
 
 def _segment_rngs(rng, count: int) -> list:
@@ -388,6 +432,7 @@ class SegmentView:
         engine: str = "heap",
         rng: np.random.Generator | np.random.SeedSequence | int | None = 0,
         refine: int | None = None,
+        sparse_engine: str = "auto",
         **search_kwargs,
     ) -> SearchResult:
         """Cross-segment graph search: per-segment top-``l`` candidates
@@ -403,11 +448,18 @@ class SegmentView:
         segment's top ``min(r·k, |candidates|)`` hot-tier survivors are
         re-scored at full precision before the cross-segment merge, so
         the merged ranking is by exact similarity.
+
+        A hybrid query (``Query.sparse=``) fuses per segment: the dense
+        traversal's candidates union with the sparse engine's top
+        admissible rows and the union is exact-rescored under the
+        combined metric (:func:`hybrid_union_rescore`) — which subsumes
+        ``refine``, since the rescore already reads the exact tier.
         """
         require(refine is None or refine >= 1, "refine must be >= 1")
         typed = as_query(query)
         k = typed.resolve_k(k)
         weights = typed.resolve_weights(weights)
+        memo: dict = {}  # hybrid admissibility: compile filters once
         # The per-query k override must not shrink the *per-segment*
         # candidate pool (k=min(l, active) below), so strip it before
         # the inner searches; weights/filter still ride along.  It may
@@ -436,7 +488,15 @@ class SegmentView:
                 **search_kwargs,
             )
             res.stats.segments_probed = 1
-            if refine is not None:
+            if typed.sparse is not None:
+                local, exact = hybrid_union_rescore(
+                    seg.space, typed, res.ids, min(l, seg.num_active),
+                    admissible=_admissible_mask(seg, typed, memo),
+                    weights=weights, engine=sparse_engine,
+                    stats=res.stats, context=f"{seg.kind} segment",
+                )
+                parts.append((seg.ext_ids[local], exact))
+            elif refine is not None:
                 keep = min(refine * k, res.ids.size)
                 local, exact = rerank_exact(
                     seg.space, typed.vector, res.ids[:keep], keep,
@@ -461,6 +521,7 @@ class SegmentView:
         refine: int | None = None,
         check_monotone: bool = False,
         filter_memo: dict | None = None,
+        sparse_engine: str = "auto",
     ) -> tuple[list[SearchResult], SearchStats]:
         """Cross-segment lockstep batch: one
         :func:`~repro.index.graph_wave.graph_wave_search` wave per
@@ -486,6 +547,13 @@ class SegmentView:
         aggregated per-segment stats, plus one batch-level
         :class:`~repro.core.results.SearchStats` holding the summed
         ``waves``/``frontier_sizes`` trace across segments.
+
+        Hybrid queries (``Query.sparse=``) leave the lockstep wave and
+        route through the per-query graph path (:meth:`search` with
+        ``engine="heap"``) under the *same* per-query seed the wave
+        would have spawned — so a query's result is identical whether
+        its batch-mates are hybrid or not, and plain queries keep the
+        wave untouched.
         """
         from repro.index.graph_wave import graph_wave_search
 
@@ -514,28 +582,39 @@ class SegmentView:
         segs = self.segments
         per_query_rngs = [_segment_rngs(seed, len(segs)) for seed in seeds]
         memo: dict = {} if filter_memo is None else filter_memo
+        plain = [i for i, t in enumerate(typed) if t.sparse is None]
+        routed: dict[int, SearchResult] = {}
+        for i in range(b):
+            if typed[i].sparse is None:
+                continue
+            routed[i] = self.search(
+                typed[i], k=k, l=l, weights=weights,
+                early_termination=early_termination, engine="heap",
+                rng=seeds[i], refine=refine,
+                sparse_engine=sparse_engine,
+            )
         parts: list[list[tuple[np.ndarray, np.ndarray]]] = [
             [] for _ in typed
         ]
         stats_parts: list[list[SearchStats]] = [[] for _ in typed]
         for si, seg in enumerate(segs):
-            if seg.num_active == 0:
+            if seg.num_active == 0 or not plain:
                 continue
             seg_results, wstats = graph_wave_search(
                 seg.index,
-                inner,
+                [inner[i] for i in plain],
                 k=k,
                 l=l,
                 weights=weights,
                 early_termination=early_termination,
-                rngs=[per_query_rngs[i][si] for i in range(b)],
+                rngs=[per_query_rngs[i][si] for i in plain],
                 check_monotone=check_monotone,
                 filter_memo=memo,
-                ks=[min(l_i, seg.num_active) for l_i in ls],
-                ls=[min(l_i, seg.n) for l_i in ls],
+                ks=[min(ls[i], seg.num_active) for i in plain],
+                ls=[min(ls[i], seg.n) for i in plain],
             )
             wave_total.merge(wstats)
-            for i, res in enumerate(seg_results):
+            for i, res in zip(plain, seg_results):
                 res.stats.segments_probed = 1
                 if refine is not None:
                     keep = min(refine * ks[i], res.ids.size)
@@ -548,7 +627,10 @@ class SegmentView:
                     parts[i].append((seg.ext_ids[res.ids], res.similarities))
                 stats_parts[i].append(res.stats)
         results = []
-        for k_i, p_i, s_i in zip(ks, parts, stats_parts):
+        for i, (k_i, p_i, s_i) in enumerate(zip(ks, parts, stats_parts)):
+            if i in routed:
+                results.append(routed[i])
+                continue
             ids, sims = _merge_candidates(p_i, k_i)
             results.append(
                 SearchResult(ids, sims, SearchStats.aggregate(s_i))
@@ -561,6 +643,7 @@ class SegmentView:
         k: int = 10,
         weights: Weights | None = None,
         refine: int | None = None,
+        sparse_engine: str = "auto",
     ) -> SearchResult:
         """Exact cross-segment top-*k* (the MUST-- path over segments).
 
@@ -588,7 +671,8 @@ class SegmentView:
                 ids=seg.ext_ids,
                 deterministic=True,
             )
-            res = flat.search(typed, k, weights=weights, refine=refine)
+            res = flat.search(typed, k, weights=weights, refine=refine,
+                              sparse_engine=sparse_engine)
             res.stats.segments_probed = 1
             parts.append((res.ids, res.similarities))
             stats_parts.append(res.stats)
@@ -601,6 +685,7 @@ class SegmentView:
         k: int,
         weights: Weights | None = None,
         refine: int | None = None,
+        sparse_engine: str = "auto",
     ) -> list[SearchResult]:
         """Exact batch: one GEMM wave per segment, merged per query.
 
@@ -626,7 +711,8 @@ class SegmentView:
                 seg.space, deleted=seg.index.deleted, ids=seg.ext_ids
             )
             for j, res in enumerate(
-                flat.batch_search(queries, k, weights, refine=refine)
+                flat.batch_search(queries, k, weights, refine=refine,
+                                  sparse_engine=sparse_engine)
             ):
                 res.stats.segments_probed = 1
                 per_query[j].append((res.ids, res.similarities))
@@ -646,6 +732,7 @@ class SegmentView:
         weights: Weights | None = None,
         refine: int | None = None,
         margin: float = 1e-4,
+        sparse_engine: str = "auto",
     ) -> list[SearchResult]:
         """Coalesced exact batch, bit-identical to :meth:`exact_search`.
 
@@ -668,6 +755,11 @@ class SegmentView:
         ``refine=r`` feeds the same top ``r·k`` per-segment shortlist to
         :func:`rerank_exact` that the single-query path would, preserving
         bit-identity through the two-stage pipeline.
+
+        Hybrid queries (``Query.sparse=``) route straight through
+        :meth:`exact_search` — the GEMM prefilter's margin bound covers
+        only the dense term, so a hybrid query cannot share the wave;
+        per-query routing keeps the bit-identity contract trivially.
         """
         require(k >= 1, "k must be positive")
         require(refine is None or refine >= 1, "refine must be >= 1")
@@ -677,21 +769,33 @@ class SegmentView:
         ks = [q.resolve_k(k) for q in typed]
         ws = [q.resolve_weights(weights) for q in typed]
         ps = [k_j if refine is None else refine * k_j for k_j in ks]
+        routed: dict[int, SearchResult] = {}
+        plain = []
+        for j, t in enumerate(typed):
+            if t.sparse is not None:
+                routed[j] = self.exact_search(
+                    t, k, weights=weights, refine=refine,
+                    sparse_engine=sparse_engine,
+                )
+            else:
+                plain.append(j)
         per_query: list[list[tuple[np.ndarray, np.ndarray]]] = [
             [] for _ in typed
         ]
         per_stats: list[list[SearchStats]] = [[] for _ in typed]
         for seg in self.segments:
-            if seg.num_active == 0:
+            if seg.num_active == 0 or not plain:
                 continue
             sims_list, stats_list = batch_score_all(
-                seg.space, vectors, weights=ws
+                seg.space, [vectors[j] for j in plain],
+                weights=[ws[j] for j in plain],
             )
             deleted = seg.index.deleted
             attributes = seg.space.vectors.attributes
             memo: dict = {}  # shared filters compile once per segment
-            for j, query in enumerate(vectors):
-                sims, stats = sims_list[j], stats_list[j]
+            for idx, j in enumerate(plain):
+                query = vectors[j]
+                sims, stats = sims_list[idx], stats_list[idx]
                 k_j, p = ks[j], ps[j]
                 if deleted is not None:
                     sims = np.where(deleted, -np.inf, sims)
@@ -742,7 +846,12 @@ class SegmentView:
                 per_query[j].append((ids, exact))
                 per_stats[j].append(stats)
         out = []
-        for k_j, parts, stats_parts in zip(ks, per_query, per_stats):
+        for j, (k_j, parts, stats_parts) in enumerate(
+            zip(ks, per_query, per_stats)
+        ):
+            if j in routed:
+                out.append(routed[j])
+                continue
             ids, sims = _merge_candidates(parts, k_j)
             out.append(
                 SearchResult(ids, sims, SearchStats.aggregate(stats_parts))
@@ -946,7 +1055,8 @@ class SegmentedIndex:
         spilled = spill_cold(store, self.data_dir, stem)
         index.space = JointSpace(
             MultiVectorSet.from_store(
-                spilled, attributes=vectors.attributes
+                spilled, attributes=vectors.attributes,
+                sparse=vectors.sparse, metrics=vectors.declared_metrics,
             ),
             index.space.weights,
         )
@@ -1121,6 +1231,19 @@ class SegmentedIndex:
                 f"attach them via MultiVectorSet.set_attributes before "
                 f"insert",
             )
+            existing_sp = self._sparse_signature()
+            incoming_sp = (
+                None
+                if objects.sparse is None
+                else (objects.sparse.vocab, objects.sparse.metric)
+            )
+            require(
+                existing_sp == incoming_sp,
+                f"inserted objects must carry the same sparse plane as the "
+                f"corpus (corpus (vocab, metric): {existing_sp}, inserted: "
+                f"{incoming_sp}) — attach rows via "
+                f"MultiVectorSet.set_sparse before insert",
+            )
         if ext_ids is None:
             ext = np.arange(
                 self._next_ext, self._next_ext + objects.n, dtype=np.int64
@@ -1150,6 +1273,7 @@ class SegmentedIndex:
         self.delta.append(objects, ext, self.hnsw, self.seed)
         self._maybe_seal()
         self._maybe_compact()
+        self._restamp_sparse()
         return ext
 
     def mark_deleted(
@@ -1207,7 +1331,10 @@ class SegmentedIndex:
             self.delta.reset()
             return None
         space = JointSpace(
-            MultiVectorSet(self.delta.mats, attributes=self.delta.attrs),
+            MultiVectorSet(
+                self.delta.mats, attributes=self.delta.attrs,
+                sparse=self.delta.sparse,
+            ),
             self.weights,
         )
         index = self.builder.build(space)
@@ -1219,6 +1346,7 @@ class SegmentedIndex:
         self.sealed.append(seg)
         self.delta.reset()
         self.num_seals += 1
+        self._restamp_sparse()
         return seg
 
     def compact(self) -> np.ndarray:
@@ -1241,6 +1369,7 @@ class SegmentedIndex:
         alive_parts: list[tuple[Segment, np.ndarray]] = []
         mat_parts: list[list[np.ndarray]] = [[] for _ in range(num_modalities)]
         attr_parts: list[AttributeTable] = []
+        sparse_parts: list[SparseStore] = []
         contributing = 0
         for seg in segs:
             alive = (
@@ -1256,6 +1385,9 @@ class SegmentedIndex:
             seg_attrs = seg.space.vectors.attributes
             if seg_attrs is not None:
                 attr_parts.append(seg_attrs.subset(alive))
+            seg_sparse = seg.space.vectors.sparse
+            if seg_sparse is not None:
+                sparse_parts.append(seg_sparse.subset(alive))
             if not streaming:
                 for i in range(num_modalities):
                     # Rebuild from the exact cold tier, not the hot
@@ -1286,6 +1418,17 @@ class SegmentedIndex:
                 "inconsistent",
             )
             attributes = AttributeTable.concat(attr_parts).subset(order)
+        sparse_plane: SparseStore | None = None
+        if sparse_parts:
+            require(
+                len(sparse_parts) == contributing,
+                "cannot compact: some segments carry a sparse plane and "
+                "some do not — the corpus sparse state is inconsistent",
+            )
+            # Tombstoned rows just fell out of the corpus, so the stats
+            # stamped on the parts are stale; _restamp_sparse below
+            # recomputes them over the survivors.
+            sparse_plane = SparseStore.concat(sparse_parts).subset(order)
         if streaming:
             mats, out_paths = self._stream_merged_cold(
                 alive_parts, order, num_modalities
@@ -1293,7 +1436,9 @@ class SegmentedIndex:
         else:
             mats = [np.concatenate(parts)[order] for parts in mat_parts]
             out_paths = []
-        objects = MultiVectorSet(mats, attributes=attributes)
+        objects = MultiVectorSet(
+            mats, attributes=attributes, sparse=sparse_plane
+        )
         space = JointSpace(objects, self.weights)
         index = self.builder.build(space)
         if streaming:
@@ -1307,7 +1452,9 @@ class SegmentedIndex:
                 MmapPlane(out_paths)
             )
             index.space = JointSpace(
-                MultiVectorSet.from_store(store, attributes=attributes),
+                MultiVectorSet.from_store(
+                    store, attributes=attributes, sparse=sparse_plane
+                ),
                 self.weights,
             )
         else:
@@ -1317,6 +1464,7 @@ class SegmentedIndex:
         self.num_compactions += 1
         if streaming:
             self._retire_cold_files(old_planes, keep=set(out_paths))
+        self._restamp_sparse()
         return ext[order]
 
     def _stream_merged_cold(
@@ -1371,6 +1519,86 @@ class SegmentedIndex:
         else:
             return None
         return None if attrs is None else attrs.fields
+
+    def _sparse_signature(self) -> tuple[int, str] | None:
+        """``(vocab, metric)`` of the corpus sparse plane, or ``None``."""
+        if self.delta.n:
+            plane = self.delta.sparse
+        elif self.sealed:
+            plane = self.sealed[0].space.vectors.sparse
+        else:
+            return None
+        return None if plane is None else (plane.vocab, plane.metric)
+
+    def sparse_local_stats(self) -> SparseStats | None:
+        """Sum of per-segment local sparse statistics — the corpus truth.
+
+        Covers every *stored* row, tombstones included: soft-deleted
+        rows keep shaping the document frequencies until a compaction
+        physically drops them, matching the single-plane convention.
+        ``None`` when the corpus carries no sparse plane.  The sharded
+        front-end sums these across shards to build the global stats it
+        broadcasts back.
+        """
+        parts = []
+        for seg in self.sealed:
+            plane = seg.space.vectors.sparse
+            if plane is not None:
+                parts.append(plane.local_stats())
+        if self.delta.n and self.delta.sparse is not None:
+            parts.append(self.delta.sparse.local_stats())
+        if not parts:
+            return None
+        return sum_stats(parts)
+
+    def _restamp_sparse(self, stats: SparseStats | None = None) -> None:
+        """Re-stamp every segment's sparse plane with corpus-global
+        statistics — run after insert/seal/compact so BM25/TF-IDF scores
+        are independent of how the corpus is split into segments.
+
+        Each sealed segment's space is *replaced* (never mutated) with a
+        new :class:`JointSpace` over the re-wrapped plane
+        (:meth:`SparseStore.with_stats`); frozen snapshots hold the old
+        space objects, so their answers cannot shift underneath them.
+        The dense concat/float64 caches transplant onto the new space —
+        restamping is metadata-only, no vector work is redone.
+
+        *stats* overrides the locally computed sum: a shard of a
+        partitioned corpus receives the cross-shard global sum from the
+        front-end this way.
+        """
+        if stats is None:
+            stats = self.sparse_local_stats()
+        if stats is None:
+            return
+        for seg in self.sealed:
+            old = seg.index.space
+            vectors = old.vectors
+            plane = vectors.sparse
+            if plane is None:
+                continue
+            new_space = JointSpace(
+                MultiVectorSet.from_store(
+                    vectors.store,
+                    attributes=vectors.attributes,
+                    sparse=plane.with_stats(stats),
+                    metrics=vectors.declared_metrics,
+                ),
+                old.weights,
+            )
+            new_space._concat = old._concat
+            new_space._f64 = old._f64
+            seg.index.space = new_space
+        if self.delta.n and self.delta.sparse is not None:
+            self.delta.sparse = self.delta.sparse.with_stats(stats)
+            self.delta._space = JointSpace(
+                MultiVectorSet(
+                    self.delta.mats, attributes=self.delta.attrs,
+                    sparse=self.delta.sparse,
+                ),
+                self.weights,
+            )
+            self.delta._materialized = None
 
     def _maybe_seal(self) -> None:
         if self.delta.n >= self.policy.seal_size:
@@ -1441,10 +1669,12 @@ class SegmentedIndex:
         k: int = 10,
         weights: Weights | None = None,
         refine: int | None = None,
+        sparse_engine: str = "auto",
     ) -> SearchResult:
         """Exact cross-segment top-*k* — see :meth:`SegmentView.exact_search`."""
         return self.view().exact_search(query, k, weights=weights,
-                                        refine=refine)
+                                        refine=refine,
+                                        sparse_engine=sparse_engine)
 
     def exact_batch(
         self,
@@ -1452,10 +1682,12 @@ class SegmentedIndex:
         k: int,
         weights: Weights | None = None,
         refine: int | None = None,
+        sparse_engine: str = "auto",
     ) -> list[SearchResult]:
         """Exact GEMM-wave batch — see :meth:`SegmentView.exact_batch`."""
         return self.view().exact_batch(queries, k, weights=weights,
-                                       refine=refine)
+                                       refine=refine,
+                                       sparse_engine=sparse_engine)
 
     def prepare_search(self) -> None:
         """Materialise every lazy artifact (delta graph, per-segment
@@ -1477,7 +1709,10 @@ class SegmentedIndex:
         ``segment_{i:03d}.cold_{m}.npy`` files next to the archives
         (``.npz`` is a zip and cannot be mapped); their segments are
         recorded with ``"storage": "mmap"`` and the manifest format
-        becomes ``must-segments-v3``.  All-resident indexes keep
+        becomes ``must-segments-v3``.  A corpus with a sparse lexical
+        plane stores its per-segment CSR arrays (stamped stats
+        included) inside the archives and bumps the manifest to
+        ``must-segments-v4``.  All-resident, dense-only indexes keep
         writing v2 archives, byte-identical to previous releases."""
         path = Path(path)
         path.mkdir(parents=True, exist_ok=True)
@@ -1504,10 +1739,16 @@ class SegmentedIndex:
                 {"file": fname, "kind": "delta", "n": int(self.delta.n)}
             )
         mapped = any(e.get("storage") == "mmap" for e in entries)
-        v3 = self.cold_storage == "mmap" or mapped
+        needs_mmap = self.cold_storage == "mmap" or mapped
+        if self._sparse_signature() is not None:
+            fmt, version = _FORMAT_V4, 4
+        elif needs_mmap:
+            fmt, version = _FORMAT_V3, 3
+        else:
+            fmt, version = _FORMAT, 2
         manifest = {
-            "format": _FORMAT_V3 if v3 else _FORMAT,
-            "format_version": 3 if v3 else 2,
+            "format": fmt,
+            "format_version": version,
             "compression": self.compression,
             "store_options": {
                 k: v
@@ -1530,7 +1771,7 @@ class SegmentedIndex:
             },
             "segments": entries,
         }
-        if v3:
+        if needs_mmap:
             manifest["cold_storage"] = self.cold_storage
         if self.shard is not None:
             manifest["shard"] = {
@@ -1556,6 +1797,12 @@ class SegmentedIndex:
             # ``attr__`` prefix, so filters answer identically after a
             # save/load round-trip.
             arrays.update(attrs.to_arrays())
+        sparse = index.space.vectors.sparse
+        if sparse is not None:
+            # The CSR plane rides under the ``sparse__`` prefix with its
+            # stamped corpus-global statistics, so a reloaded segment
+            # scores lexical terms identically without a restamp pass.
+            arrays.update(sparse.to_arrays())
         metadata = {
             "name": index.name,
             "seed_vertex": int(index.seed_vertex),
@@ -1608,12 +1855,12 @@ class SegmentedIndex:
             )
         manifest = json.loads(manifest_file.read_text())
         fmt = manifest.get("format")
-        if fmt not in (_FORMAT_V1, _FORMAT, _FORMAT_V3):
+        if fmt not in (_FORMAT_V1, _FORMAT, _FORMAT_V3, _FORMAT_V4):
             raise ValueError(
                 f"unsupported segment manifest format {fmt!r} "
                 f"(format_version {manifest.get('format_version')!r}) at "
                 f"{manifest_file} — this build reads "
-                f"{_FORMAT_V1!r}/{_FORMAT!r}/{_FORMAT_V3!r} "
+                f"{_FORMAT_V1!r}/{_FORMAT!r}/{_FORMAT_V3!r}/{_FORMAT_V4!r} "
                 f"(format_version ≤ {FORMAT_VERSION}); the index was "
                 f"written by a newer library version, upgrade it or "
                 f"re-save the index"
@@ -1672,7 +1919,8 @@ class SegmentedIndex:
                 )
                 store = vectors.store.with_cold_plane(plane)
                 vectors = MultiVectorSet.from_store(
-                    store, attributes=vectors.attributes
+                    store, attributes=vectors.attributes,
+                    sparse=vectors.sparse,
                 )
             space = JointSpace(vectors, weights)
             if entry["kind"] == "sealed":
@@ -1693,19 +1941,23 @@ class SegmentedIndex:
     def _load_vectors(metadata: dict, arrays: dict) -> MultiVectorSet:
         """Segment vectors from an archive: store-aware (v2) or the v1
         dense ``mod_{i}`` layout.  Unknown store kinds/dtypes raise the
-        actionable error from :func:`~repro.store.store_from_arrays`."""
+        actionable error from :func:`~repro.store.store_from_arrays`.
+        A ``sparse__``-prefixed CSR plane (v4) reattaches with its
+        persisted stats; older archives simply have none."""
         attributes = AttributeTable.from_arrays(arrays)
+        sparse = SparseStore.from_arrays(arrays)
         store_meta = metadata.get("store")
         if store_meta is not None:
             return MultiVectorSet.from_store(
                 store_from_arrays(store_meta, arrays),
                 attributes=attributes,
+                sparse=sparse,
             )
         mats = [
             arrays[f"mod_{i}"]
             for i in range(int(metadata["num_modalities"]))
         ]
-        return MultiVectorSet(mats, attributes=attributes)
+        return MultiVectorSet(mats, attributes=attributes, sparse=sparse)
 
     def _load_delta(
         self, metadata: dict, arrays: dict, mats: list[np.ndarray]
@@ -1722,6 +1974,7 @@ class SegmentedIndex:
         delta = _DeltaSegment(self.weights)
         delta.mats = [m.copy() for m in mats]
         delta.attrs = AttributeTable.from_arrays(arrays)
+        delta.sparse = SparseStore.from_arrays(arrays)
         delta.ext_ids = arrays["ext_ids"].astype(np.int64)
         deleted = arrays.get("deleted")
         delta.deleted = (
@@ -1731,6 +1984,9 @@ class SegmentedIndex:
         )
         delta.graph = graph
         delta._space = JointSpace(
-            MultiVectorSet(delta.mats, attributes=delta.attrs), self.weights
+            MultiVectorSet(
+                delta.mats, attributes=delta.attrs, sparse=delta.sparse
+            ),
+            self.weights,
         )
         self.delta = delta

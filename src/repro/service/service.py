@@ -763,6 +763,7 @@ class MustService:
                 req.kwargs["refine"],
                 req.kwargs["early_termination"],
                 req.kwargs["check_monotone"],
+                req.kwargs["sparse_engine"],
                 _weights_key(req.kwargs["weights"]),
             )
             groups.setdefault(key, []).append(req)
@@ -790,6 +791,7 @@ class MustService:
                 refine=kwargs["refine"],
                 check_monotone=kwargs["check_monotone"],
                 rngs=[r.kwargs["rng"] for r in reqs],
+                sparse_engine=kwargs["sparse_engine"],
             )
         except Exception:
             # One request's doing (an unknown filter attribute, a bad
@@ -829,6 +831,7 @@ class MustService:
             key = (
                 req.kwargs["k"],
                 req.kwargs["refine"],
+                req.kwargs["sparse_engine"],
                 _weights_key(req.kwargs["weights"]),
             )
             groups.setdefault(key, []).append(req)
@@ -846,6 +849,7 @@ class MustService:
                 weights=kwargs["weights"],
                 refine=kwargs["refine"],
                 margin=self.config.exact_margin,
+                sparse_engine=kwargs["sparse_engine"],
             )
         except Exception:
             # A wave failure may be one request's doing (a typed filter

@@ -93,6 +93,7 @@ from repro.index.segments import SegmentedIndex, SegmentView, _merge_candidates
 from repro.service.collections import Collection, CollectionManager
 from repro.service.service import MustService, ServiceConfig, _Request
 from repro.service.snapshot import IndexSnapshot
+from repro.sparse.store import SparseStats, SparseStore, sum_stats
 from repro.store import GatherPlane, MmapPlane, ResidentPlane
 from repro.utils.rng import spawn_seed_sequences
 from repro.utils.shm import SharedArrays
@@ -136,8 +137,12 @@ def _view_search(
     l = kwargs.pop("l", 100)
     refine = kwargs.pop("refine", None)
     early = kwargs.pop("early_termination", False)
+    sparse_engine = kwargs.pop("sparse_engine", "auto")
     if exact:
-        return view.exact_search(query, k, weights=weights, refine=refine)
+        return view.exact_search(
+            query, k, weights=weights, refine=refine,
+            sparse_engine=sparse_engine,
+        )
     if engine == "wave":
         results, wave_stats = view.graph_wave(
             [query],
@@ -148,6 +153,7 @@ def _view_search(
             refine=refine,
             check_monotone=bool(kwargs.pop("check_monotone", False)),
             rngs=[kwargs.pop("rng", 0)],
+            sparse_engine=sparse_engine,
         )
         results[0].stats.merge(wave_stats)
         return results[0]
@@ -160,6 +166,7 @@ def _view_search(
         early_termination=early,
         engine=engine,
         refine=refine,
+        sparse_engine=sparse_engine,
         **kwargs,
     )
 
@@ -221,8 +228,13 @@ class _ShardCollection:
                     np.asarray(arrays[f"mod_{i}"]) for i in range(num_modalities)
                 ]
             attributes = AttributeTable.from_arrays(arrays)
+            # The sparse lexical plane rides in the pack stamped with
+            # the collection-global statistics, so this shard's BM25/
+            # TF-IDF scores match every other shard's from the start.
+            sparse = SparseStore.from_arrays(arrays)
             space = JointSpace(
-                MultiVectorSet(mats, attributes=attributes), weights
+                MultiVectorSet(mats, attributes=attributes, sparse=sparse),
+                weights,
             )
             index = reseat_on_store(
                 builder.build(space), meta["compression"], meta["store_options"]
@@ -234,6 +246,7 @@ class _ShardCollection:
                         MultiVectorSet.from_store(
                             store.with_cold_plane(plane),
                             attributes=attributes,
+                            sparse=sparse,
                         ),
                         weights,
                     )
@@ -266,12 +279,14 @@ class _ShardCollection:
         weights: Weights | None,
         refine: int | None,
         margin: float,
+        sparse_engine: str = "auto",
     ) -> list[SearchResult]:
         view = self.view()
         if view.num_segments == 0:
             return [_empty_result() for _ in queries]
         return view.exact_wave(
-            queries, k, weights=weights, refine=refine, margin=margin
+            queries, k, weights=weights, refine=refine, margin=margin,
+            sparse_engine=sparse_engine,
         )
 
     def graph_wave(
@@ -291,6 +306,7 @@ class _ShardCollection:
             early_termination=plan["early_termination"],
             refine=plan["refine"],
             check_monotone=plan["check_monotone"],
+            sparse_engine=plan.get("sparse_engine", "auto"),
             rngs=seeds,
         )
 
@@ -319,14 +335,29 @@ class _ShardCollection:
         mats: list[np.ndarray],
         ext_ids: np.ndarray,
         attr_arrays: dict[str, np.ndarray] | None,
+        sparse_arrays: dict[str, np.ndarray] | None = None,
     ) -> int:
         attributes = (
             AttributeTable.from_arrays(attr_arrays) if attr_arrays else None
         )
-        objects = MultiVectorSet(list(mats), attributes=attributes)
+        sparse = (
+            SparseStore.from_arrays(sparse_arrays) if sparse_arrays else None
+        )
+        objects = MultiVectorSet(
+            list(mats), attributes=attributes, sparse=sparse
+        )
         self.seg.insert(objects, ext_ids=np.asarray(ext_ids, dtype=np.int64))
         self.epoch += 1
         return int(self.seg.num_active)
+
+    def sparse_stats(self) -> SparseStats | None:
+        """This shard's local sparse statistics (for the global sum)."""
+        return self.seg.sparse_local_stats()
+
+    def set_sparse_stats(self, stats: SparseStats) -> None:
+        """Adopt the collection-global statistics broadcast by the front."""
+        self.seg._restamp_sparse(stats)
+        self.epoch += 1
 
     def delete_check(self, ids: np.ndarray) -> tuple[int, int, int]:
         """Pre-delete census: (ids found here, fresh kills, active now)."""
@@ -475,6 +506,10 @@ def _worker_main(
                     payload = worker.col(msg[1]).compact()
                 elif cmd == "active_ids":
                     payload = worker.col(msg[1]).active_ids()
+                elif cmd == "sparse_stats":
+                    payload = worker.col(msg[1]).sparse_stats()
+                elif cmd == "set_sparse_stats":
+                    payload = worker.col(msg[1]).set_sparse_stats(msg[2])
                 elif cmd == "stats":
                     payload = worker.stats(busy)
                 else:
@@ -503,12 +538,21 @@ class _ShardHandle:
 
 def _corpus_slices(
     must: "MUST",
-) -> tuple[np.ndarray, list[np.ndarray], AttributeTable | None, int]:
-    """The live corpus as flat arrays: (ext_ids, mats, attrs, next_ext).
+) -> tuple[
+    np.ndarray,
+    list[np.ndarray],
+    AttributeTable | None,
+    SparseStore | None,
+    int,
+]:
+    """The live corpus as flat arrays: (ext_ids, mats, attrs, sparse, next_ext).
 
     Rows come out sorted by external id, exact-tier (full-precision)
     vectors only — each shard re-applies its own compression at build,
-    so sharding never compounds quantisation error.
+    so sharding never compounds quantisation error.  The sparse lexical
+    plane (when present) comes out stamped with corpus-global statistics
+    so every shard slice keeps scoring against the whole-collection
+    frequencies.
     """
     if must.is_segmented:
         segs = must.segments.searchable_segments()
@@ -519,6 +563,7 @@ def _corpus_slices(
             [] for _ in range(num_modalities)
         ]
         attr_parts: list[AttributeTable] = []
+        sparse_parts: list[SparseStore] = []
         contributing = 0
         for seg in segs:
             alive = (
@@ -533,6 +578,9 @@ def _corpus_slices(
             attrs = seg.space.vectors.attributes
             if attrs is not None:
                 attr_parts.append(attrs.subset(alive))
+            seg_sparse = seg.space.vectors.sparse
+            if seg_sparse is not None:
+                sparse_parts.append(seg_sparse.subset(alive))
             for i in range(num_modalities):
                 mat_parts[i].append(seg.space.vectors.exact_modality(i)[alive])
         require(ext_parts, "cannot shard an index with no live objects")
@@ -545,8 +593,18 @@ def _corpus_slices(
                 "cannot shard: inconsistent attribute state across segments",
             )
             attributes = AttributeTable.concat(attr_parts).subset(order)
+        sparse = None
+        if sparse_parts:
+            require(
+                len(sparse_parts) == contributing,
+                "cannot shard: inconsistent sparse state across segments",
+            )
+            sparse = SparseStore.concat(sparse_parts).subset(order)
+            # Make the global stamp explicit: subset slices taken per
+            # shard must never fall back to shard-local statistics.
+            sparse = sparse.with_stats(sparse.stats)
         mats = [np.concatenate(parts)[order] for parts in mat_parts]
-        return ext[order], mats, attributes, int(must.segments._next_ext)
+        return ext[order], mats, attributes, sparse, int(must.segments._next_ext)
     index = must.index
     alive = index.active_ids()
     require(alive.size, "cannot shard an index with no live objects")
@@ -558,7 +616,12 @@ def _corpus_slices(
     attributes = vectors.attributes
     if attributes is not None:
         attributes = attributes.subset(alive)
-    return alive.astype(np.int64), mats, attributes, int(index.n)
+    sparse = vectors.sparse
+    if sparse is not None:
+        # Stamp before slicing: the shard slices keep scoring against
+        # the whole corpus' statistics, exactly like the flat index.
+        sparse = sparse.with_stats(sparse.stats).subset(alive)
+    return alive.astype(np.int64), mats, attributes, sparse, int(index.n)
 
 
 def _corpus_slices_mmap(
@@ -570,6 +633,7 @@ def _corpus_slices_mmap(
     list[list[str]],
     list[np.ndarray] | None,
     AttributeTable | None,
+    SparseStore | None,
     int,
 ]:
     """Cold-tier *provenance* for an mmap-backed corpus.
@@ -577,14 +641,17 @@ def _corpus_slices_mmap(
     Instead of gathering the full-precision rows (O(corpus) bytes
     through shared memory), returns, sorted by external id::
 
-        (ext_ids, src_of, row_of, sources, tail_mats, attrs, next_ext)
+        (ext_ids, src_of, row_of, sources, tail_mats, attrs, sparse,
+        next_ext)
 
     where ``sources[s]`` is the path list of the ``s``-th memory-mapped
     cold plane and ``(src_of[j], row_of[j])`` addresses row ``j``'s
     exact vectors inside it.  Rows whose segment is still resident in
     the parent (the delta, or a dense segment) are gathered into
     ``tail_mats`` and addressed as source ``len(sources)`` — the only
-    vector bytes that ever cross the process boundary.
+    vector bytes that ever cross the process boundary.  The sparse
+    plane (postings, not vectors — already O(nnz)) always rides shared
+    memory, stamped with corpus-global statistics.
     """
     if must.is_segmented:
         segs = must.segments.searchable_segments()
@@ -611,6 +678,7 @@ def _corpus_slices_mmap(
     tail_parts: list[list[np.ndarray]] = [[] for _ in range(num_modalities)]
     tail_n = 0
     attr_parts: list[AttributeTable] = []
+    sparse_parts: list[SparseStore] = []
     contributing = 0
     for vectors, ext_ids, deleted in entries:
         alive = (
@@ -625,6 +693,9 @@ def _corpus_slices_mmap(
         attrs = vectors.attributes
         if attrs is not None:
             attr_parts.append(attrs.subset(alive))
+        entry_sparse = vectors.sparse
+        if entry_sparse is not None:
+            sparse_parts.append(entry_sparse.subset(alive))
         plane = vectors.store.cold_plane
         if isinstance(plane, MmapPlane):
             src_parts.append(np.full(alive.size, len(sources), dtype=np.int64))
@@ -656,7 +727,18 @@ def _corpus_slices_mmap(
             "cannot shard: inconsistent attribute state across segments",
         )
         attributes = AttributeTable.concat(attr_parts).subset(order)
-    return ext[order], src_of, row_of, sources, tail_mats, attributes, next_ext
+    sparse = None
+    if sparse_parts:
+        require(
+            len(sparse_parts) == contributing,
+            "cannot shard: inconsistent sparse state across segments",
+        )
+        sparse = SparseStore.concat(sparse_parts).subset(order)
+        sparse = sparse.with_stats(sparse.stats)
+    return (
+        ext[order], src_of, row_of, sources, tail_mats, attributes, sparse,
+        next_ext,
+    )
 
 
 class ShardedService(MustService):
@@ -745,15 +827,17 @@ class ShardedService(MustService):
         )
         mmap_mode = cold_storage == "mmap"
         if mmap_mode:
-            (ext, src_of, row_of, cold_sources, tail_mats, attributes, next_ext) = (
-                _corpus_slices_mmap(must)
-            )
+            (
+                ext, src_of, row_of, cold_sources, tail_mats, attributes,
+                sparse_all, next_ext,
+            ) = _corpus_slices_mmap(must)
             mats = None
         else:
-            ext, mats, attributes, next_ext = _corpus_slices(must)
+            ext, mats, attributes, sparse_all, next_ext = _corpus_slices(must)
             src_of = row_of = None
             cold_sources, tail_mats = [], None
         self._next_ext[name] = next_ext
+        self._has_sparse[name] = sparse_all is not None
         if must.is_segmented:
             src = must.segments
             meta = dict(
@@ -814,6 +898,10 @@ class ShardedService(MustService):
                 arrays["ext_ids"] = ext[rows]
             if attributes is not None:
                 arrays.update(attributes.subset(rows).to_arrays())
+            if sparse_all is not None:
+                # subset keeps the collection-global stamp; to_arrays
+                # persists it, so the shard scores corpus-wide stats.
+                arrays.update(sparse_all.subset(rows).to_arrays())
             shard_arrays.append(arrays)
         return meta, shard_arrays
 
@@ -821,6 +909,7 @@ class ShardedService(MustService):
         self, manager: CollectionManager, spawn_timeout_s: float
     ) -> None:
         self._next_ext: dict[str, int] = {}
+        self._has_sparse: dict[str, bool] = {}
         meta_cols: dict[str, dict[str, Any]] = {}
         arrays_by_col: dict[str, list[dict[str, Any] | None]] = {}
         for collection in manager:
@@ -1047,6 +1136,7 @@ class ShardedService(MustService):
             plan["weights"],
             plan["refine"],
             self.config.exact_margin,
+            plan.get("sparse_engine", "auto"),
         )
         replies = self._gather(
             {s: (command, len(queries)) for s in self.live_shards}
@@ -1064,7 +1154,7 @@ class ShardedService(MustService):
             key: plan[key]
             for key in (
                 "k", "l", "weights", "early_termination", "refine",
-                "check_monotone",
+                "check_monotone", "sparse_engine",
             )
         }
         replies = self._gather(
@@ -1235,17 +1325,25 @@ class ShardedService(MustService):
                 attr_arrays = None
                 if objects.attributes is not None:
                     attr_arrays = objects.attributes.subset(rows).to_arrays()
+                sparse_arrays = None
+                if objects.sparse is not None:
+                    sparse_arrays = objects.sparse.subset(rows).to_arrays()
                 command = (
                     "insert",
                     col.name,
                     [np.ascontiguousarray(m[rows]) for m in mats],
                     ext[rows],
                     attr_arrays,
+                    sparse_arrays,
                 )
                 messages[shard] = (command, int(rows.size))
             replies = self._gather(messages)
             self._raise_write_failures("insert", replies)
             self._next_ext[col.name] += objects.n
+            if objects.sparse is not None:
+                self._has_sparse[col.name] = True
+            if self._has_sparse.get(col.name):
+                self._sync_sparse_stats(col.name)
             col.epoch += 1
             return ext
 
@@ -1310,6 +1408,10 @@ class ShardedService(MustService):
                 np.asarray(replies[s][1], dtype=np.int64)
                 for s in sorted(replies)
             ]
+            if self._has_sparse.get(col.name):
+                # Compaction dropped the soft-deleted rows, so the
+                # collection-global frequencies changed on every shard.
+                self._sync_sparse_stats(col.name)
             col.epoch += 1
             active = (
                 np.sort(np.concatenate(parts))
@@ -1317,6 +1419,35 @@ class ShardedService(MustService):
                 else np.zeros(0, dtype=np.int64)
             )
             return col.must, active
+
+    def _sync_sparse_stats(self, name: str) -> None:
+        """Re-establish collection-global sparse statistics on every shard.
+
+        Gather each live shard's local counts, sum them (exact in
+        float64 with integer term frequencies), and broadcast the total
+        back so every shard's BM25/TF-IDF scores use whole-collection
+        document frequencies — the two-phase analogue of the in-process
+        :meth:`SegmentedIndex._restamp_sparse`.  Callers hold the write
+        lock, so no wave observes a half-stamped collection.
+        """
+        replies = self._gather(
+            {s: (("sparse_stats", name), 0) for s in self.live_shards}
+        )
+        self._raise_write_failures("sparse_stats", replies)
+        parts = [
+            replies[s][1] for s in sorted(replies)
+            if replies[s][1] is not None
+        ]
+        if not parts:
+            return
+        total = sum_stats(parts)
+        replies = self._gather(
+            {
+                s: (("set_sparse_stats", name, total), 0)
+                for s in self.live_shards
+            }
+        )
+        self._raise_write_failures("set_sparse_stats", replies)
 
     def _total_active(self, name: str) -> int:
         replies = self._gather(

@@ -39,7 +39,7 @@ import dataclasses
 from typing import TYPE_CHECKING, Any
 
 from repro.core.multivector import MultiVector
-from repro.core.query import Query, SearchOptions
+from repro.core.query import Query, SearchOptions, as_query, compile_filter
 from repro.core.results import SearchResult, SearchStats
 from repro.core.space import JointSpace
 from repro.core.weights import Weights
@@ -152,6 +152,7 @@ class IndexSnapshot:
         exact: bool = False,
         refine: int | None = None,
         engine: str = "auto",
+        sparse_engine: str = "auto",
         **search_kwargs: Any,
     ) -> SearchResult:
         """Joint top-*k* against the captured state.
@@ -170,6 +171,19 @@ class IndexSnapshot:
         inside any coalesced wave, by the engine's composition
         independence.
         """
+        if (
+            self.view is None
+            and not exact
+            and as_query(query).sparse is not None
+        ):
+            # Single-graph hybrid: the wave engine has no sparse term,
+            # so the query routes through the per-query union-rescore
+            # path under its own rng (the same routing MUST.query does).
+            search_kwargs.pop("check_monotone", None)
+            return self._hybrid_one(
+                as_query(query), k, l, weights, early_termination,
+                sparse_engine, **search_kwargs,
+            )
         if engine == "wave" and not exact:
             rngs = [search_kwargs.pop("rng", 0)]
             check_monotone = bool(search_kwargs.pop("check_monotone", False))
@@ -182,13 +196,17 @@ class IndexSnapshot:
                 refine=refine,
                 check_monotone=check_monotone,
                 rngs=rngs,
+                sparse_engine=sparse_engine,
             )
             results[0].stats.merge(wave_stats)
             return results[0]
         engine = "heap" if engine == "auto" else engine
         if self.view is not None:
             if exact:
-                return self.view.exact_search(query, k, weights=weights, refine=refine)
+                return self.view.exact_search(
+                    query, k, weights=weights, refine=refine,
+                    sparse_engine=sparse_engine,
+                )
             return self.view.search(
                 query,
                 k=k,
@@ -197,10 +215,14 @@ class IndexSnapshot:
                 early_termination=early_termination,
                 refine=refine,
                 engine=engine,
+                sparse_engine=sparse_engine,
                 **search_kwargs,
             )
         if exact:
-            return self._flat().search(query, k, weights=weights, refine=refine)
+            return self._flat().search(
+                query, k, weights=weights, refine=refine,
+                sparse_engine=sparse_engine,
+            )
         return joint_search(
             self._graph(),
             query,
@@ -212,6 +234,63 @@ class IndexSnapshot:
             engine=engine,
             **search_kwargs,
         )
+
+    def _hybrid_one(
+        self,
+        typed: Query,
+        k: int,
+        l: int,
+        weights: Weights | None,
+        early_termination: bool,
+        sparse_engine: str,
+        rng: Any = 0,
+        **search_kwargs: Any,
+    ) -> SearchResult:
+        """One hybrid query on a single-graph snapshot: dense graph
+        candidates unioned with the sparse engine's own, exact-rescored
+        under the combined metric — the same arithmetic as
+        :meth:`MUST._hybrid_graph_one`, so snapshot reads match the
+        live instance bit for bit."""
+        import dataclasses as _dc
+
+        from repro.sparse.hybrid import hybrid_union_rescore
+
+        index = self._graph()
+        k_eff = typed.resolve_k(k)
+        # Same l clamp as SearchOptions.resolve (floor at the wave-level
+        # k), so the dense candidate pool matches MUST.query exactly.
+        lc = max(min(l, index.n), k)
+        pool = min(lc, index.num_active)
+        dense = joint_search(
+            index,
+            typed if typed.k is None else _dc.replace(typed, k=None),
+            k=pool,
+            l=lc,
+            weights=weights,
+            early_termination=early_termination,
+            engine="heap",
+            rng=rng,
+            **search_kwargs,
+        )
+        mask = None
+        if index.deleted is not None:
+            mask = ~index.deleted
+        if typed.filter is not None:
+            fmask = compile_filter(
+                typed.filter, index.space.vectors.attributes
+            )
+            mask = fmask if mask is None else mask & fmask
+        ids, sims = hybrid_union_rescore(
+            index.space,
+            typed,
+            dense.ids,
+            min(k_eff, index.num_active),
+            admissible=mask,
+            weights=typed.resolve_weights(weights),
+            engine=sparse_engine,
+            stats=dense.stats,
+        )
+        return SearchResult(ids=ids, similarities=sims, stats=dense.stats)
 
     def query(
         self,
@@ -247,6 +326,7 @@ class IndexSnapshot:
         check_monotone: bool = False,
         rng: Any = 0,
         rngs: list[Any] | None = None,
+        sparse_engine: str = "auto",
     ) -> "tuple[list[SearchResult], SearchStats]":
         """Coalesced graph batch — the serving layer's lockstep wave.
 
@@ -268,9 +348,47 @@ class IndexSnapshot:
                 rngs=rngs,
                 refine=refine,
                 check_monotone=check_monotone,
+                sparse_engine=sparse_engine,
             )
         from repro.index.graph_wave import graph_wave_search
 
+        typed = [as_query(q) for q in queries]
+        if any(t.sparse is not None for t in typed):
+            # Hybrid requests leave the wave under their own per-query
+            # seed (bit-identical however the wave is composed); plain
+            # requests stay batched.
+            if rngs is None:
+                from repro.utils.rng import spawn_seed_sequences
+
+                rngs = list(spawn_seed_sequences(rng, len(typed)))
+            routed: dict[int, SearchResult] = {}
+            for i, t in enumerate(typed):
+                if t.sparse is not None:
+                    routed[i] = self._hybrid_one(
+                        t, k, l, weights, early_termination,
+                        sparse_engine, rng=rngs[i],
+                    )
+            plain = [i for i in range(len(typed)) if i not in routed]
+            plain_results: list[SearchResult] = []
+            wave_stats = SearchStats()
+            if plain:
+                plain_results, wave_stats = graph_wave_search(
+                    self._graph(),
+                    [typed[i] for i in plain],
+                    k=k,
+                    l=min(l, self._graph().n),
+                    weights=weights,
+                    early_termination=early_termination,
+                    rngs=[rngs[i] for i in plain],
+                    refine=refine,
+                    check_monotone=check_monotone,
+                    filter_memo={},
+                )
+            results: list[SearchResult] = []
+            it = iter(plain_results)
+            for i in range(len(typed)):
+                results.append(routed[i] if i in routed else next(it))
+            return results, wave_stats
         return graph_wave_search(
             self._graph(),
             queries,
@@ -292,6 +410,7 @@ class IndexSnapshot:
         weights: Weights | None = None,
         refine: int | None = None,
         margin: float = 1e-4,
+        sparse_engine: str = "auto",
     ) -> list[SearchResult]:
         """Coalesced exact batch — the serving layer's GEMM fast path.
 
@@ -312,10 +431,12 @@ class IndexSnapshot:
                 weights=weights,
                 refine=refine,
                 margin=margin,
+                sparse_engine=sparse_engine,
             )
         return self._flat().batch_search(
             list(queries),
             k,
             weights=weights,
             refine=refine,
+            sparse_engine=sparse_engine,
         )

@@ -189,6 +189,12 @@ def _read_npy_header(path: Path) -> tuple[tuple[int, ...], np.dtype, int]:
     return tuple(int(s) for s in shape), np.dtype(dtype), int(offset)
 
 
+#: Rows closer than this share one ``WILLNEED`` advice range — beyond
+#: it a fresh range costs less than reading the untouched gap.  64 rows
+#: of a typical 128-d float32 modality is two 16 KiB readahead windows.
+_ADVISE_GAP = 64
+
+
 class MmapPlane(ColdPlane):
     """Cold tier in per-modality ``.npy`` files, mapped lazily.
 
@@ -198,7 +204,7 @@ class MmapPlane(ColdPlane):
     what lets a sealed segment load without touching its cold bytes.
     """
 
-    __slots__ = ("_paths", "_shapes", "_offsets", "_maps")
+    __slots__ = ("_paths", "_shapes", "_offsets", "_maps", "_fds")
 
     def __init__(self, paths: Sequence[str | Path]):
         require(len(paths) >= 1, "mmap cold plane needs at least one file")
@@ -239,6 +245,7 @@ class MmapPlane(ColdPlane):
         self._shapes = tuple(shapes)
         self._offsets = tuple(offsets)
         self._maps: list[np.ndarray | None] = [None] * len(self._paths)
+        self._fds: list[int | None] = [None] * len(self._paths)
 
     @property
     def paths(self) -> tuple[Path, ...]:
@@ -268,12 +275,53 @@ class MmapPlane(ColdPlane):
 
     def rows(self, i: int, ids: np.ndarray) -> np.ndarray:
         # Fancy-indexing a memmap pages in only the touched rows and
-        # returns an ordinary in-RAM ndarray of the same bytes.
-        return self._map(i)[np.asarray(ids)]
+        # returns an ordinary in-RAM ndarray of the same bytes.  A
+        # WILLNEED advice ahead of the gather lets the kernel start
+        # readahead for all touched ranges at once instead of faulting
+        # them in one row at a time (a large win on a cold page cache;
+        # harmless when the pages are already resident).
+        ids = np.asarray(ids)
+        self._advise_willneed(i, ids)
+        return self._map(i)[ids]
+
+    def _advise_willneed(self, i: int, ids: np.ndarray) -> None:
+        """Issue ``posix_fadvise(WILLNEED)`` for the rows about to be read.
+
+        Touched rows are coalesced into contiguous runs (rows less than
+        ``_ADVISE_GAP`` apart share one advice call) so a scattered
+        gather issues a handful of syscalls, not one per row.  No-op on
+        platforms without ``posix_fadvise`` and for empty gathers.
+        """
+        if not hasattr(os, "posix_fadvise") or ids.size == 0:
+            return
+        fd = self._fds[i]
+        if fd is None:
+            fd = os.open(str(self._paths[i]), os.O_RDONLY)
+            self._fds[i] = fd
+        row_bytes = 4 * self._shapes[i][1]
+        base = self._offsets[i]
+        sorted_ids = np.unique(ids.astype(np.int64, copy=False))
+        # Runs split where consecutive touched rows are far apart.
+        splits = np.flatnonzero(np.diff(sorted_ids) > _ADVISE_GAP) + 1
+        for run in np.split(sorted_ids, splits):
+            start = base + int(run[0]) * row_bytes
+            length = (int(run[-1]) - int(run[0]) + 1) * row_bytes
+            try:
+                os.posix_fadvise(fd, start, length, os.POSIX_FADV_WILLNEED)
+            except OSError:  # pragma: no cover - advice is best-effort
+                return
 
     def subset(self, ids: np.ndarray) -> "GatherPlane":
         ids = np.asarray(ids, dtype=np.int64)
         return GatherPlane([self], np.zeros(ids.shape[0], dtype=np.int64), ids)
+
+    def __del__(self) -> None:  # pragma: no cover - interpreter teardown
+        for fd in getattr(self, "_fds", ()):
+            if fd is not None:
+                try:
+                    os.close(fd)
+                except OSError:
+                    pass
 
     def nbytes(self) -> int:
         return 4 * self.n * int(sum(self.dims))

@@ -1,0 +1,364 @@
+"""Hybrid dense+lexical end-to-end suite.
+
+What must hold, per the subsystem's acceptance gates:
+
+* **engine parity** — the inverted posting-list engine answers
+  bit-identically (ids *and* similarities) to the brute-force CSR
+  oracle on every deployment surface: flat and segmented layouts,
+  batch ``n_jobs`` ∈ {1, 4}, graph and exact plans, through
+  :class:`MustService` and :class:`ShardedService`, and while
+  insert/delete/compact churn the corpus;
+* **layout independence** — the exact hybrid answer is bitwise equal
+  between a flat build and a segmented build of the same corpus
+  (integer term frequencies make the summed statistics exact in
+  float64, so the stamped global stats agree across layouts);
+* **recall lift** — on the planted two-level corpus, hybrid fusion
+  strictly beats dense-only recall@k (dense resolves the topic, only
+  the rare lexical terms pin the group);
+* **manifest v4** — a segmented corpus with a sparse plane round-trips
+  through save/load bitwise, while dense-only corpora keep writing v2
+  archives loadable by older builds;
+* **registry validation** — typo'd metric/engine names fail at
+  construction with did-you-mean errors, and non-IP dense metrics are
+  served by the exact paths against a numpy reference.
+"""
+
+from __future__ import annotations
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.core.framework import MUST
+from repro.core.multivector import (
+    MultiVector,
+    MultiVectorSet,
+    normalize_rows,
+)
+from repro.core.query import Query, SearchOptions
+from repro.core.registry import dense_score_rows
+from repro.core.weights import Weights
+from repro.index.pipeline import FusedIndexBuilder
+from repro.index.segments import MANIFEST_NAME, SegmentPolicy
+from repro.service import MustService, ServiceConfig, ShardedService
+from repro.sparse.synthetic import synthetic_hybrid
+
+pytest.importorskip("scipy.sparse")
+
+K = 10
+L = 60
+#: shape knobs shared by the corpus and every churn chunk — vocabulary
+#: size is a function of these, and inserted objects must carry the
+#: corpus vocabulary.
+SHAPE = dict(n_topics=4, groups_per_topic=4, group_size=8, dim=24)
+CHEAP_BUILDER = FusedIndexBuilder(gamma=8, epsilon=1, max_candidates=16)
+
+
+@pytest.fixture(scope="module")
+def dataset():
+    return synthetic_hybrid(num_queries=10, seed=3, **SHAPE)
+
+
+@pytest.fixture(scope="module")
+def hybrid_queries(dataset):
+    return [
+        Query(
+            MultiVector.from_arrays([dataset.query_dense[i]]),
+            sparse=dataset.query_sparse[i],
+            sparse_weight=0.8,
+        )
+        for i in range(dataset.num_queries)
+    ]
+
+
+def churn_chunk(seed: int) -> MultiVectorSet:
+    """A small insertable corpus slice sharing the fixture vocabulary."""
+    extra = synthetic_hybrid(
+        num_queries=1, seed=seed, **{**SHAPE, "group_size": 2}
+    )
+    return MultiVectorSet([extra.dense.copy()], sparse=extra.sparse)
+
+
+def flat_must(dataset) -> MUST:
+    return MUST(
+        MultiVectorSet([dataset.dense.copy()], sparse=dataset.sparse),
+        weights=Weights([1.0]),
+        builder=CHEAP_BUILDER,
+    ).build()
+
+
+def segmented_must(dataset, churn: bool = True) -> MUST:
+    must = MUST(
+        MultiVectorSet([dataset.dense.copy()], sparse=dataset.sparse),
+        weights=Weights([1.0]),
+        builder=CHEAP_BUILDER,
+        segment_policy=SegmentPolicy(
+            seal_size=32, max_segments=8, max_deleted_fraction=0.9
+        ),
+    ).build()
+    if churn:
+        must.insert(churn_chunk(seed=90))
+        must.mark_deleted(np.arange(0, 24, 5))
+    return must
+
+
+def assert_same(got, oracle) -> None:
+    np.testing.assert_array_equal(got.ids, oracle.ids)
+    np.testing.assert_array_equal(got.similarities, oracle.similarities)
+
+
+def assert_engine_parity(search, queries, **plan) -> None:
+    """``search(queries, options)`` answers identically on both engines."""
+    inv = search(queries, SearchOptions(sparse_engine="inverted", **plan))
+    ora = search(queries, SearchOptions(sparse_engine="exact", **plan))
+    for got, oracle in zip(inv, ora):
+        assert_same(got, oracle)
+
+
+# ----------------------------------------------------------------------
+# Accuracy: the two-level corpus separates the modality families
+# ----------------------------------------------------------------------
+def test_hybrid_recall_beats_dense_only(dataset, hybrid_queries):
+    must = flat_must(dataset)
+    opts = SearchOptions(k=K, exact=True)
+
+    def recall(results):
+        hits = [
+            np.isin(r.ids[:K], t).sum() / min(K, t.size)
+            for r, t in zip(results, dataset.truth)
+        ]
+        return float(np.mean(hits))
+
+    hybrid = recall(must.query(hybrid_queries, opts))
+    dense_only = recall(
+        must.query([q.vector for q in hybrid_queries], opts)
+    )
+    assert hybrid > dense_only
+
+
+# ----------------------------------------------------------------------
+# Engine parity across layouts, plans, and parallelism
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize("layout", ["flat", "segmented"])
+@pytest.mark.parametrize("n_jobs", [1, 4])
+@pytest.mark.parametrize("plan", ["graph", "exact"])
+def test_engine_parity_in_process(
+    dataset, hybrid_queries, layout, n_jobs, plan
+):
+    must = (
+        flat_must(dataset) if layout == "flat" else segmented_must(dataset)
+    )
+    kwargs: dict = {"k": K, "n_jobs": n_jobs}
+    if plan == "exact":
+        kwargs["exact"] = True
+    else:
+        kwargs["l"] = L
+    assert_engine_parity(must.query, hybrid_queries, **kwargs)
+
+
+def test_engine_parity_survives_churn(dataset, hybrid_queries):
+    must = segmented_must(dataset, churn=False)
+    for stage, mutate in (
+        ("insert", lambda: must.insert(churn_chunk(seed=91))),
+        ("delete", lambda: must.mark_deleted(np.arange(0, 40, 3))),
+        ("compact", lambda: must.segments.compact()),
+    ):
+        mutate()
+        assert_engine_parity(
+            must.query, hybrid_queries, k=K, l=L
+        ), stage
+        assert_engine_parity(
+            must.query, hybrid_queries, k=K, exact=True
+        ), stage
+
+
+def test_flat_vs_segmented_exact_bitwise(dataset, hybrid_queries):
+    """Layout independence extends to the hybrid exact plan: the same
+    corpus answers identically whether it lives in one flat matrix or
+    in sealed segments (stamped stats are exact sums of exact sums)."""
+    flat = flat_must(dataset)
+    seg = segmented_must(dataset, churn=False)
+    opts = SearchOptions(k=K, exact=True)
+    for a, b in zip(flat.query(hybrid_queries, opts),
+                    seg.query(hybrid_queries, opts)):
+        assert_same(a, b)
+
+
+# ----------------------------------------------------------------------
+# Serving surfaces
+# ----------------------------------------------------------------------
+def test_service_engine_parity_under_churn(dataset, hybrid_queries):
+    with MustService(
+        segmented_must(dataset, churn=False),
+        ServiceConfig(max_batch=8, max_wait_ms=1.0),
+    ) as svc:
+        def search(queries, options):
+            return [svc.search(q, options) for q in queries]
+
+        assert_engine_parity(search, hybrid_queries, k=K, l=L)
+        ext = svc.insert(churn_chunk(seed=92))
+        svc.mark_deleted(ext[:6])
+        assert_engine_parity(search, hybrid_queries, k=K, l=L)
+        svc.compact()
+        assert_engine_parity(search, hybrid_queries, k=K, l=L)
+        assert_engine_parity(search, hybrid_queries, k=K, exact=True)
+
+
+@pytest.mark.parametrize("n_shards", [1, 2])
+def test_sharded_engine_parity_under_churn(
+    dataset, hybrid_queries, n_shards
+):
+    svc = ShardedService(segmented_must(dataset), n_shards=n_shards)
+    try:
+        def search(queries, options):
+            return [svc.search(q, options=options) for q in queries]
+
+        assert_engine_parity(search, hybrid_queries, k=K, l=L)
+        assert_engine_parity(search, hybrid_queries, k=K, exact=True)
+        ext = svc.insert(churn_chunk(seed=93))
+        svc.mark_deleted(ext[:6])
+        assert_engine_parity(search, hybrid_queries, k=K, l=L)
+        svc.compact()
+        assert_engine_parity(search, hybrid_queries, k=K, l=L)
+        assert_engine_parity(search, hybrid_queries, k=K, exact=True)
+    finally:
+        svc.close()
+
+
+# ----------------------------------------------------------------------
+# Persistence: manifest v4 round-trip, v2 back-compat for dense-only
+# ----------------------------------------------------------------------
+def test_manifest_v4_roundtrip_bitwise(tmp_path, dataset, hybrid_queries):
+    must = segmented_must(dataset)
+    path = tmp_path / "hybrid_index"
+    must.save_index(path)
+
+    manifest = json.loads((path / MANIFEST_NAME).read_text())
+    assert manifest["format"] == "must-segments-v4"
+    assert manifest["format_version"] == 4
+
+    fresh = MUST(
+        MultiVectorSet([dataset.dense.copy()], sparse=dataset.sparse),
+        weights=Weights([1.0]),
+        builder=CHEAP_BUILDER,
+    ).load_index(path)
+    opts = SearchOptions(k=K, l=L)
+    for a, b in zip(must.query(hybrid_queries, opts),
+                    fresh.query(hybrid_queries, opts)):
+        assert_same(a, b)
+    for a, b in zip(
+        must.query(hybrid_queries, SearchOptions(k=K, exact=True)),
+        fresh.query(hybrid_queries, SearchOptions(k=K, exact=True)),
+    ):
+        assert_same(a, b)
+
+
+def test_dense_only_archives_stay_v2(tmp_path, dataset):
+    """No sparse plane → the manifest keeps the pre-sparse format, so
+    archives remain byte-compatible with older library versions."""
+    must = MUST(
+        MultiVectorSet([dataset.dense.copy()]),
+        weights=Weights([1.0]),
+        builder=CHEAP_BUILDER,
+        segment_policy=SegmentPolicy(seal_size=32, max_segments=8),
+    ).build()
+    rng = np.random.default_rng(13)
+    must.insert(
+        MultiVectorSet(
+            [normalize_rows(rng.standard_normal((6, SHAPE["dim"]))
+                            .astype(np.float32))]
+        )
+    )
+    path = tmp_path / "dense_index"
+    must.save_index(path)
+    manifest = json.loads((path / MANIFEST_NAME).read_text())
+    assert manifest["format"] == "must-segments-v2"
+    assert manifest["format_version"] == 2
+
+
+def test_insert_requires_matching_sparse_plane(dataset):
+    must = segmented_must(dataset, churn=False)
+    rng = np.random.default_rng(7)
+    dense_only = MultiVectorSet(
+        [normalize_rows(rng.standard_normal((4, SHAPE["dim"]))
+                        .astype(np.float32))]
+    )
+    with pytest.raises(ValueError, match="sparse"):
+        must.insert(dense_only)
+
+
+# ----------------------------------------------------------------------
+# Registry validation at the public constructors
+# ----------------------------------------------------------------------
+class TestRegistryValidation:
+    def test_metrics_did_you_mean_at_construction(self, dataset):
+        with pytest.raises(ValueError, match="cosine"):
+            MultiVectorSet([dataset.dense], metrics=["cosin"])
+        with pytest.raises(ValueError, match="cosine"):
+            MUST(
+                MultiVectorSet([dataset.dense]),
+                weights=Weights([1.0]),
+                metrics=["cosin"],
+            )
+
+    def test_sparse_engine_did_you_mean(self):
+        with pytest.raises(ValueError, match="inverted"):
+            SearchOptions(sparse_engine="invrted")
+        with pytest.raises(ValueError, match="sparse engine"):
+            SearchOptions(sparse_engine="wave")  # dense engine name
+
+    def test_sparse_metric_did_you_mean(self, dataset):
+        from repro.sparse.store import SparseStore
+
+        with pytest.raises(ValueError, match="bm25"):
+            SparseStore(dataset.sparse.csr, metric="bm52")
+
+    def test_build_rejects_non_ip_metrics(self, dataset):
+        must = MUST(
+            MultiVectorSet([dataset.dense]),
+            weights=Weights([1.0]),
+            metrics=["cosine"],
+        )
+        with pytest.raises(ValueError, match="exact"):
+            must.build()
+
+
+# ----------------------------------------------------------------------
+# Non-IP dense metrics: exact path vs an independent numpy reference
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize("metrics", [("cosine", "l2"), ("ip", "cosine")])
+def test_non_ip_exact_matches_numpy_reference(metrics):
+    rng = np.random.default_rng(11)
+    n, dims = 60, (12, 8)
+    mats = [
+        rng.standard_normal((n, d)).astype(np.float32) for d in dims
+    ]
+    weights = Weights([0.6, 0.4])
+    must = MUST(
+        MultiVectorSet([m.copy() for m in mats]),
+        weights=weights,
+        metrics=list(metrics),
+    )
+    q_arrays = [rng.standard_normal(d).astype(np.float32) for d in dims]
+    res = must.query(
+        Query(MultiVector.from_arrays(q_arrays)),
+        SearchOptions(k=8, exact=True),
+    )
+
+    expect = np.zeros(n, dtype=np.float64)
+    for w2, metric, q, mat in zip(
+        weights.squared, metrics, q_arrays, mats
+    ):
+        if metric == "ip":
+            # mixed-metric exact scoring routes ip through the store's
+            # float32 BLAS kernel — mirror that, not a float64 matmul
+            scores = (mat @ q.astype(np.float32)).astype(np.float64)
+        else:
+            scores = dense_score_rows(metric, q, mat)
+        expect += float(w2) * scores
+    order = np.lexsort((np.arange(n), -expect))[:8]
+    np.testing.assert_array_equal(res.ids, order)
+    np.testing.assert_allclose(
+        res.similarities, expect[order], rtol=1e-12
+    )
